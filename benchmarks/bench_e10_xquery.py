@@ -1,0 +1,51 @@
+"""E10 (Theorem 12) — the XQuery query Q decides SET-EQUALITY.
+
+Paper claim: there is an XQuery query whose evaluation on the XML stream
+encoding of an instance answers SET-EQUALITY — hence query evaluation
+inherits the Ω(log N) random-access lower bound.
+
+Measured: correctness of Q across yes/no instances, document stream
+lengths (Θ(N)), evaluation time scaling.
+"""
+
+import pytest
+
+from repro.problems import random_equal_instance, random_unequal_instance
+from repro.queries.xml import instance_to_document, serialize
+from repro.queries.xquery import evaluate_xquery, theorem12_query
+
+from conftest import emit_table
+
+SWEEP = [4, 16, 64]
+
+
+def test_e10_xquery(benchmark, rng):
+    query = theorem12_query()
+    rows = []
+    for m in SWEEP:
+        yes = random_equal_instance(m, 8, rng)
+        no = random_unequal_instance(m, 8, rng)
+        no_truth = set(no.first) == set(no.second)
+        doc_yes = instance_to_document(yes)
+        doc_no = instance_to_document(no)
+        out_yes = serialize(evaluate_xquery(query, doc_yes)[0])
+        out_no = serialize(evaluate_xquery(query, doc_no)[0])
+        assert out_yes == "<result><true/></result>"
+        assert (out_no == "<result><true/></result>") == no_truth
+        rows.append((m, yes.size, doc_yes.stream_length, out_yes, out_no))
+
+    table = emit_table(
+        "E10 — Theorem 12: XQuery Q on encoded instances",
+        ("m", "N(instance)", "N(stream)", "Q(yes)", "Q(no)"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # the XML encoding is linear in the instance size
+    ratios = [r[2] / r[1] for r in rows]
+    assert max(ratios) <= 1.5 * min(ratios)
+
+    inst = random_equal_instance(32, 8, rng)
+    doc = instance_to_document(inst)
+    out = benchmark(lambda: evaluate_xquery(query, doc))
+    assert serialize(out[0]) == "<result><true/></result>"

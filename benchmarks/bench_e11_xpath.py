@@ -1,0 +1,66 @@
+"""E11 (Theorem 13) — the Figure 1 XPath filter.
+
+Paper claim: the Figure 1 query selects exactly the set1 items whose
+string lies in X − Y; filtering with it (run in both directions) decides
+SET-EQUALITY, so XPath filtering inherits the lower bound against
+co-randomized machines.
+
+Measured: selected-node counts = |occurrences of X − Y| on controlled
+instances; the two-directional protocol's agreement with the reference.
+"""
+
+import pytest
+
+from repro.problems import (
+    decode_instance,
+    encode_instance,
+    random_equal_instance,
+    random_unequal_instance,
+)
+from repro.queries.xml import instance_to_document
+from repro.queries.xpath import evaluate_xpath, figure1_query, matches
+
+from conftest import emit_table
+
+
+def test_e11_xpath(benchmark, rng):
+    query = figure1_query()
+    rows = []
+    for m, overlap in ((8, 8), (8, 4), (8, 0), (32, 16)):
+        # construct X with `overlap` values shared with Y, the rest disjoint
+        xs = [format(i, "08b") for i in range(m)]
+        ys = xs[:overlap] + [format(128 + i, "08b") for i in range(m - overlap)]
+        inst = decode_instance(encode_instance(xs, ys))
+        doc = instance_to_document(inst)
+        selected = evaluate_xpath(query, doc)
+        expected = {x for x in xs if x not in set(ys)}
+        assert {n.string_value() for n in selected} == expected
+        rows.append((m, overlap, len(selected), len(expected)))
+
+    # filtering protocol agreement over random instances
+    agree = 0
+    for _ in range(20):
+        inst = (
+            random_equal_instance(6, 6, rng)
+            if rng.random() < 0.5
+            else random_unequal_instance(6, 6, rng)
+        )
+        truth = set(inst.first) == set(inst.second)
+        fires = matches(query, instance_to_document(inst)) or matches(
+            query, instance_to_document(inst.swapped())
+        )
+        agree += (not fires) == truth
+    assert agree == 20
+    rows.append(("protocol", "-", f"{agree}/20", "agree"))
+
+    table = emit_table(
+        "E11 — Theorem 13: Figure 1 selects X − Y",
+        ("m", "|X∩Y|", "selected", "expected |X−Y|"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    inst = random_equal_instance(32, 8, rng)
+    doc = instance_to_document(inst)
+    result = benchmark(lambda: matches(query, doc))
+    assert result is False

@@ -1,0 +1,73 @@
+"""E13 (Appendix E / Corollary 7) — the CHECK-φ → SHORT-* reduction.
+
+Paper claims about the reduction f: |f(v)| = Θ(|v|); f(v) is a
+yes-instance of SHORT-(MULTI)SET-EQUALITY / SHORT-CHECK-SORT iff v is a
+yes-instance of CHECK-φ; f is computable with O(1) head reversals.
+
+Measured: size ratios across scales, answer preservation on yes/no pairs,
+the streaming implementation's reversal count, and the SHORT constant c.
+"""
+
+import pytest
+
+from repro.problems import (
+    CHECK_SORT,
+    MULTISET_EQUALITY,
+    SET_EQUALITY,
+    CheckPhiFamily,
+    check_phi_to_short,
+    short_variant,
+)
+from repro.problems.reductions import (
+    check_phi_to_short_on_tapes,
+    verify_length_linear,
+)
+
+from conftest import emit_table
+
+SWEEP = [(8, 16), (16, 64), (32, 128)]
+
+
+def test_e13_reduction(benchmark, rng):
+    rows = []
+    for m, n in SWEEP:
+        fam = CheckPhiFamily(m, n)
+        for make_yes in (True, False):
+            inst = fam.random_yes(rng) if make_yes else fam.random_no(rng)
+            out, layout = check_phi_to_short(inst, fam.phi)
+            answer = fam.is_yes(inst)
+            assert MULTISET_EQUALITY(out) == answer
+            assert SET_EQUALITY(out) == answer
+            assert CHECK_SORT(out) == answer
+            assert verify_length_linear(inst, out, layout)
+            short = short_variant(MULTISET_EQUALITY, c=layout.short_constant())
+            assert short.is_valid_instance(out)
+            _, _, tracker = check_phi_to_short_on_tapes(inst, fam.phi)
+            rows.append(
+                (
+                    m,
+                    n,
+                    "yes" if make_yes else "no",
+                    inst.size,
+                    out.size,
+                    f"{out.size / inst.size:.2f}",
+                    tracker.report().reversals,
+                    layout.short_constant(),
+                )
+            )
+            assert tracker.report().reversals <= 2
+    table = emit_table(
+        "E13 — Appendix E: CHECK-φ → SHORT-* reduction",
+        ("m", "n", "kind", "|v|", "|f(v)|", "ratio", "reversals", "c"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # linear size: the blowup ratio stays in a constant band across scales
+    ratios = [float(r[5]) for r in rows]
+    assert max(ratios) <= 3 * min(ratios)
+
+    fam = CheckPhiFamily(16, 64)
+    inst = fam.random_yes(rng)
+    out, _ = benchmark(lambda: check_phi_to_short(inst, fam.phi))
+    assert MULTISET_EQUALITY(out)

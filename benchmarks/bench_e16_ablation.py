@@ -1,0 +1,97 @@
+"""E16 (ablation) — why k = m³·n·log(m³·n), and how amplification decays.
+
+Two design choices of the Theorem 8(a) algorithm are ablated:
+
+1. **Prime range k.**  The proof needs p1's range big enough that the
+   residues e_i = v_i mod p1 stay collision-free (Claim 1) and p2 ≈ 3k
+   large enough that the degree-≤ p1 polynomial rarely vanishes at a
+   random point.  Shrinking k must visibly inflate the false-positive
+   rate on near-miss instances while completeness stays perfect.
+
+2. **Amplification rounds.**  Independent repetitions shrink the
+   false-positive rate like 2^{-rounds}; measured on hand-made hard
+   inputs (tiny prime range so single-round errors are common).
+"""
+
+import pytest
+
+from repro.algorithms import amplified_multiset_equality
+from repro.algorithms.fingerprint import (
+    fingerprint_trial_with_range,
+    fingerprint_parameters,
+)
+from repro.problems import near_miss_instance, random_equal_instance
+
+from conftest import emit_table
+
+M, NBITS = 8, 12
+TRIALS = 150
+
+
+def test_e16_prime_range_ablation(benchmark, rng):
+    paper_k = fingerprint_parameters(
+        random_equal_instance(M, NBITS, rng)
+    ).k
+    rows = []
+    rates = {}
+    for k in (7, 31, 255, paper_k):
+        false_pos = 0
+        false_neg = 0
+        for _ in range(TRIALS):
+            yes = random_equal_instance(M, NBITS, rng)
+            if not fingerprint_trial_with_range(yes, rng, k):
+                false_neg += 1
+            no = near_miss_instance(M, NBITS, rng)
+            if fingerprint_trial_with_range(no, rng, k):
+                false_pos += 1
+        label = "paper k" if k == paper_k else str(k)
+        rates[k] = false_pos / TRIALS
+        rows.append((label, false_neg, f"{false_pos}/{TRIALS}", f"{rates[k]:.2f}"))
+    table = emit_table(
+        "E16a — prime-range ablation (near-miss negatives)",
+        ("k", "false neg", "false pos", "rate"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # completeness is parameter-independent; soundness is not
+    assert all(row[1] == 0 for row in rows)
+    assert rates[7] > rates[paper_k]  # tiny range ⇒ visibly more errors
+    assert rates[paper_k] <= 0.5  # the paper's k honours the bound
+
+    inst = near_miss_instance(M, NBITS, rng)
+    result = benchmark(lambda: fingerprint_trial_with_range(inst, rng, paper_k))
+    assert result in (True, False)
+
+
+def test_e16_amplification_decay(benchmark, rng):
+    # use a deliberately weak single round (small k) so decay is visible
+    small_k = 31
+
+    def weak_round(inst):
+        return fingerprint_trial_with_range(inst, rng, small_k)
+
+    rows = []
+    previous_rate = 1.0
+    for rounds in (1, 2, 4, 8):
+        false_pos = 0
+        for _ in range(TRIALS):
+            no = near_miss_instance(M, NBITS, rng)
+            if all(weak_round(no) for _ in range(rounds)):
+                false_pos += 1
+        rate = false_pos / TRIALS
+        rows.append((rounds, f"{false_pos}/{TRIALS}", f"{rate:.3f}"))
+        assert rate <= previous_rate + 0.05  # monotone decay (noise margin)
+        previous_rate = rate
+    table = emit_table(
+        "E16b — amplification: weak-round false positives vs. rounds",
+        ("rounds", "false pos", "rate"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # the real algorithm amplified: errors vanish
+    yes = random_equal_instance(M, NBITS, rng)
+    assert benchmark(
+        lambda: amplified_multiset_equality(yes, rng, rounds=6)
+    )

@@ -1,0 +1,73 @@
+"""E18 (fidelity/performance) — symbol-level vs. record-level machines.
+
+Not a paper table: an engineering experiment justifying the substitution
+documented in DESIGN.md.  The record-level tape runtime must (a) agree
+with the bit-faithful symbol-level implementation run for run (same
+randomness ⇒ same transcript), and (b) buy a substantial constant-factor
+speedup — that headroom is what lets the other experiments sweep realistic
+input sizes.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.algorithms import (
+    multiset_equality_fingerprint,
+    multiset_equality_fingerprint_bitlevel,
+)
+from repro.problems import random_equal_instance
+
+from conftest import emit_table
+
+
+def test_e18_fidelity(benchmark, rng):
+    rows = []
+    for m, n in ((8, 8), (32, 16), (64, 32)):
+        inst = random_equal_instance(m, n, rng)
+        text = inst.encode()
+        seed = rng.randrange(2**32)
+        bit = multiset_equality_fingerprint_bitlevel(text, random.Random(seed))
+        rec = multiset_equality_fingerprint(text, random.Random(seed))
+        assert bit.accepted == rec.accepted
+        assert (bit.p1, bit.x, bit.sum_first, bit.sum_second) == (
+            rec.p1,
+            rec.x,
+            rec.sum_first,
+            rec.sum_second,
+        )
+        # identical reversal accounting at both granularities
+        assert bit.report.scans == rec.report.scans == 2
+
+        t0 = time.perf_counter()
+        for _ in range(5):
+            multiset_equality_fingerprint_bitlevel(text, random.Random(seed))
+        bit_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(5):
+            multiset_equality_fingerprint(text, random.Random(seed))
+        rec_time = time.perf_counter() - t0
+        rows.append(
+            (
+                m,
+                n,
+                len(text),
+                f"{bit_time * 200:.1f}",
+                f"{rec_time * 200:.1f}",
+                f"{bit_time / max(rec_time, 1e-9):.1f}×",
+            )
+        )
+    table = emit_table(
+        "E18 — symbol-level vs record-level fingerprint (ms per run ×1000/5)",
+        ("m", "n", "N", "bit-level", "record-level", "slowdown"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    inst = random_equal_instance(32, 16, rng)
+    text = inst.encode()
+    result = benchmark(
+        lambda: multiset_equality_fingerprint_bitlevel(text, rng)
+    )
+    assert result.accepted

@@ -1,0 +1,72 @@
+"""E2 (Corollary 7) — deterministic solvers at Θ(log N) reversals.
+
+Paper claim: CHECK-SORT, SET-EQUALITY and MULTISET-EQUALITY are solvable
+deterministically with O(log N) head reversals (tape merge sort) and O(1)
+records of internal state.
+
+Measured: reversal counts across a decade sweep of m, their ratio to
+log₂ m, and correctness on yes/no instances.
+"""
+
+import pytest
+
+from repro._util import ceil_log2
+from repro.algorithms import (
+    check_sort_deterministic,
+    multiset_equality_deterministic,
+    set_equality_deterministic,
+)
+from repro.algorithms.checksort import checksort_reversal_budget
+from repro.problems import (
+    random_checksort_instance,
+    random_equal_instance,
+    random_unequal_instance,
+)
+
+from conftest import emit_table
+
+SWEEP = [16, 64, 256, 1024]
+
+
+def test_e2_deterministic(benchmark, rng):
+    rows = []
+    for m in SWEEP:
+        yes = random_checksort_instance(m, 12, rng, yes=True)
+        no = random_checksort_instance(m, 12, rng, yes=False)
+        res_yes = check_sort_deterministic(yes)
+        res_no = check_sort_deterministic(no)
+        assert res_yes.accepted and not res_no.accepted
+        eq_yes = multiset_equality_deterministic(random_equal_instance(m, 12, rng))
+        eq_no = multiset_equality_deterministic(
+            random_unequal_instance(m, 12, rng)
+        )
+        assert eq_yes.accepted and not eq_no.accepted
+        se = set_equality_deterministic(random_equal_instance(m, 12, rng))
+        assert se.accepted
+        rows.append(
+            (
+                m,
+                yes.size,
+                res_yes.report.reversals,
+                ceil_log2(m),
+                f"{res_yes.report.reversals / ceil_log2(m):.1f}",
+                checksort_reversal_budget(m),
+            )
+        )
+    table = emit_table(
+        "E2 — Corollary 7: reversals of the deterministic solvers",
+        ("m", "N", "reversals", "log2(m)", "rev/log", "budget"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # shape: reversals track log m — the ratio stays within a narrow band
+    ratios = [r[2] / r[3] for r in rows]
+    assert max(ratios) <= 2.0 * min(ratios)
+    # and stay within the explicit budget
+    for m, _, rev, _, _, budget in rows:
+        assert rev < budget
+
+    inst = random_checksort_instance(256, 12, rng, yes=True)
+    result = benchmark(lambda: check_sort_deterministic(inst))
+    assert result.accepted

@@ -1,0 +1,56 @@
+"""E4 (Remark 20) — sortedness of φ vs. the universal lower bound.
+
+Paper claim: every permutation of {1..m} has sortedness Ω(√m)
+(Erdős–Szekeres), and the reverse-binary permutation φ_m achieves
+sortedness ≤ 2√m − 1 — within a factor 2 of the floor.
+
+Measured: exact sortedness of φ_m across m, the ⌈√m⌉ floor, the 2√m − 1
+cap, and the sortedness of random permutations for contrast.
+"""
+
+import math
+
+import pytest
+
+from repro.lowerbounds import (
+    erdos_szekeres_bound,
+    phi_permutation,
+    sortedness,
+)
+
+from conftest import emit_table
+
+SWEEP = [2**k for k in range(4, 15, 2)]
+
+
+def test_e4_sortedness(benchmark, rng):
+    rows = []
+    for m in SWEEP:
+        phi = phi_permutation(m)
+        s_phi = sortedness(phi)
+        randoms = []
+        for _ in range(3):
+            p = list(range(m))
+            rng.shuffle(p)
+            randoms.append(sortedness(p))
+        rows.append(
+            (
+                m,
+                erdos_szekeres_bound(m),
+                s_phi,
+                f"{2 * math.sqrt(m) - 1:.1f}",
+                f"{sum(randoms) / len(randoms):.0f}",
+            )
+        )
+    table = emit_table(
+        "E4 — Remark 20: sortedness(φ_m) between ⌈√m⌉ and 2√m − 1",
+        ("m", "floor ⌈√m⌉", "sortedness(φ)", "cap 2√m−1", "random π (avg)"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    for m, floor, s_phi, cap, _ in rows:
+        assert floor <= s_phi <= float(cap)
+
+    result = benchmark(lambda: sortedness(phi_permutation(2**14)))
+    assert result <= 2 * math.sqrt(2**14) - 1

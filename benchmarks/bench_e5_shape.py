@@ -1,0 +1,54 @@
+"""E5 (Lemmas 30–31) — list machine run-shape bounds.
+
+Paper claims: for an (r, t)-bounded NLM with k states and m inputs,
+total list length ≤ (t+1)^r·m, cell size ≤ 11·max(t,2)^r, run length
+≤ k + k(t+1)^{r+1}m, moving steps ≤ (t+1)^{r+1}m.
+
+Measured: actual maxima over runs of the tandem comparator across m,
+next to each bound (the bounds must hold; they are loose by design).
+"""
+
+import pytest
+
+from repro.listmachine import check_run_shape, run_deterministic
+from repro.listmachine.examples import tandem_compare_nlm
+
+from conftest import emit_table
+
+WORDS = ["00", "01", "10", "11"]
+SWEEP = [2, 4, 8, 16]
+
+
+def test_e5_shape(benchmark, rng):
+    rows = []
+    for half in SWEEP:
+        nlm = tandem_compare_nlm(frozenset(WORDS), half)
+        values = [rng.choice(WORDS) for _ in range(half)]
+        inputs = values + list(reversed(values))  # a yes-instance
+        run = run_deterministic(nlm, inputs)
+        assert run.accepts(nlm)
+        r = run.scan_count(nlm)
+        report = check_run_shape(run, nlm, r)
+        assert report.all_within, report
+        rows.append(
+            (
+                half,
+                r,
+                f"{report.run_length}/{report.run_length_bound}",
+                f"{report.max_total_list_length}/{report.list_length_bound}",
+                f"{report.max_cell_size}/{report.cell_size_bound}",
+                f"{report.moving_steps}/{report.moving_steps_bound}",
+            )
+        )
+    table = emit_table(
+        "E5 — Lemmas 30/31: measured/bound for run shape quantities",
+        ("m/2", "r", "run length", "list length", "cell size", "moving steps"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    nlm = tandem_compare_nlm(frozenset(WORDS), 16)
+    values = [rng.choice(WORDS) for _ in range(16)]
+    inputs = values + list(reversed(values))
+    run = benchmark(lambda: run_deterministic(nlm, inputs))
+    assert run.accepts(nlm)

@@ -1,0 +1,98 @@
+"""E7 (Lemmas 34/38, Theorem 6) — the composition attack end to end.
+
+Paper claim: any list machine with too few reversals/states that accepts
+all yes-instances of CHECK-φ accepts some no-instance — constructively,
+by splicing two accepting runs at an uncompared pair (i, m+φ(i)).
+
+Measured: the attack against two victims (the one-scan parity machine and
+the constant accepter), plus the Lemma 38 comparison count of the tandem
+comparator (a machine that *does* compare — within the t^{2r}·sortedness
+budget).
+"""
+
+import itertools
+
+import pytest
+
+from repro.listmachine import (
+    compared_phi_pairs,
+    lemma21_attack,
+    run_deterministic,
+    skeleton_of_run,
+)
+from repro.listmachine.examples import (
+    constant_accept_nlm,
+    single_scan_parity_nlm,
+    tandem_compare_nlm,
+)
+from repro.lowerbounds import phi_permutation, sortedness
+from repro.problems import CheckPhiFamily
+
+from conftest import emit_table
+
+
+def _yes_family(m, n_bits):
+    fam = CheckPhiFamily(m, n_bits)
+    inputs = []
+    for choices in itertools.product(
+        *[fam.intervals.enumerate_interval(j) for j in range(m)]
+    ):
+        inst = fam.instance_from_choices(list(choices))
+        inputs.append(tuple(inst.first) + tuple(inst.second))
+    return fam, inputs
+
+
+def test_e7_attack(benchmark, rng):
+    rows = []
+    for label, make_victim, (m, n_bits) in (
+        ("parity, m=2", lambda a, p: single_scan_parity_nlm(a, 2 * p), (2, 3)),
+        ("parity, m=4", lambda a, p: single_scan_parity_nlm(a, 2 * p), (4, 4)),
+        ("const-accept, m=2", lambda a, p: constant_accept_nlm(a, 2 * p), (2, 3)),
+    ):
+        fam, yes_inputs = _yes_family(m, n_bits)
+        alphabet = frozenset(v for inp in yes_inputs for v in inp)
+        victim = make_victim(alphabet, m)
+        outcome = lemma21_attack(victim, yes_inputs, fam.phi, r=1)
+        assert outcome.success, outcome.detail
+        # double-check: fooling input is a no-instance the machine accepts
+        u = outcome.fooling_input
+        assert any(u[i] != u[m + fam.phi[i]] for i in range(m))
+        assert run_deterministic(victim, list(u)).accepts(victim)
+        rows.append(
+            (
+                label,
+                len(yes_inputs),
+                outcome.skeleton_classes,
+                outcome.largest_class_size,
+                outcome.uncompared_index,
+                "FOOLED",
+            )
+        )
+
+    # contrast: a machine that genuinely compares — Lemma 38 bookkeeping
+    m = 4
+    phi = phi_permutation(m)
+    nlm = tandem_compare_nlm(frozenset({"00", "01", "10", "11"}), m)
+    values = ["00", "01", "10", "11"]
+    run = run_deterministic(nlm, values + list(reversed(values)))
+    compared = compared_phi_pairs(skeleton_of_run(run), m, phi)
+    bound = nlm.t ** (2 * run.scan_count(nlm)) * sortedness(phi)
+    assert len(compared) <= bound
+    rows.append(
+        ("tandem (comparing)", "-", "-", "-", f"{len(compared)}≤{bound}", "within L38")
+    )
+
+    table = emit_table(
+        "E7 — Lemma 21 attack outcomes",
+        ("victim", "|I_eq|", "classes", "largest", "i₀ / L38", "verdict"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    fam, yes_inputs = _yes_family(2, 3)
+    alphabet = frozenset(v for inp in yes_inputs for v in inp)
+    victim = single_scan_parity_nlm(alphabet, 4)
+    outcome = benchmark(
+        lambda: lemma21_attack(victim, yes_inputs, fam.phi, r=1)
+    )
+    assert outcome.success

@@ -1,0 +1,70 @@
+"""E8 (Lemma 22) — the explicit parameter thresholds.
+
+Paper claim: for every machine profile with r(N) ∈ o(log N) and
+r·s ∈ o(N^{1/4}), there is a finite m making inequalities (3) and (4) —
+and hence all Lemma 21 hypotheses — true; the lower bound then kills the
+machine at that scale.
+
+Measured: the minimal admissible m across an (r, s, t) grid of constant
+profiles, plus verification that the derived Lemma 21 parameter tuples
+satisfy every hypothesis; and the Theorem 6 regime calculus on symbolic
+rates.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.bounds import GrowthRate, theorem6_regime
+from repro.lowerbounds.parameters import (
+    lemma21_applies,
+    lemma21_hypotheses,
+    minimal_m_for_machine,
+    parameters_for_machine,
+)
+
+from conftest import emit_table
+
+GRID = [
+    (1, 1, 2),
+    (2, 4, 2),
+    (3, 16, 3),
+    (4, 64, 4),
+]
+
+
+def test_e8_parameters(benchmark, rng):
+    rows = []
+    for r, s, t in GRID:
+        m = minimal_m_for_machine(r, s, t)
+        assert m is not None
+        params = parameters_for_machine(lambda _n: r, lambda _n: s, t)
+        assert params is not None and lemma21_applies(params)
+        rows.append(
+            (
+                f"r={r}, s={s}, t={t}",
+                m,
+                f"2^{params.n.bit_length() - 1}≈n" if params.n > 0 else "-",
+                params.instance_size,
+                all(lemma21_hypotheses(params).values()),
+            )
+        )
+    table = emit_table(
+        "E8 — Lemma 22: minimal adversarial scale per machine profile",
+        ("profile", "min m", "n=m³", "N", "L21 hyps"),
+        rows,
+    )
+    benchmark.extra_info["table"] = table
+
+    # minimal m grows with machine power — monotone in (r, t)
+    ms = [row[1] for row in rows]
+    assert ms == sorted(ms)
+
+    # symbolic regime checks (the boundary of Theorem 6)
+    const, log = GrowthRate.const(), GrowthRate.log()
+    assert theorem6_regime(const, GrowthRate.make(Fraction(1, 4), -2))
+    assert not theorem6_regime(log, const)  # r = Θ(log N): upper bounds exist
+    assert not theorem6_regime(const, GrowthRate.power(1, 3))  # s too big
+
+    result = benchmark(lambda: minimal_m_for_machine(3, 16, 3))
+    assert result is not None

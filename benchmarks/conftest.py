@@ -1,0 +1,35 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment (E1–E15, see DESIGN.md §3) is a pytest-benchmark test:
+the ``benchmark`` fixture times a representative unit of work, while the
+surrounding code runs the parameter sweep once and asserts the *shape*
+claims (who wins, what scales how).  Rows are printed (visible with
+``-s``) and attached to ``benchmark.extra_info`` so the JSON export
+carries them too.
+"""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic per-test randomness: reproducible benchmark inputs."""
+    return random.Random(0xB0B5)
+
+
+def emit_table(title, header, rows):
+    """Print an experiment table; returns it as a string for extra_info."""
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [title]
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The Lemma 21 lower-bound argument, executed as an attack.
+
+The paper proves that no list machine with few reversals and few states
+solves the CHECK-φ promise problem with one-sided error.  The proof is
+constructive per machine: fix a good choice sequence (Lemma 26), bucket
+accepting runs by skeleton, find an uncompared pair (i, m+φ(i)) —
+guaranteed by the merge lemma — and splice two accepting runs into an
+accepting run on a NO-instance (Lemma 34).
+
+This script runs that construction against a concrete victim: a one-scan
+deterministic list machine that compares XOR fingerprints of the two
+halves.  It accepts every yes-instance, and the attack mechanically digs
+up a no-instance it also accepts.
+
+    python examples/lower_bound_attack.py
+"""
+
+import itertools
+
+from repro.listmachine import (
+    compared_pairs,
+    lemma21_attack,
+    run_deterministic,
+    skeleton_of_run,
+)
+from repro.listmachine.examples import single_scan_parity_nlm
+from repro.problems import CheckPhiFamily
+
+
+def main() -> None:
+    m, n_bits = 2, 3
+    family = CheckPhiFamily(m, n_bits)
+    print(f"CHECK-φ family: m={m}, values in {{0,1}}^{n_bits}, φ = {family.phi}")
+
+    # enumerate the full yes-family I_eq
+    yes_inputs = []
+    for choices in itertools.product(
+        *[family.intervals.enumerate_interval(j) for j in range(m)]
+    ):
+        inst = family.instance_from_choices(list(choices))
+        yes_inputs.append(tuple(inst.first) + tuple(inst.second))
+    print(f"|I_eq| = {len(yes_inputs)} yes-instances enumerated")
+
+    # the victim: one scan, one parity bit of state
+    alphabet = frozenset(v for inp in yes_inputs for v in inp)
+    victim = single_scan_parity_nlm(alphabet, 2 * m)
+    accepted = sum(
+        run_deterministic(victim, list(v)).accepts(victim) for v in yes_inputs
+    )
+    print(
+        f"victim machine: single scan, k={victim.k} states; "
+        f"accepts {accepted}/{len(yes_inputs)} yes-instances"
+    )
+
+    # its runs never compare any pair of input positions
+    sample_run = run_deterministic(victim, list(yes_inputs[0]))
+    pairs = compared_pairs(skeleton_of_run(sample_run))
+    print(f"compared position pairs in a sample skeleton: {sorted(pairs) or '∅'}")
+
+    # what a skeleton actually looks like (Definition 28)
+    from repro.listmachine.render import render_skeleton
+
+    print()
+    print(render_skeleton(skeleton_of_run(sample_run)))
+
+    # the attack
+    outcome = lemma21_attack(victim, yes_inputs, family.phi, r=1)
+    assert outcome.success, outcome.detail
+    print()
+    print("attack succeeded:")
+    print(f"  donor v        = {outcome.donor_v}")
+    print(f"  donor w        = {outcome.donor_w}")
+    print(f"  uncompared i   = {outcome.uncompared_index}")
+    print(f"  fooling input  = {outcome.fooling_input}")
+    print(f"  {outcome.detail}")
+
+    u = outcome.fooling_input
+    assert run_deterministic(victim, list(u)).accepts(victim)
+    assert any(u[i] != u[m + family.phi[i]] for i in range(m))
+    print()
+    print(
+        "the machine accepts a no-instance with probability 1 — it cannot "
+        "realize the RST (no-false-positives) promise, exactly as Theorem 6 "
+        "predicts for machines below the Θ(log N) reversal threshold."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The paper's open problem: DISJOINT-SETS.
+
+The conclusion of the paper singles out the *disjoint sets* problem —
+decide whether {v_1..v_m} ∩ {v'_1..v'_m} = ∅ — as looking very similar to
+set equality yet resisting the lower-bound technique.  This script maps
+the landscape with the library:
+
+1. the deterministic route still works: sort both halves, one merge scan
+   — O(log N) reversals, same as equality;
+2. the fingerprinting route does NOT transfer: power-sum sketches certify
+   *equality* one-sidedly, but equality of sketches says nothing about
+   disjointness — we measure both error directions of the natural
+   attempt and watch it be two-sided (useless for (co-)RST);
+3. the class layer answers OPEN, matching the paper.
+
+    python examples/open_problem_disjoint_sets.py
+"""
+
+import random
+
+from repro.algorithms import sets_disjoint_deterministic
+from repro.core import CoRST, GrowthRate, RST
+from repro.numbertheory import bertrand_prime, random_prime_at_most
+from repro.problems import DISJOINT_SETS, decode_instance, encode_instance
+
+rng = random.Random(9)
+
+
+def disjoint_deterministic(instance) -> bool:
+    """Sort both halves; one parallel scan finds any common element."""
+    return sets_disjoint_deterministic(instance).accepted
+
+
+def sketchy_disjointness_attempt(instance, rng) -> bool:
+    """A (doomed) fingerprint-style test: accept iff the power-sum sketches
+    of the two halves are 'unrelated' (here: unequal).
+
+    Equality of multisets implies equal sketches, so this test rejects
+    equal halves — but disjointness is about *intersection*, and sketches
+    of intersecting-but-unequal halves collide or differ essentially at
+    random.  The measurement below shows errors in BOTH directions, which
+    is fatal for one-sided classes.
+    """
+    inst = decode_instance(instance) if isinstance(instance, str) else instance
+    if inst.m == 0:
+        return True
+    n = max(len(v) for v in inst.first + inst.second) + 1
+    k = inst.m**3 * n * max(1, (inst.m**3 * n).bit_length())
+    p1 = random_prime_at_most(k, rng)
+    p2 = bertrand_prime(k)
+    x = rng.randint(1, p2 - 1)
+    sums = [0, 0]
+    for half, values in enumerate((inst.first, inst.second)):
+        for v in values:
+            sums[half] = (sums[half] + pow(x, int("1" + v, 2) % p1, p2)) % p2
+    return sums[0] != sums[1]
+
+
+def main() -> None:
+    # 1. deterministic: works at Θ(log N), like equality -------------------
+    yes = encode_instance(["000", "001"], ["110", "111"])
+    no = encode_instance(["000", "001"], ["001", "111"])
+    assert disjoint_deterministic(yes) == DISJOINT_SETS(yes) is True
+    assert disjoint_deterministic(no) == DISJOINT_SETS(no) is False
+    print("deterministic sort+merge decides DISJOINT-SETS correctly "
+          "(Θ(log N) reversals, same as equality)")
+
+    # 2. the sketch attempt has two-sided error -----------------------------
+    trials = 300
+    # false rejections: disjoint halves whose sketches happen to collide —
+    # rare, but the real problem is the other direction:
+    intersecting = encode_instance(["000", "001"], ["001", "111"])
+    wrong_accepts = sum(
+        sketchy_disjointness_attempt(intersecting, rng) for _ in range(trials)
+    )
+    disjoint = encode_instance(["000", "001"], ["110", "111"])
+    wrong_rejects = sum(
+        not sketchy_disjointness_attempt(disjoint, rng) for _ in range(trials)
+    )
+    print(
+        f"sketch attempt: accepts intersecting halves {wrong_accepts}/{trials} "
+        f"of the time (false positives ≈ always!), rejects disjoint halves "
+        f"{wrong_rejects}/{trials}"
+    )
+    assert wrong_accepts > trials // 2  # sketches ≠ membership information
+
+    # 3. what the paper (and hence the class layer) knows --------------------
+    const, log = GrowthRate.const(), GrowthRate.log()
+    for cls in (RST(const, log), CoRST(const, log, 1)):
+        print(f"DISJOINT-SETS ∈ {cls}?  {cls.contains('DISJOINT-SETS').value}")
+    print()
+    print(
+        "open, exactly as the paper's conclusion says: the Lemma 21 attack "
+        "needs the paired structure v_i = v'_φ(i) of equality-type promises; "
+        "disjointness has no such pairing for the composition lemma to "
+        "splice across."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's main objects in two minutes.
+
+Runs the randomized fingerprint test (Theorem 8a), the deterministic
+merge-sort solver (Corollary 7), asks the complexity-class layer what the
+paper says, and finally re-verifies every numbered result at small scale.
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro.algorithms import (
+    check_sort_deterministic,
+    multiset_equality_fingerprint,
+)
+from repro.core import CoRST, GrowthRate, RST, ST, verify_all
+from repro.problems import encode_instance, random_equal_instance
+
+rng = random.Random(2006)  # the year of PODS'06
+
+
+def main() -> None:
+    # --- 1. a multiset-equality instance ---------------------------------
+    words = ["0110", "1010", "0001", "1110"]
+    instance = encode_instance(words, list(reversed(words)))
+    print(f"instance: {instance}")
+
+    # --- 2. Theorem 8(a): two scans, O(log N) bits, one-sided error -------
+    result = multiset_equality_fingerprint(instance, rng)
+    print(
+        f"fingerprint: accepted={result.accepted} "
+        f"(p1={result.p1}, p2={result.parameters.p2}, x={result.x})"
+    )
+    print(
+        f"  cost: {result.report.scans} scans, "
+        f"{result.report.peak_internal_bits} internal bits, "
+        f"{result.report.tapes_used} tape"
+    )
+    assert result.accepted and result.report.scans <= 2
+
+    # a near-miss negative is rejected (with probability ≥ 1/2; here: always
+    # across a handful of repetitions)
+    bad = encode_instance(words, words[:-1] + ["1111"])
+    rejections = sum(
+        not multiset_equality_fingerprint(bad, rng).accepted for _ in range(8)
+    )
+    print(f"near-miss instance rejected in {rejections}/8 independent runs")
+
+    # --- 3. Corollary 7: deterministic, Θ(log N) reversals ----------------
+    inst = random_equal_instance(64, 8, rng)
+    sorted_inst = encode_instance(inst.first, sorted(inst.first))
+    det = check_sort_deterministic(sorted_inst)
+    print(
+        f"CHECK-SORT via tape merge sort: accepted={det.accepted}, "
+        f"{det.report.scans} scans for m=64 (log₂ 64 = 6 merge rounds)"
+    )
+
+    # --- 4. what the paper says, as a queryable object --------------------
+    const, log = GrowthRate.const(), GrowthRate.log()
+    print()
+    print("the class layer answers from the paper's theorems:")
+    for cls in (RST(const, log), CoRST(const, log, 1), ST(log, const, 2)):
+        answer = cls.contains("MULTISET-EQUALITY")
+        print(f"  MULTISET-EQUALITY ∈ {cls}?  {answer.value}")
+
+    # --- 5. re-verify every numbered result at small scale ----------------
+    print()
+    print("theorem registry:")
+    for check in verify_all():
+        flag = "ok " if check.passed else "FAIL"
+        print(f"  [{flag}] {check.result_id:20s} {check.measured}")
+    assert all(c.passed for c in verify_all())
+
+
+if __name__ == "__main__":
+    main()

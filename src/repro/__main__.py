@@ -1,0 +1,37 @@
+"""``python -m repro``: re-verify every registered result of the paper.
+
+Runs the theorem registry at small scale and prints a one-line verdict per
+numbered result — a thirty-second smoke test of the whole reproduction.
+Exit status is nonzero if any check fails.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ._version import __version__
+from .core import verify_all
+
+
+def main() -> int:
+    print(
+        f"repro {__version__} — Grohe/Hernich/Schweikardt PODS'06, "
+        "executable reproduction"
+    )
+    print("re-verifying every registered result at small scale:\n")
+    checks = verify_all()
+    width = max(len(c.result_id) for c in checks)
+    failures = 0
+    for check in checks:
+        flag = "ok " if check.passed else "FAIL"
+        failures += not check.passed
+        print(f"  [{flag}] {check.result_id:<{width}}  {check.measured}")
+    print(
+        f"\n{len(checks) - failures}/{len(checks)} results verified"
+        + ("" if failures == 0 else f" — {failures} FAILED")
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Resource-bounded implementations of the paper's upper bounds.
+
+* :mod:`~repro.algorithms.fingerprint` — Theorem 8(a): the randomized
+  multiset-equality test in co-RST(2, O(log N), 1): two sequential scans of
+  a single external tape, O(log N) internal bits, never rejects equal
+  multisets, accepts unequal ones with probability ≤ 1/2;
+* :mod:`~repro.algorithms.mergesort_tape` — the Chen–Yap-style tape merge
+  sort behind Corollary 7: O(log N) head reversals on three tapes;
+* :mod:`~repro.algorithms.checksort` / :mod:`~repro.algorithms.setequality`
+  — the deterministic ST(O(log N), ·, ·) solvers for CHECK-SORT,
+  SET-EQUALITY and MULTISET-EQUALITY built on the tape sort;
+* :mod:`~repro.algorithms.nondet_verify` — Theorem 8(b): certificate-based
+  nondeterministic acceptance, including the paper's guess-many-copies
+  certificate format with its backward-scan verifier;
+* :mod:`~repro.algorithms.onepass` — deliberately *weak* baselines (single
+  scan, tiny internal memory) used as foils in the lower-bound experiments.
+"""
+
+from .fingerprint import (
+    FingerprintParameters,
+    FingerprintResult,
+    fingerprint_parameters,
+    multiset_equality_fingerprint,
+    amplified_multiset_equality,
+    fingerprint_space_budget,
+)
+from .mergesort_tape import tape_merge_sort, sort_instance_strings
+from .checksort import check_sort_deterministic
+from .setequality import (
+    multiset_equality_deterministic,
+    set_equality_deterministic,
+    sets_disjoint_deterministic,
+)
+from .nondet_verify import (
+    Certificate,
+    build_certificate,
+    verify_certificate,
+    nondeterministic_accepts,
+)
+from .onepass import (
+    XorSumSketch,
+    ModularSumSketch,
+    one_pass_multiset_test,
+)
+from .fingerprint_bitlevel import multiset_equality_fingerprint_bitlevel
+from .lasvegas import (
+    DONT_KNOW,
+    LasVegasResult,
+    LasVegasSorter,
+    check_sort_via_sorter,
+    las_vegas_success_amplification,
+)
+
+__all__ = [
+    "FingerprintParameters",
+    "FingerprintResult",
+    "fingerprint_parameters",
+    "multiset_equality_fingerprint",
+    "amplified_multiset_equality",
+    "fingerprint_space_budget",
+    "tape_merge_sort",
+    "sort_instance_strings",
+    "check_sort_deterministic",
+    "multiset_equality_deterministic",
+    "set_equality_deterministic",
+    "sets_disjoint_deterministic",
+    "Certificate",
+    "build_certificate",
+    "verify_certificate",
+    "nondeterministic_accepts",
+    "XorSumSketch",
+    "ModularSumSketch",
+    "one_pass_multiset_test",
+    "multiset_equality_fingerprint_bitlevel",
+    "DONT_KNOW",
+    "LasVegasResult",
+    "LasVegasSorter",
+    "check_sort_via_sorter",
+    "las_vegas_success_amplification",
+]

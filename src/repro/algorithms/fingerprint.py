@@ -1,0 +1,261 @@
+"""Theorem 8(a): MULTISET-EQUALITY ∈ co-RST(2, O(log N), 1).
+
+The algorithm, verbatim from the paper (with one engineering note below):
+
+1. one forward scan determines the input parameters m, n, N;
+2. choose a prime ``p1 ≤ k := m³·n·log(m³·n)`` uniformly at random;
+3. fix a prime ``p2`` with ``3k < p2 ≤ 6k`` (Bertrand's postulate);
+4. choose ``x ∈ {1, …, p2−1}`` uniformly at random;
+5. with ``e_i = v_i mod p1`` and ``e'_i = v'_i mod p1``, accept iff
+   ``Σ x^{e_i} ≡ Σ x^{e'_i} (mod p2)``.
+
+Equal multisets are always accepted; unequal ones are accepted with
+probability ≤ 1/3 + O(1/m) ≤ 1/2 for sufficiently large inputs.
+
+Engineering note — *prefix injectivity*: the paper assumes all strings have
+the same length n, under which the map string → integer is injective.  To
+stay correct on mixed-length inputs ("01" and "1" are different strings but
+the same integer) every value is interpreted as the integer ``1·v`` (a 1
+bit prepended).  On uniform-length inputs this changes nothing except an
+additive constant in k.
+
+The tape implementation uses exactly **two sequential scans** (one forward,
+one backward — the backward scan reads values in reverse order, which is
+fine because only multiset sums are accumulated) of a **single** external
+tape, and O(log N) internal bits, all enforced by a
+:class:`~repro.extmem.tracker.ResourceBudget`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from .._util import bits_needed, ceil_log2
+from ..errors import EncodingError
+from ..extmem import (
+    InternalMemory,
+    RecordTape,
+    ResourceBudget,
+    ResourceReport,
+    ResourceTracker,
+)
+from ..numbertheory import bertrand_prime, random_prime_at_most
+from ..problems.definitions import InstanceLike, as_instance
+
+
+@dataclass(frozen=True)
+class FingerprintParameters:
+    """The derived parameters of one fingerprinting run."""
+
+    m: int
+    n: int  # max value length (pre-prefix)
+    k: int  # prime range for p1
+    p2: int  # the fixed Bertrand prime, 3k < p2 ≤ 6k
+
+    @classmethod
+    def for_shape(cls, m: int, n: int) -> "FingerprintParameters":
+        if m < 1:
+            raise EncodingError("fingerprint parameters need m >= 1")
+        n_eff = max(1, n) + 1  # +1 for the injectivity prefix bit
+        base = m**3 * n_eff
+        k = base * max(1, ceil_log2(base))
+        return cls(m=m, n=n, k=k, p2=bertrand_prime(k))
+
+
+@dataclass(frozen=True)
+class FingerprintResult:
+    """Outcome of a fingerprinting run with full transcript."""
+
+    accepted: bool
+    parameters: Optional[FingerprintParameters]
+    p1: Optional[int]
+    x: Optional[int]
+    sum_first: Optional[int]
+    sum_second: Optional[int]
+    report: ResourceReport
+
+
+def fingerprint_space_budget(input_size: int) -> int:
+    """An explicit O(log N) internal-bit budget sufficient for the machine.
+
+    At most a dozen registers each holding a number < p2 ≤ 6k, where
+    ``k ≤ N⁴·log(N⁴)`` crudely, plus counters below N.  The returned budget
+    is ``c·log N`` with c small and explicit — experiments verify the
+    machine's measured peak stays under it across decades of N.
+    """
+    log_n = max(1, ceil_log2(max(2, input_size)))
+    # bits(6k) ≤ bits(6·N⁴·4·log N) ≤ 4·log N + log log N + 6
+    value_bits = 4 * log_n + ceil_log2(log_n + 1) + 6
+    registers = 12
+    return registers * value_bits + 4 * log_n + 64
+
+
+def _residue_of_string(value: str, modulus: int, mem: InternalMemory) -> int:
+    """e = (1·value) mod p1 computed bit-by-bit (one pass, O(log p1) bits)."""
+    mem["acc"] = 1 % modulus  # the injectivity prefix bit
+    for ch in value:
+        if ch not in "01":
+            raise EncodingError(f"non-binary character {ch!r} in value")
+        mem["acc"] = (mem["acc"] * 2 + (1 if ch == "1" else 0)) % modulus
+    result = mem["acc"]
+    mem.free("acc")
+    return result
+
+
+def _mod_pow_charged(base: int, exponent: int, modulus: int, mem: InternalMemory) -> int:
+    """Square-and-multiply with every intermediate charged to internal memory."""
+    mem["pw_base"] = base % modulus
+    mem["pw_exp"] = exponent
+    mem["pw_result"] = 1 % modulus
+    while mem["pw_exp"] > 0:
+        if mem["pw_exp"] % 2 == 1:
+            mem["pw_result"] = mem["pw_result"] * mem["pw_base"] % modulus
+        mem["pw_base"] = mem["pw_base"] * mem["pw_base"] % modulus
+        mem["pw_exp"] = mem["pw_exp"] // 2
+    result = mem["pw_result"]
+    for name in ("pw_base", "pw_exp", "pw_result"):
+        mem.free(name)
+    return result
+
+
+def multiset_equality_fingerprint(
+    instance: InstanceLike,
+    rng: random.Random,
+    *,
+    budget: Optional[ResourceBudget] = None,
+) -> FingerprintResult:
+    """Run the Theorem 8(a) machine on an instance.
+
+    The default budget is ``(2 scans, fingerprint_space_budget(N) bits,
+    1 tape)`` — the co-RST(2, O(log N), 1) envelope.  Pass ``budget=None``
+    explicitly via a permissive :class:`ResourceBudget` to experiment with
+    other envelopes.
+    """
+    inst = as_instance(instance)
+    size = inst.size
+    if budget is None:
+        budget = ResourceBudget(
+            max_scans=2,
+            max_internal_bits=fingerprint_space_budget(size),
+            max_tapes=1,
+        )
+    tracker = ResourceTracker(budget)
+    mem = InternalMemory(tracker)
+    tape = RecordTape(
+        list(inst.first) + list(inst.second), tracker=tracker, name="input"
+    )
+
+    # ---- Scan 1 (forward): determine m, n, N -----------------------------
+    mem["count"] = 0
+    mem["n_max"] = 0
+    for value in tape.scan():
+        mem["count"] = mem["count"] + 1
+        if len(value) > mem["n_max"]:
+            mem["n_max"] = len(value)
+    if mem["count"] % 2 != 0:
+        raise EncodingError("odd number of values on the input tape")
+    m = mem["count"] // 2
+    if m == 0:
+        return FingerprintResult(
+            accepted=True,
+            parameters=None,
+            p1=None,
+            x=None,
+            sum_first=None,
+            sum_second=None,
+            report=tracker.report(),
+        )
+
+    # ---- Steps 2–4: choose p1, p2, x in internal memory -------------------
+    params = FingerprintParameters.for_shape(m, mem["n_max"])
+    mem["p1"] = random_prime_at_most(params.k, rng)
+    mem["p2"] = params.p2
+    mem["x"] = rng.randint(1, params.p2 - 1)
+
+    # ---- Scan 2 (backward): accumulate Σ x^{e'_i} then Σ x^{e_i} ----------
+    # After scan 1 the head sits just past the last record; walking left is
+    # the single head reversal of the whole computation.
+    mem["sum_first"] = 0
+    mem["sum_second"] = 0
+    mem["idx"] = 0  # number of records consumed from the right
+    tape.move(-1)  # onto the last record (reversal #1)
+    while True:
+        value = tape.read()
+        e = _residue_of_string(value, mem["p1"], mem)
+        term = _mod_pow_charged(mem["x"], e, mem["p2"], mem)
+        if mem["idx"] < m:  # the last m records are the primed half
+            mem["sum_second"] = (mem["sum_second"] + term) % mem["p2"]
+        else:
+            mem["sum_first"] = (mem["sum_first"] + term) % mem["p2"]
+        mem["idx"] = mem["idx"] + 1
+        if tape.at_start:
+            break
+        tape.move(-1)
+
+    accepted = mem["sum_first"] == mem["sum_second"]
+    result = FingerprintResult(
+        accepted=accepted,
+        parameters=params,
+        p1=mem["p1"],
+        x=mem["x"],
+        sum_first=mem["sum_first"],
+        sum_second=mem["sum_second"],
+        report=tracker.report(),
+    )
+    mem.clear()
+    return result
+
+
+def amplified_multiset_equality(
+    instance: InstanceLike,
+    rng: random.Random,
+    *,
+    rounds: int = 10,
+) -> bool:
+    """Probability amplification: accept iff all ``rounds`` runs accept.
+
+    Equal multisets are still always accepted; unequal multisets survive
+    with probability ≤ 2^{-rounds} · (amplified from ≤ 1/2 per round).
+    """
+    if rounds < 1:
+        raise EncodingError(f"rounds must be >= 1, got {rounds}")
+    return all(
+        multiset_equality_fingerprint(instance, rng).accepted
+        for _ in range(rounds)
+    )
+
+
+def fingerprint_trial_with_range(
+    instance: InstanceLike, rng: random.Random, k: int
+) -> bool:
+    """One fingerprint trial with an *explicit* prime range k (ablation).
+
+    The paper sets k = m³·n·log(m³·n) so that the residue map is collision
+    free with probability 1 − O(1/m) *and* the polynomial degree stays
+    below p2/3.  Shrinking k keeps completeness (equal multisets are still
+    always accepted) but inflates the false-positive rate — the E16
+    ablation measures exactly that.
+    """
+    inst = as_instance(instance)
+    if inst.m == 0:
+        return True
+    p1 = random_prime_at_most(k, rng)
+    p2 = bertrand_prime(k)
+    x = rng.randint(1, p2 - 1)
+    sums = [0, 0]
+    for half, values in enumerate((inst.first, inst.second)):
+        for v in values:
+            e = int("1" + v, 2) % p1
+            sums[half] = (sums[half] + pow(x, e, p2)) % p2
+    return sums[0] == sums[1]
+
+
+def fingerprint_parameters(instance: InstanceLike) -> FingerprintParameters:
+    """Expose the (m, n, k, p2) a run on this instance would use."""
+    inst = as_instance(instance)
+    if inst.m == 0:
+        raise EncodingError("empty instance has no fingerprint parameters")
+    n_max = max(len(v) for v in inst.first + inst.second)
+    return FingerprintParameters.for_shape(inst.m, n_max)

@@ -1,0 +1,149 @@
+"""Bit-level Theorem 8(a): the fingerprint machine on a symbol tape.
+
+Where :mod:`repro.algorithms.fingerprint` works record-per-cell, this
+implementation is the full-fidelity version: the input is the *encoded
+instance string* over {0, 1, #} on a :class:`SymbolTape`, the head reads
+one character per step, and the whole computation is exactly
+
+* one forward scan (count separators, so m and N are known),
+* one backward scan (the single head reversal), during which each value's
+  residue ``e_i = (1·v_i) mod p1`` is accumulated LSB-first — walking a
+  binary string right-to-left delivers the bits in exactly the order the
+  running-power recurrence wants — and the two power sums
+  ``Σ x^{e_i} mod p2`` are maintained.
+
+Internal memory is the same bit-charged register file; the enforced
+budget is the co-RST(2, O(log N), 1) envelope.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import EncodingError
+from ..extmem import (
+    InternalMemory,
+    ResourceBudget,
+    ResourceTracker,
+    SymbolTape,
+)
+from ..numbertheory import random_prime_at_most
+from .fingerprint import (
+    FingerprintParameters,
+    FingerprintResult,
+    _mod_pow_charged,
+    fingerprint_space_budget,
+)
+
+
+def multiset_equality_fingerprint_bitlevel(
+    instance_text: str,
+    rng: random.Random,
+    *,
+    budget: Optional[ResourceBudget] = None,
+) -> FingerprintResult:
+    """Run the Theorem 8(a) machine character-by-character on a symbol tape.
+
+    ``instance_text`` is the raw ``v1#…#v'm#`` string.  Semantically
+    identical to :func:`multiset_equality_fingerprint`; the point of this
+    variant is that *nothing* is abstracted: one tape, one symbol per
+    step, two scans, O(log N) internal bits.
+    """
+    if any(ch not in "01#" for ch in instance_text):
+        raise EncodingError("instance must be over the alphabet {0, 1, #}")
+    if instance_text and not instance_text.endswith("#"):
+        raise EncodingError("instance must end with '#'")
+
+    size = len(instance_text)
+    if budget is None:
+        budget = ResourceBudget(
+            max_scans=2,
+            max_internal_bits=fingerprint_space_budget(size),
+            max_tapes=1,
+        )
+    tracker = ResourceTracker(budget)
+    mem = InternalMemory(tracker)
+    tape = SymbolTape(instance_text, tracker=tracker, name="input")
+
+    # ---- Scan 1 (forward): count values and the longest value ------------
+    mem["values"] = 0
+    mem["run"] = 0
+    mem["n_max"] = 0
+    for ch in tape.scan_right():
+        if ch == "#":
+            mem["values"] = mem["values"] + 1
+            if mem["run"] > mem["n_max"]:
+                mem["n_max"] = mem["run"]
+            mem["run"] = 0
+        else:
+            mem["run"] = mem["run"] + 1
+    if mem["values"] % 2 != 0:
+        raise EncodingError("odd number of values in the instance")
+    m = mem["values"] // 2
+    if m == 0:
+        return FingerprintResult(
+            accepted=True,
+            parameters=None,
+            p1=None,
+            x=None,
+            sum_first=None,
+            sum_second=None,
+            report=tracker.report(),
+        )
+
+    params = FingerprintParameters.for_shape(m, mem["n_max"])
+    mem["p1"] = random_prime_at_most(params.k, rng)
+    mem["p2"] = params.p2
+    mem["x"] = rng.randint(1, params.p2 - 1)
+
+    # ---- Scan 2 (backward): residues LSB-first, power sums ---------------
+    # The head sits just past the final '#'; step onto it (the reversal).
+    mem["sum_first"] = 0
+    mem["sum_second"] = 0
+    mem["acc"] = 0  # Σ bit_j · 2^j mod p1 for the value being read
+    mem["power"] = 1  # 2^j mod p1
+    mem["idx"] = 0  # values finalized so far (from the right)
+    mem["started"] = False  # have we consumed the final terminator yet?
+
+    def finalize_value() -> None:
+        # prefix bit: the value is 1·v, so add 2^len ≡ power
+        e = (mem["acc"] + mem["power"]) % mem["p1"]
+        term = _mod_pow_charged(mem["x"], e, mem["p2"], mem)
+        if mem["idx"] < m:
+            mem["sum_second"] = (mem["sum_second"] + term) % mem["p2"]
+        else:
+            mem["sum_first"] = (mem["sum_first"] + term) % mem["p2"]
+        mem["idx"] = mem["idx"] + 1
+        mem["acc"] = 0
+        mem["power"] = 1
+
+    tape.move(-1)  # onto the final '#': reversal #1
+    while True:
+        ch = tape.read()
+        if ch == "#":
+            if mem["started"]:
+                finalize_value()
+            else:
+                mem["started"] = True  # the terminator of the last value
+        else:
+            bit = 1 if ch == "1" else 0
+            mem["acc"] = (mem["acc"] + bit * mem["power"]) % mem["p1"]
+            mem["power"] = mem["power"] * 2 % mem["p1"]
+        if tape.head == 0:
+            finalize_value()  # the leftmost value has no '#' before it
+            break
+        tape.move(-1)
+
+    accepted = mem["sum_first"] == mem["sum_second"]
+    result = FingerprintResult(
+        accepted=accepted,
+        parameters=params,
+        p1=mem["p1"],
+        x=mem["x"],
+        sum_first=mem["sum_first"],
+        sum_second=mem["sum_second"],
+        report=tracker.report(),
+    )
+    mem.clear()
+    return result

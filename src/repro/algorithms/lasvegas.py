@@ -1,0 +1,131 @@
+"""Las Vegas computation and the Corollary 10 reduction.
+
+The paper's LasVegas-RST classes hold *function* problems computed by
+randomized machines that either emit the correct output or say "I don't
+know" (the latter with probability ≤ 1/2).  Corollary 10 transfers the
+CHECK-SORT lower bound to SORTING: a Las Vegas sorter plus one comparison
+scan decides CHECK-SORT, so sorting cannot be easier than checksort.
+
+This module provides:
+
+* :class:`LasVegasResult` / :class:`LasVegasSorter` — the interface, with
+  a reference implementation wrapping the deterministic tape sort behind a
+  configurable "don't know" coin (for exercising the framework) and a
+  derandomized always-answer mode;
+* :func:`check_sort_via_sorter` — the Corollary 10 reduction, literally:
+  sort the first half with the (Las Vegas) sorter, reject on "I don't
+  know", else compare with the second half in one parallel scan;
+* :func:`las_vegas_success_amplification` — repeat until an answer
+  arrives; k rounds fail with probability ≤ 2^{-k}.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from ..extmem import RecordTape, ResourceReport, ResourceTracker
+from ..problems.definitions import InstanceLike, as_instance
+from .checksort import DeterministicResult
+from .mergesort_tape import tape_merge_sort
+
+DONT_KNOW = "I don't know"
+
+
+@dataclass(frozen=True)
+class LasVegasResult:
+    """Either the correct output or the "I don't know" token."""
+
+    output: Optional[List[str]]
+    report: ResourceReport
+
+    @property
+    def answered(self) -> bool:
+        return self.output is not None
+
+
+class LasVegasSorter:
+    """A Las Vegas sorting machine over the tape runtime.
+
+    ``failure_probability`` models the "I don't know" branch (a real
+    Las Vegas algorithm fails for algorithmic reasons; for studying the
+    *reduction* the source of failure is irrelevant, only its ≤ 1/2 rate
+    and the correctness of actual outputs matter — both enforced here).
+    """
+
+    def __init__(self, *, failure_probability: float = 0.0):
+        if not 0.0 <= failure_probability <= 0.5:
+            raise ReproError(
+                "a Las Vegas machine must answer with probability >= 1/2; "
+                f"got failure probability {failure_probability}"
+            )
+        self.failure_probability = failure_probability
+
+    def sort(
+        self, values: Sequence[str], rng: Optional[random.Random] = None
+    ) -> LasVegasResult:
+        """Return the sorted sequence, or "I don't know"."""
+        tracker = ResourceTracker()
+        if self.failure_probability > 0.0:
+            rng = rng or random.Random()
+            if rng.random() < self.failure_probability:
+                return LasVegasResult(output=None, report=tracker.report())
+        tape = RecordTape(list(values), tracker=tracker, name="lv-input")
+        out = tape_merge_sort(tape, tracker)
+        out.rewind()
+        return LasVegasResult(output=list(out.scan()), report=tracker.report())
+
+
+def check_sort_via_sorter(
+    instance: InstanceLike,
+    sorter: LasVegasSorter,
+    rng: Optional[random.Random] = None,
+) -> DeterministicResult:
+    """Corollary 10's reduction: CHECK-SORT from a (Las Vegas) sorter.
+
+    Following the proof: (1) sort x_1…x_m onto an auxiliary tape; if the
+    sorter says "I don't know", *reject* (a false negative — allowed by
+    the (1/2, 0)-RTM regime); (2) compare the sorted sequence against
+    y_1…y_m in parallel.  Hence: a sorter in LasVegas-RST(r, s, t) yields
+    CHECK-SORT in RST(r + O(1), s, t) — the contrapositive of Corollary 10.
+    """
+    inst = as_instance(instance)
+    sorted_result = sorter.sort(list(inst.first), rng)
+    if not sorted_result.answered:
+        return DeterministicResult(accepted=False, report=sorted_result.report)
+
+    tracker = ResourceTracker()
+    sorted_tape = RecordTape(
+        sorted_result.output, tracker=tracker, name="sorted"
+    )
+    second_tape = RecordTape(list(inst.second), tracker=tracker, name="second")
+    accepted = True
+    while True:
+        a = sorted_tape.step_read()
+        b = second_tape.step_read()
+        if a is None and b is None:
+            break
+        if a != b:
+            accepted = False
+            break
+    return DeterministicResult(accepted=accepted, report=tracker.report())
+
+
+def las_vegas_success_amplification(
+    sorter: LasVegasSorter,
+    values: Sequence[str],
+    rng: random.Random,
+    *,
+    max_rounds: int = 64,
+) -> LasVegasResult:
+    """Re-run a Las Vegas machine until it answers (≤ 2^{-k} failure)."""
+    last: Optional[LasVegasResult] = None
+    for _ in range(max_rounds):
+        last = sorter.sort(values, rng)
+        if last.answered:
+            return last
+    if last is None:  # pragma: no cover - max_rounds >= 1 always
+        raise ReproError("max_rounds must be at least 1")
+    return last

@@ -1,0 +1,168 @@
+"""Tape merge sort: O(log N) head reversals on three external tapes.
+
+Corollary 7 of the paper rests on the fact that sorting can be done with
+O(log N) head reversals (Chen & Yap [7, Lemma 7]).  This module implements
+the classic balanced three-tape merge sort on :class:`RecordTape`:
+
+* runs on tape A are delimited by a RUN-SEPARATOR sentinel, so the machine
+  never needs run-length counters — the only internal state is O(1)
+  records (the two merge candidates) plus O(1) flags;
+* each round distributes runs alternately onto tapes B and C (one forward
+  scan of each tape) and merges pairs of runs back onto A (one forward
+  scan of each) — a constant number of reversals per round;
+* run count halves per round ⇒ ⌈log2 m⌉ + 1 rounds ⇒ O(log N) reversals.
+
+Chen–Yap achieve two tapes and O(1) *cells*; we use three tapes and O(1)
+*records* — record-level internal memory, as discussed in DESIGN.md.  For
+the SHORT problem variants (records of O(log m) bits) this is the paper's
+ST(O(log N), O(log N), 3) bound on the nose.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..extmem import RecordTape, ResourceTracker
+
+
+class _RunSeparator:
+    """Sentinel delimiting sorted runs on a tape."""
+
+    _instance: "Optional[_RunSeparator]" = None
+
+    def __new__(cls) -> "_RunSeparator":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RUN_SEP>"
+
+
+RUN_SEP = _RunSeparator()
+
+
+def _default_key(record: Any) -> Any:
+    return record
+
+
+def _distribute(
+    source: RecordTape, left: RecordTape, right: RecordTape
+) -> int:
+    """Copy runs from ``source`` alternately to ``left``/``right``.
+
+    Returns the number of runs seen.  One forward scan of each tape.
+    """
+    targets = (left, right)
+    run_index = 0
+    in_run = False
+    for record in source.scan():
+        if record is RUN_SEP:
+            if in_run:
+                targets[run_index % 2].step_write(RUN_SEP)
+                run_index += 1
+                in_run = False
+            continue
+        in_run = True
+        targets[run_index % 2].step_write(record)
+    if in_run:  # unterminated final run
+        targets[run_index % 2].step_write(RUN_SEP)
+        run_index += 1
+    return run_index
+
+
+def _merge_round(
+    left: RecordTape,
+    right: RecordTape,
+    target: RecordTape,
+    key: Callable[[Any], Any],
+) -> None:
+    """Merge runs pairwise from ``left``/``right`` onto ``target``.
+
+    One forward scan of each tape; internal state is one candidate record
+    per source tape.
+    """
+    a = left.step_read()
+    b = right.step_read()
+    while a is not None or b is not None:
+        # merge one run-pair (either side may already be exhausted)
+        a_live = a is not None and a is not RUN_SEP
+        b_live = b is not None and b is not RUN_SEP
+        while a_live or b_live:
+            take_left = a_live and (not b_live or key(a) <= key(b))
+            if take_left:
+                target.step_write(a)
+                a = left.step_read()
+                a_live = a is not None and a is not RUN_SEP
+            else:
+                target.step_write(b)
+                b = right.step_read()
+                b_live = b is not None and b is not RUN_SEP
+        target.step_write(RUN_SEP)
+        if a is RUN_SEP:
+            a = left.step_read()
+        if b is RUN_SEP:
+            b = right.step_read()
+
+
+def tape_merge_sort(
+    input_tape: RecordTape,
+    tracker: ResourceTracker,
+    *,
+    key: Optional[Callable[[Any], Any]] = None,
+) -> RecordTape:
+    """Sort the records of ``input_tape`` with O(log N) reversals.
+
+    Returns a fresh tape (registered on ``tracker``) holding the records in
+    ascending ``key`` order; the input tape is consumed (left positioned at
+    its end).  The caller can bound the whole computation by attaching a
+    :class:`ResourceBudget` to ``tracker``.
+    """
+    key = key or _default_key
+    work_a = RecordTape(tracker=tracker, name="sort-a")
+    work_left = RecordTape(tracker=tracker, name="sort-b")
+    work_right = RecordTape(tracker=tracker, name="sort-c")
+
+    # Round 0: every record becomes a singleton run on tape A.
+    for record in input_tape.scan():
+        if record is RUN_SEP:
+            raise ReproError("input tape already contains run separators")
+        work_a.step_write(record)
+        work_a.step_write(RUN_SEP)
+
+    while True:
+        work_a.rewind()
+        work_left.rewind()
+        work_left.wipe()
+        work_right.rewind()
+        work_right.wipe()
+        runs = _distribute(work_a, work_left, work_right)
+        if runs <= 1:
+            break
+        work_a.rewind()
+        work_a.wipe()
+        work_left.rewind()
+        work_right.rewind()
+        _merge_round(work_left, work_right, work_a, key)
+
+    # strip separators into the output tape (one scan)
+    output = RecordTape(tracker=tracker, name="sorted")
+    work_left.rewind()
+    for record in work_left.scan():
+        if record is not RUN_SEP:
+            output.step_write(record)
+    return output
+
+
+def sort_instance_strings(
+    values: List[str],
+    *,
+    tracker: Optional[ResourceTracker] = None,
+) -> Tuple[List[str], ResourceTracker]:
+    """Sort 0-1 strings lexicographically on tapes; return (sorted, tracker)."""
+    tracker = tracker or ResourceTracker()
+    tape = RecordTape(values, tracker=tracker, name="input")
+    out = tape_merge_sort(tape, tracker)
+    out.rewind()
+    return list(out.scan()), tracker

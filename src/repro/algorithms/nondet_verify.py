@@ -1,0 +1,235 @@
+"""Theorem 8(b): certificate verification for NST(3, O(log N), 2).
+
+A nondeterministic machine accepts iff *some* run accepts.  Executably,
+that means: there is a **certificate** (the transcript of the machine's
+guesses) whose deterministic verification succeeds.  The paper's
+certificate is a sequence ``u_1, …, u_ℓ`` (ℓ = m + N·m) of strings
+
+    u_i = π_{i,1}#…#π_{i,m} # v_{i,1}#…#v_{i,m} # v'_{i,1}#…#v'_{i,m} #
+
+written on two external tapes, where consistency is enforced *locally*
+while writing (bit conditions between v_{i,⌈i/N⌉} and v'_{i,π(⌈i/N⌉)};
+pairwise-distinctness of the last m permutation rows) and *globally* by a
+single backward scan checking ``u_i = u_{i−1}`` and agreement with the
+input.  We implement:
+
+* :func:`build_certificate` — the honest certificate for a claimed
+  permutation π (what an accepting run of the paper's machine writes);
+* :func:`verify_certificate` — the deterministic verifier: local bit
+  conditions, copy-consistency (backward scan), and input agreement;
+* :func:`nondeterministic_accepts` — ∃-acceptance: search for a
+  certificate (by multiset matching, as an accepting run would guess it).
+
+Soundness is exercised by tests that corrupt certificates in every way the
+verifier must catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import EncodingError
+from ..extmem import RecordTape, ResourceReport, ResourceTracker
+from ..problems.definitions import InstanceLike, as_instance
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The guessed transcript: ℓ copies of (π, v-half, v'-half).
+
+    ``rows[i]`` is the i-th guessed string u_i, represented structurally
+    as (pi, first, second).  The paper's machine writes these on two tapes;
+    we keep one canonical copy plus the copy count ℓ, since the verifier's
+    backward scan only ever checks *equality* of adjacent rows — tests
+    inject unequal rows through :meth:`with_corrupted_row`.
+    """
+
+    pi: Tuple[int, ...]  # 0-based permutation guess
+    first: Tuple[str, ...]
+    second: Tuple[str, ...]
+    copies: int
+
+    def row(self, index: int) -> Tuple[Tuple[int, ...], Tuple[str, ...], Tuple[str, ...]]:
+        if not 0 <= index < self.copies:
+            raise EncodingError(f"row index {index} out of range")
+        return (self.pi, self.first, self.second)
+
+
+def certificate_length(m: int, input_size: int) -> int:
+    """ℓ = m + N·m: the number of copies the paper's machine writes."""
+    return m + input_size * m
+
+
+def build_certificate(instance: InstanceLike, pi: Sequence[int]) -> Certificate:
+    """The certificate an accepting run writes for permutation guess π."""
+    inst = as_instance(instance)
+    if sorted(pi) != list(range(inst.m)):
+        raise EncodingError("pi must be a 0-based permutation of range(m)")
+    return Certificate(
+        pi=tuple(pi),
+        first=inst.first,
+        second=inst.second,
+        copies=certificate_length(inst.m, inst.size),
+    )
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    accepted: bool
+    reason: str
+    report: Optional[ResourceReport] = None
+
+
+def _bit_conditions_hold(
+    cert: Certificate, m: int, input_size: int
+) -> Tuple[bool, str]:
+    """The local conditions checked while writing rows 1 … N·m.
+
+    Row i (1-based, i ≤ N·m) certifies that v_{⌈i/N⌉} and v'_{π(⌈i/N⌉)}
+    agree on bit ((i−1) mod N) + 1 or both lack that bit.  Across all i
+    this pins v_j = v'_{π(j)} for every j.
+    """
+    n_bits = input_size
+    for j in range(m):
+        v = cert.first[j]
+        w = cert.second[cert.pi[j]]
+        for bit in range(n_bits):
+            has_v = bit < len(v)
+            has_w = bit < len(w)
+            if has_v != has_w:
+                return False, f"length mismatch at pair {j}, bit {bit}"
+            if has_v and v[bit] != w[bit]:
+                return False, f"bit mismatch at pair {j}, bit {bit}"
+    return True, "ok"
+
+
+def _permutation_rows_hold(cert: Certificate) -> Tuple[bool, str]:
+    """The last m rows certify π_{i} ≠ π_{j} for all i < j (π injective)."""
+    seen = set()
+    for value in cert.pi:
+        if value in seen:
+            return False, f"pi repeats value {value}"
+        if not 0 <= value < len(cert.pi):
+            return False, f"pi value {value} out of range"
+        seen.add(value)
+    return True, "ok"
+
+
+def verify_certificate(
+    instance: InstanceLike,
+    cert: Certificate,
+    *,
+    check_sorted_second: bool = False,
+) -> VerificationResult:
+    """Deterministically verify a certificate against the input.
+
+    Mirrors the paper's machine: (a) local bit conditions, (b) permutation
+    distinctness, (c) the backward scan checking all copies equal, and
+    (d) agreement of row 1 with the actual input.  With
+    ``check_sorted_second=True`` the CHECK-SORT extension (v'_i ≤ v'_j for
+    i < j) is verified as well.
+    """
+    inst = as_instance(instance)
+    m, size = inst.m, inst.size
+
+    if len(cert.pi) != m or len(cert.first) != m or len(cert.second) != m:
+        return VerificationResult(False, "certificate shape mismatch")
+    if cert.copies != certificate_length(m, size):
+        return VerificationResult(False, "wrong number of copies")
+
+    ok, reason = _permutation_rows_hold(cert)
+    if not ok:
+        return VerificationResult(False, reason)
+    ok, reason = _bit_conditions_hold(cert, m, size)
+    if not ok:
+        return VerificationResult(False, reason)
+
+    # Backward scan over the two tapes: u_i = u_{i-1} for all i, and u_1
+    # agrees with the input.  We materialize the rows on record tapes to
+    # account the scan's reversal cost honestly.
+    tracker = ResourceTracker()
+    tape1 = RecordTape(tracker=tracker, name="guess-1")
+    tape2 = RecordTape(tracker=tracker, name="guess-2")
+    for i in range(cert.copies):
+        row = cert.row(i)
+        tape1.step_write(row)
+        tape2.step_write(row)
+    tape1.move(-1)
+    tape2.move(-1)
+    previous = None
+    while True:
+        r1, r2 = tape1.read(), tape2.read()
+        if r1 != r2:
+            return VerificationResult(False, "tapes disagree", tracker.report())
+        if previous is not None and r1 != previous:
+            return VerificationResult(
+                False, "adjacent copies differ", tracker.report()
+            )
+        previous = r1
+        if tape1.at_start:
+            break
+        tape1.move(-1)
+        tape2.move(-1)
+    if previous is None:
+        return VerificationResult(False, "empty certificate", tracker.report())
+    pi0, first0, second0 = previous
+    if first0 != inst.first or second0 != inst.second:
+        return VerificationResult(
+            False, "row 1 disagrees with the input", tracker.report()
+        )
+
+    if check_sorted_second:
+        for i in range(m - 1):
+            if inst.second[i] > inst.second[i + 1]:
+                return VerificationResult(
+                    False, f"second half not sorted at {i}", tracker.report()
+                )
+
+    return VerificationResult(True, "ok", tracker.report())
+
+
+def find_matching_permutation(instance: InstanceLike) -> Optional[List[int]]:
+    """A π with v_i = v'_π(i) for all i, if one exists (multiset matching)."""
+    inst = as_instance(instance)
+    from collections import defaultdict
+
+    slots = defaultdict(list)
+    for j, w in enumerate(inst.second):
+        slots[w].append(j)
+    pi: List[int] = []
+    for v in inst.first:
+        if not slots[v]:
+            return None
+        pi.append(slots[v].pop())
+    return pi
+
+
+def nondeterministic_accepts(
+    instance: InstanceLike,
+    *,
+    problem: str = "multiset-equality",
+) -> bool:
+    """∃-acceptance of the Theorem 8(b) machine for the given problem.
+
+    ``problem`` ∈ {"multiset-equality", "set-equality", "check-sort"}.
+    Completeness: a yes-instance always has a verifying certificate.
+    Soundness: any accepted certificate forces the yes-condition.
+    """
+    inst = as_instance(instance)
+    if inst.m == 0:
+        return True  # all three problems hold vacuously on the empty instance
+    if problem == "set-equality":
+        # guessing may duplicate values: reduce to multiset equality of the
+        # deduplicated halves (the machine guesses which copies to pair)
+        firsts = sorted(set(inst.first))
+        seconds = sorted(set(inst.second))
+        return firsts == seconds
+    pi = find_matching_permutation(inst)
+    if pi is None:
+        return False
+    cert = build_certificate(inst, pi)
+    result = verify_certificate(
+        inst, cert, check_sorted_second=(problem == "check-sort")
+    )
+    return result.accepted

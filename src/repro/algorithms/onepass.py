@@ -1,0 +1,100 @@
+"""Deliberately weak one-pass baselines (foils for the lower bound).
+
+Theorem 6 says no machine with o(log N) reversals and small internal memory
+solves (multi)set equality *with one-sided error, no false positives*.
+These baselines make the impossibility tangible: each performs a single
+forward scan with O(log N) internal bits and computes a deterministic
+sketch; :mod:`repro.lowerbounds.adversary` constructs inputs on which they
+err — and because they are deterministic, they err with probability 1,
+i.e. they produce **false positives**, which the RST regime forbids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..extmem import RecordTape, ResourceReport, ResourceTracker
+from ..problems.definitions import InstanceLike, as_instance
+
+
+@dataclass
+class XorSumSketch:
+    """Commutative sketch: (XOR of values, count).
+
+    Collision-prone by design: any two multisets with equal XOR and equal
+    cardinality collide.
+    """
+
+    acc: int = 0
+    count: int = 0
+
+    def update(self, value: str) -> None:
+        self.acc ^= int("1" + value, 2)  # prefix bit keeps the map injective
+        self.count += 1
+
+    def state(self) -> Tuple[int, int]:
+        return (self.acc, self.count)
+
+
+@dataclass
+class ModularSumSketch:
+    """Commutative sketch: (sum of values mod 2^width, count)."""
+
+    width: int = 32
+    acc: int = 0
+    count: int = 0
+
+    def update(self, value: str) -> None:
+        self.acc = (self.acc + int("1" + value, 2)) % (2**self.width)
+        self.count += 1
+
+    def state(self) -> Tuple[int, int]:
+        return (self.acc, self.count)
+
+
+@dataclass(frozen=True)
+class OnePassResult:
+    accepted: bool
+    report: ResourceReport
+
+
+def one_pass_multiset_test(
+    instance: InstanceLike,
+    *,
+    sketch: str = "xor+sum",
+    modulus_width: int = 32,
+) -> OnePassResult:
+    """Compare the two halves with commutative sketches in ONE forward scan.
+
+    ``sketch`` ∈ {"xor", "sum", "xor+sum"}.  Never rejects equal multisets;
+    accepts some unequal multisets — deterministically, hence unfixably.
+    """
+    inst = as_instance(instance)
+    tracker = ResourceTracker()
+    tape = RecordTape(
+        list(inst.first) + list(inst.second), tracker=tracker, name="input"
+    )
+    m = inst.m
+
+    def make_sketches():
+        if sketch == "xor":
+            return [XorSumSketch()]
+        if sketch == "sum":
+            return [ModularSumSketch(width=modulus_width)]
+        if sketch == "xor+sum":
+            return [XorSumSketch(), ModularSumSketch(width=modulus_width)]
+        raise ValueError(f"unknown sketch kind {sketch!r}")
+
+    first_sketches = make_sketches()
+    second_sketches = make_sketches()
+    index = 0
+    for value in tape.scan():
+        targets = first_sketches if index < m else second_sketches
+        for s in targets:
+            s.update(value)
+        index += 1
+    accepted = all(
+        a.state() == b.state() for a, b in zip(first_sketches, second_sketches)
+    )
+    return OnePassResult(accepted=accepted, report=tracker.report())

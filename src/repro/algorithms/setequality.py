@@ -1,0 +1,108 @@
+"""Deterministic (MULTI)SET-EQUALITY in ST(O(log N), ·, O(1)) (Corollary 7).
+
+Both problems reduce to sorting:
+
+* MULTISET-EQUALITY — sort both halves, compare element-wise;
+* SET-EQUALITY — sort both halves, compare after collapsing duplicate runs
+  (the deduplication happens *during* the comparison scan, so no extra
+  passes are needed).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..extmem import RecordTape, ResourceBudget, ResourceTracker
+from ..problems.definitions import InstanceLike, as_instance
+from .checksort import DeterministicResult
+from .mergesort_tape import tape_merge_sort
+
+
+def _sorted_halves(inst, tracker):
+    first_tape = RecordTape(list(inst.first), tracker=tracker, name="first")
+    second_tape = RecordTape(list(inst.second), tracker=tracker, name="second")
+    sorted_first = tape_merge_sort(first_tape, tracker)
+    sorted_second = tape_merge_sort(second_tape, tracker)
+    sorted_first.rewind()
+    sorted_second.rewind()
+    return sorted_first, sorted_second
+
+
+def multiset_equality_deterministic(
+    instance: InstanceLike,
+    *,
+    budget: Optional[ResourceBudget] = None,
+) -> DeterministicResult:
+    """Sort both halves, compare in one parallel scan."""
+    inst = as_instance(instance)
+    tracker = ResourceTracker(budget)
+    a, b = _sorted_halves(inst, tracker)
+    accepted = True
+    while True:
+        x, y = a.step_read(), b.step_read()
+        if x is None and y is None:
+            break
+        if x != y:
+            accepted = False
+            break
+    return DeterministicResult(accepted=accepted, report=tracker.report())
+
+
+def sets_disjoint_deterministic(
+    instance: InstanceLike,
+    *,
+    budget: Optional[ResourceBudget] = None,
+) -> DeterministicResult:
+    """Decide DISJOINT-SETS deterministically: sort both halves, one merge
+    scan looks for a common element.  Same Θ(log N) reversal budget as the
+    equality solvers — the problem whose *randomized* complexity the paper
+    leaves open is deterministically no harder than equality."""
+    inst = as_instance(instance)
+    tracker = ResourceTracker(budget)
+    a, b = _sorted_halves(inst, tracker)
+    x, y = a.step_read(), b.step_read()
+    accepted = True
+    while x is not None and y is not None:
+        if x == y:
+            accepted = False
+            break
+        if x < y:
+            x = a.step_read()
+        else:
+            y = b.step_read()
+    return DeterministicResult(accepted=accepted, report=tracker.report())
+
+
+def set_equality_deterministic(
+    instance: InstanceLike,
+    *,
+    budget: Optional[ResourceBudget] = None,
+) -> DeterministicResult:
+    """Sort both halves, compare the deduplicated streams in one scan.
+
+    Duplicate collapsing keeps only one record of look-ahead per tape —
+    O(1) records of internal memory, as in the merge sort itself.
+    """
+    inst = as_instance(instance)
+    tracker = ResourceTracker(budget)
+    a, b = _sorted_halves(inst, tracker)
+
+    def next_distinct(tape: RecordTape, previous):
+        record = tape.step_read()
+        while record is not None and record == previous:
+            record = tape.step_read()
+        return record
+
+    accepted = True
+    x = y = None
+    first_step = True
+    while True:
+        x = a.step_read() if first_step else next_distinct(a, x)
+        y = b.step_read() if first_step else next_distinct(b, y)
+        first_step = False
+        if x is None and y is None:
+            break
+        if x != y:
+            accepted = False
+            break
+    return DeterministicResult(accepted=accepted, report=tracker.report())

@@ -1,0 +1,49 @@
+"""Core API: resource-bound calculus, complexity classes, theorem registry.
+
+This package ties the substrates together into the paper's statements:
+
+* :mod:`~repro.core.bounds` — a tiny calculus of growth rates
+  ``N^a · (log N)^b`` with exact (fraction-exponent) o/O comparisons, plus
+  Lemma 3's run-length bound;
+* :mod:`~repro.core.classes` — the classes ST / NST / RST / co-RST /
+  LasVegas-RST as first-class objects, with ``contains`` answering from
+  the paper's theorems (True, False, or None = open, e.g. DISJOINT-SETS);
+* :mod:`~repro.core.theorems` — a registry mapping every numbered result
+  to an executable check; ``verify(result_id)`` runs the corresponding
+  experiment at a small scale and reports paper-claim vs. measured.
+"""
+
+from .bounds import GrowthRate, lemma3_bound
+from .classes import (
+    ClassKind,
+    ComplexityClass,
+    ST,
+    NST,
+    RST,
+    CoRST,
+    LasVegasRST,
+    Containment,
+)
+from .theorems import (
+    TheoremCheck,
+    REGISTRY,
+    verify,
+    verify_all,
+)
+
+__all__ = [
+    "GrowthRate",
+    "lemma3_bound",
+    "ClassKind",
+    "ComplexityClass",
+    "ST",
+    "NST",
+    "RST",
+    "CoRST",
+    "LasVegasRST",
+    "Containment",
+    "TheoremCheck",
+    "REGISTRY",
+    "verify",
+    "verify_all",
+]

@@ -1,0 +1,136 @@
+"""Growth rates N^a·(log N)^b and the o/O calculus of the paper's bounds.
+
+All the resource bounds in the paper are products of a polynomial and a
+polylogarithmic factor — O(1), O(log N), O(N^{1/4}/log N), o(log N), … —
+so a growth rate is represented exactly as a pair of Fraction exponents
+(a, b) meaning N^a · (log N)^b.  Comparison is lexicographic:
+
+    N^a (log N)^b ∈ o(N^c (log N)^d)   iff   (a, b) < (c, d).
+
+Constant factors are deliberately absent (they never matter in the paper's
+statements).  This keeps "does Theorem 6 apply to (r, s)?" a *decidable,
+exact* question instead of a float heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Rational
+from typing import Tuple, Union
+
+from ..errors import ReproError
+
+_RationalLike = Union[int, Fraction, str]
+
+
+def _fraction(x: _RationalLike) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, (int, str)):
+        return Fraction(x)
+    raise ReproError(f"not a rational exponent: {x!r}")
+
+
+@dataclass(frozen=True, order=False)
+class GrowthRate:
+    """N^a · (log N)^b with exact rational exponents."""
+
+    n_exp: Fraction
+    log_exp: Fraction
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def make(cls, n_exp: _RationalLike = 0, log_exp: _RationalLike = 0) -> "GrowthRate":
+        return cls(_fraction(n_exp), _fraction(log_exp))
+
+    @classmethod
+    def const(cls) -> "GrowthRate":
+        """O(1)."""
+        return cls.make(0, 0)
+
+    @classmethod
+    def log(cls) -> "GrowthRate":
+        """log N."""
+        return cls.make(0, 1)
+
+    @classmethod
+    def polylog(cls, b: _RationalLike) -> "GrowthRate":
+        """(log N)^b."""
+        return cls.make(0, b)
+
+    @classmethod
+    def power(cls, num: int, den: int = 1) -> "GrowthRate":
+        """N^{num/den}."""
+        return cls.make(Fraction(num, den), 0)
+
+    @classmethod
+    def linear(cls) -> "GrowthRate":
+        return cls.make(1, 0)
+
+    # -- algebra --------------------------------------------------------------
+
+    def __mul__(self, other: "GrowthRate") -> "GrowthRate":
+        return GrowthRate(self.n_exp + other.n_exp, self.log_exp + other.log_exp)
+
+    def __truediv__(self, other: "GrowthRate") -> "GrowthRate":
+        return GrowthRate(self.n_exp - other.n_exp, self.log_exp - other.log_exp)
+
+    def _key(self) -> Tuple[Fraction, Fraction]:
+        return (self.n_exp, self.log_exp)
+
+    # -- comparisons ------------------------------------------------------------
+
+    def is_little_o_of(self, other: "GrowthRate") -> bool:
+        """self ∈ o(other): strictly slower growth."""
+        return self._key() < other._key()
+
+    def is_big_o_of(self, other: "GrowthRate") -> bool:
+        """self ∈ O(other): no faster growth (constants are free)."""
+        return self._key() <= other._key()
+
+    def is_omega_of(self, other: "GrowthRate") -> bool:
+        """self ∈ Ω(other)."""
+        return self._key() >= other._key()
+
+    def evaluate(self, n: int) -> float:
+        """Numeric value at a concrete N (for plotting/experiments)."""
+        import math
+
+        if n < 2:
+            raise ReproError("evaluate needs N >= 2")
+        return (n ** float(self.n_exp)) * (math.log2(n) ** float(self.log_exp))
+
+    def __str__(self) -> str:
+        parts = []
+        if self.n_exp != 0:
+            parts.append(f"N^{self.n_exp}" if self.n_exp != 1 else "N")
+        if self.log_exp != 0:
+            parts.append(
+                f"(log N)^{self.log_exp}" if self.log_exp != 1 else "log N"
+            )
+        return "·".join(parts) if parts else "1"
+
+
+#: The paper's recurring rates.
+CONST = GrowthRate.const()
+LOG = GrowthRate.log()
+QUARTER_ROOT_OVER_LOG = GrowthRate.make(Fraction(1, 4), -1)  # N^{1/4}/log N
+
+
+def theorem6_regime(r: GrowthRate, s: GrowthRate) -> bool:
+    """Does Theorem 6 cover machines with reversal bound r and space s?
+
+    Requires r ∈ o(log N) and s ∈ o(N^{1/4} / r), i.e. s·r ∈ o(N^{1/4}).
+    """
+    return r.is_little_o_of(LOG) and (s * r).is_little_o_of(
+        GrowthRate.power(1, 4)
+    )
+
+
+def lemma3_bound(n: int, r: int, s: int, t: int, constant: int = 2) -> int:
+    """Lemma 3: run length (and external space) ≤ N · 2^{c·r·(t+s)}."""
+    if n < 0 or r < 0 or s < 0 or t < 1:
+        raise ReproError("invalid Lemma 3 parameters")
+    return max(1, n) * 2 ** (constant * r * (t + s))

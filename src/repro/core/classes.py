@@ -1,0 +1,170 @@
+"""The complexity classes ST(r, s, t) and friends, as queryable objects.
+
+``ComplexityClass.contains(problem_name)`` answers from the paper's
+results with a three-valued :class:`Containment`:
+
+* YES — a theorem puts the problem inside the class (an upper bound whose
+  resources fit);
+* NO — Theorem 6 (or a corollary) excludes it;
+* OPEN — the paper leaves it open (e.g. DISJOINT-SETS, or any class
+  between the bounds).
+
+Classes carry growth rates for r and s and an exact or unbounded tape
+count; inclusion-by-definition (ST ⊆ RST ⊆ NST, Proposition 5) is applied
+automatically when deciding YES answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..errors import ReproError
+from .bounds import GrowthRate, theorem6_regime
+
+
+class ClassKind(Enum):
+    ST = "ST"  # deterministic
+    RST = "RST"  # one-sided error, no false positives
+    CO_RST = "co-RST"  # one-sided error, no false negatives
+    NST = "NST"  # nondeterministic
+    LASVEGAS_RST = "LasVegas-RST"  # function classes
+
+
+class Containment(Enum):
+    YES = "yes"
+    NO = "no"
+    OPEN = "open"
+
+
+#: Proposition 5: ST ⊆ RST ⊆ NST; the co-side mirrors it.
+_STRENGTH_ORDER = {
+    ClassKind.ST: 0,
+    ClassKind.RST: 1,
+    ClassKind.CO_RST: 1,
+    ClassKind.NST: 2,
+}
+
+_DECISION_PROBLEMS = {
+    "SET-EQUALITY",
+    "MULTISET-EQUALITY",
+    "CHECK-SORT",
+    "SHORT-SET-EQUALITY",
+    "SHORT-MULTISET-EQUALITY",
+    "SHORT-CHECK-SORT",
+    "DISJOINT-SETS",
+}
+
+
+@dataclass(frozen=True)
+class ComplexityClass:
+    """A class ST/NST/RST/co-RST(r, s, t) with symbolic resource bounds.
+
+    ``tapes=None`` means O(1) — an arbitrary constant number of tapes.
+    """
+
+    kind: ClassKind
+    r: GrowthRate
+    s: GrowthRate
+    tapes: Optional[int] = None
+
+    def __str__(self) -> str:
+        t = "O(1)" if self.tapes is None else str(self.tapes)
+        return f"{self.kind.value}(O({self.r}), O({self.s}), {t})"
+
+    def _tape_at_least(self, needed: int) -> bool:
+        return self.tapes is None or self.tapes >= needed
+
+    def _includes_kind(self, weaker: ClassKind) -> bool:
+        """Can an algorithm of kind ``weaker`` witness membership here?"""
+        if self.kind == ClassKind.LASVEGAS_RST:
+            return weaker in (ClassKind.ST, ClassKind.LASVEGAS_RST)
+        if weaker not in _STRENGTH_ORDER or self.kind not in _STRENGTH_ORDER:
+            return False
+        if self.kind == ClassKind.CO_RST:
+            # co-RST is incomparable with RST; only ST and co-RST feed it
+            return weaker in (ClassKind.ST, ClassKind.CO_RST)
+        if weaker == ClassKind.CO_RST:
+            return self.kind == ClassKind.NST  # co-RST ⊆ ... only via co-NST; not tracked
+        return _STRENGTH_ORDER[weaker] <= _STRENGTH_ORDER[self.kind]
+
+    def _fits(self, r: GrowthRate, s: GrowthRate, tapes: int) -> bool:
+        return (
+            r.is_big_o_of(self.r)
+            and s.is_big_o_of(self.s)
+            and self._tape_at_least(tapes)
+        )
+
+    def contains(self, problem: str) -> Containment:
+        """What the paper says about ``problem`` ∈ this class."""
+        if problem not in _DECISION_PROBLEMS:
+            raise ReproError(
+                f"unknown problem {problem!r}; known: {sorted(_DECISION_PROBLEMS)}"
+            )
+
+        main_three = problem in (
+            "SET-EQUALITY",
+            "MULTISET-EQUALITY",
+            "CHECK-SORT",
+        ) or problem.startswith("SHORT-")
+
+        # --- NO: Theorem 6 (+ Corollary 7 for the SHORT versions) ----------
+        if main_three and self.kind in (
+            ClassKind.ST,
+            ClassKind.RST,
+        ):
+            if theorem6_regime(self.r, self.s):
+                return Containment.NO
+        if (
+            problem == "MULTISET-EQUALITY"
+            and self.kind == ClassKind.CO_RST
+            # Corollary 9(a) relies on complement closure; the paper states
+            # the co-side exclusion only for the *complement*, so we keep
+            # co-RST answers to the YES rules below.
+        ):
+            pass
+
+        # --- YES: the upper bounds --------------------------------------------
+        log = GrowthRate.log()
+        const = GrowthRate.const()
+        witnesses = []
+        if main_three:
+            # Corollary 7: deterministic, O(log N) reversals, O(1) space, 2 tapes
+            witnesses.append((ClassKind.ST, log, const, 2))
+            if problem.startswith("SHORT-"):
+                # merge-sort route: ST(O(log N), O(log N), 3)
+                witnesses.append((ClassKind.ST, log, log, 3))
+            # Theorem 8(b): NST(3, O(log N), 2)
+            witnesses.append((ClassKind.NST, const, log, 2))
+        if problem in ("MULTISET-EQUALITY", "SHORT-MULTISET-EQUALITY"):
+            # Theorem 8(a): co-RST(2, O(log N), 1)
+            witnesses.append((ClassKind.CO_RST, const, log, 1))
+
+        for kind, r, s, tapes in witnesses:
+            if self._includes_kind(kind) and self._fits(r, s, tapes):
+                return Containment.YES
+
+        return Containment.OPEN
+
+
+def ST(r: GrowthRate, s: GrowthRate, tapes: Optional[int] = None) -> ComplexityClass:
+    return ComplexityClass(ClassKind.ST, r, s, tapes)
+
+
+def NST(r: GrowthRate, s: GrowthRate, tapes: Optional[int] = None) -> ComplexityClass:
+    return ComplexityClass(ClassKind.NST, r, s, tapes)
+
+
+def RST(r: GrowthRate, s: GrowthRate, tapes: Optional[int] = None) -> ComplexityClass:
+    return ComplexityClass(ClassKind.RST, r, s, tapes)
+
+
+def CoRST(r: GrowthRate, s: GrowthRate, tapes: Optional[int] = None) -> ComplexityClass:
+    return ComplexityClass(ClassKind.CO_RST, r, s, tapes)
+
+
+def LasVegasRST(
+    r: GrowthRate, s: GrowthRate, tapes: Optional[int] = None
+) -> ComplexityClass:
+    return ComplexityClass(ClassKind.LASVEGAS_RST, r, s, tapes)

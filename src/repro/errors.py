@@ -1,0 +1,86 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+The model of Grohe, Hernich and Schweikardt charges two resources: head
+reversals on external-memory tapes and space on internal-memory tapes.
+Violating either budget is a :class:`ResourceError`; structural problems
+(malformed machines, undecodable instances, bad query syntax) get their own
+subclasses so callers can distinguish "the machine is broken" from "the
+machine ran out of its (r, s, t) budget".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ResourceError(ReproError):
+    """An (r, s, t) resource budget was violated."""
+
+
+class ReversalBudgetExceeded(ResourceError):
+    """More head reversals on external tapes than the budget ``r(N)`` allows."""
+
+    def __init__(self, used: int, budget: int, tape: "int | None" = None):
+        self.used = used
+        self.budget = budget
+        self.tape = tape
+        where = f" (tape {tape})" if tape is not None else ""
+        super().__init__(
+            f"reversal budget exceeded{where}: used {used}, budget {budget}"
+        )
+
+
+class SpaceBudgetExceeded(ResourceError):
+    """More internal-memory space than the budget ``s(N)`` allows."""
+
+    def __init__(self, used: int, budget: int):
+        self.used = used
+        self.budget = budget
+        super().__init__(f"space budget exceeded: used {used}, budget {budget}")
+
+
+class TapeBudgetExceeded(ResourceError):
+    """More external tapes requested than the budget ``t`` allows."""
+
+    def __init__(self, used: int, budget: int):
+        self.used = used
+        self.budget = budget
+        super().__init__(f"tape budget exceeded: used {used}, budget {budget}")
+
+
+class StepBudgetExceeded(ResourceError):
+    """A run exceeded an explicit step limit (guards against diverging machines)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"run exceeded the step limit of {limit} steps")
+
+
+class MachineError(ReproError):
+    """A Turing machine or list machine is structurally invalid."""
+
+
+class TransitionError(MachineError):
+    """No applicable transition, or a transition violates normalization."""
+
+
+class EncodingError(ReproError):
+    """An instance string cannot be decoded, or values cannot be encoded."""
+
+
+class QueryError(ReproError):
+    """Base class for query-language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """A relational algebra / XPath / XQuery expression failed to parse."""
+
+
+class QueryEvaluationError(QueryError):
+    """A query failed during evaluation (type mismatch, unknown name, ...)."""
+
+
+class XMLError(ReproError):
+    """Malformed XML token stream or document."""

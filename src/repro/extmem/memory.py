@@ -1,0 +1,111 @@
+"""Internal-memory accounting.
+
+The paper's internal-memory tapes are unrestricted in access but bounded in
+total *space* ``s(N)``.  :class:`InternalMemory` is a named-register store
+whose space charge is the exact number of bits needed to hold each value:
+
+* ``int``   → ``max(1, bit_length)`` bits (two's-complement sign ignored —
+  the model's alphabet is constant-size, so constant factors are free);
+* ``str``   → ``8 · len`` bits;
+* ``bool``  → 1 bit;
+* ``bytes`` → ``8 · len`` bits;
+* tuples/lists → sum of the components.
+
+Re-assigning a register frees its previous charge first, so a machine that
+keeps "numbers smaller than p1" really is charged O(log p1) bits, exactly as
+the Theorem 8(a) analysis requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import ReproError
+from .tracker import ResourceTracker
+
+
+def bit_cost(value: Any) -> int:
+    """Number of bits charged for storing ``value`` in internal memory."""
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length())
+    if isinstance(value, str):
+        return 8 * len(value)
+    if isinstance(value, bytes):
+        return 8 * len(value)
+    if isinstance(value, (tuple, list)):
+        return sum(bit_cost(v) for v in value)
+    raise ReproError(f"cannot charge internal memory for {type(value).__name__}")
+
+
+class InternalMemory:
+    """A register file whose total bit usage is charged to a tracker.
+
+    Use item access (``mem["acc"] = 7``; ``mem["acc"]``) or :meth:`store` /
+    :meth:`load` / :meth:`free`.  Peak usage is tracked by the shared
+    :class:`ResourceTracker`, which enforces the s(N) budget if one is set.
+    """
+
+    def __init__(self, tracker: Optional[ResourceTracker] = None):
+        self.tracker = tracker or ResourceTracker()
+        self._registers: Dict[str, Any] = {}
+        self._charges: Dict[str, int] = {}
+
+    def store(self, name: str, value: Any) -> None:
+        """Store ``value`` under ``name``, re-charging space as needed."""
+        new_cost = bit_cost(value)
+        old_cost = self._charges.get(name, 0)
+        self.tracker.charge_internal(new_cost - old_cost)
+        self._registers[name] = value
+        self._charges[name] = new_cost
+
+    def load(self, name: str) -> Any:
+        """Read a register (KeyError via ReproError if absent)."""
+        if name not in self._registers:
+            raise ReproError(f"internal memory has no register {name!r}")
+        return self._registers[name]
+
+    def free(self, name: str) -> None:
+        """Drop a register, releasing its space charge."""
+        if name in self._registers:
+            self.tracker.charge_internal(-self._charges[name])
+            del self._registers[name]
+            del self._charges[name]
+
+    def clear(self) -> None:
+        """Drop all registers."""
+        for name in list(self._registers):
+            self.free(name)
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self.store(name, value)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.load(name)
+
+    def __delitem__(self, name: str) -> None:
+        if name not in self._registers:
+            raise KeyError(name)
+        self.free(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registers
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registers)
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    @property
+    def used_bits(self) -> int:
+        """Current total space charge in bits."""
+        return sum(self._charges.values())
+
+    @property
+    def peak_bits(self) -> int:
+        """Peak space charge seen by the tracker (all users included)."""
+        return self.tracker.peak_internal_bits

@@ -1,0 +1,177 @@
+"""Resource accounting for the (r, s, t) model.
+
+Definition 1 of the paper calls a machine (r, s, t)-bounded when every run ρ
+on an input of length N satisfies
+
+    (1) ρ is finite,
+    (2) 1 + Σ_{i≤t} rev(ρ, i)  ≤  r(N),
+    (3) Σ_{t<i≤t+u} space(ρ, i)  ≤  s(N).
+
+The ``+1`` in (2) makes r(N) a bound on the number of *sequential scans*
+rather than direction changes.  :class:`ResourceTracker` implements exactly
+this accounting; every tape and internal-memory object registers with one
+tracker, and a :class:`ResourceBudget` (if attached) turns accounting into
+enforcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import (
+    ReversalBudgetExceeded,
+    SpaceBudgetExceeded,
+    TapeBudgetExceeded,
+)
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """An (r, s, t) budget: scans, internal bits, external tapes.
+
+    ``max_scans`` bounds ``1 + Σ reversals`` (the paper's r(N));
+    ``max_internal_bits`` bounds peak internal memory (the paper's s(N), in
+    bits); ``max_tapes`` bounds the number of external tapes (the paper's t).
+    Any component may be ``None`` meaning "unbounded".
+    """
+
+    max_scans: Optional[int] = None
+    max_internal_bits: Optional[int] = None
+    max_tapes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_scans", "max_internal_bits", "max_tapes"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be nonnegative, got {value}")
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Immutable snapshot of the resources a computation consumed."""
+
+    reversals: int
+    scans: int  # 1 + reversals, the paper's bounded quantity
+    peak_internal_bits: int
+    tapes_used: int
+    reversals_per_tape: Dict[int, int] = field(default_factory=dict)
+    steps: int = 0
+
+    def within(self, budget: ResourceBudget) -> bool:
+        """Did this run stay within ``budget``?"""
+        if budget.max_scans is not None and self.scans > budget.max_scans:
+            return False
+        if (
+            budget.max_internal_bits is not None
+            and self.peak_internal_bits > budget.max_internal_bits
+        ):
+            return False
+        if budget.max_tapes is not None and self.tapes_used > budget.max_tapes:
+            return False
+        return True
+
+
+class ResourceTracker:
+    """Aggregates reversal/space/tape charges; optionally enforces a budget.
+
+    Tapes call :meth:`charge_reversal`, internal memory calls
+    :meth:`charge_internal`, and anything that wants a step count calls
+    :meth:`charge_step`.  All charges are monotone; ``report()`` can be taken
+    at any point.
+    """
+
+    def __init__(self, budget: Optional[ResourceBudget] = None):
+        self.budget = budget
+        self._reversals_per_tape: Dict[int, int] = {}
+        self._tape_count = 0
+        self._current_internal_bits = 0
+        self._peak_internal_bits = 0
+        self._steps = 0
+
+    # -- registration -----------------------------------------------------
+
+    def register_tape(self) -> int:
+        """Register a new external tape; returns its 1-based tape id."""
+        self._tape_count += 1
+        tape_id = self._tape_count
+        self._reversals_per_tape[tape_id] = 0
+        if (
+            self.budget is not None
+            and self.budget.max_tapes is not None
+            and self._tape_count > self.budget.max_tapes
+        ):
+            raise TapeBudgetExceeded(self._tape_count, self.budget.max_tapes)
+        return tape_id
+
+    # -- charging ---------------------------------------------------------
+
+    def charge_reversal(self, tape_id: int) -> None:
+        """Record one head-direction change on ``tape_id``."""
+        if tape_id not in self._reversals_per_tape:
+            raise ValueError(f"unknown tape id {tape_id}")
+        self._reversals_per_tape[tape_id] += 1
+        if self.budget is not None and self.budget.max_scans is not None:
+            if self.scans > self.budget.max_scans:
+                raise ReversalBudgetExceeded(
+                    self.scans, self.budget.max_scans, tape=tape_id
+                )
+
+    def charge_internal(self, delta_bits: int) -> None:
+        """Adjust current internal-memory usage by ``delta_bits`` (may free)."""
+        self._current_internal_bits += delta_bits
+        if self._current_internal_bits < 0:
+            raise ValueError("internal memory usage went negative")
+        if self._current_internal_bits > self._peak_internal_bits:
+            self._peak_internal_bits = self._current_internal_bits
+            if (
+                self.budget is not None
+                and self.budget.max_internal_bits is not None
+                and self._peak_internal_bits > self.budget.max_internal_bits
+            ):
+                raise SpaceBudgetExceeded(
+                    self._peak_internal_bits, self.budget.max_internal_bits
+                )
+
+    def charge_step(self, count: int = 1) -> None:
+        """Record machine steps (not budgeted; used for Lemma 3 analytics)."""
+        self._steps += count
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def reversals(self) -> int:
+        """Total head reversals across all external tapes."""
+        return sum(self._reversals_per_tape.values())
+
+    @property
+    def scans(self) -> int:
+        """The paper's bounded quantity: 1 + total reversals."""
+        return 1 + self.reversals
+
+    @property
+    def peak_internal_bits(self) -> int:
+        return self._peak_internal_bits
+
+    @property
+    def current_internal_bits(self) -> int:
+        return self._current_internal_bits
+
+    @property
+    def tapes_used(self) -> int:
+        return self._tape_count
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    def report(self) -> ResourceReport:
+        """Snapshot the current consumption."""
+        return ResourceReport(
+            reversals=self.reversals,
+            scans=self.scans,
+            peak_internal_bits=self._peak_internal_bits,
+            tapes_used=self._tape_count,
+            reversals_per_tape=dict(self._reversals_per_tape),
+            steps=self._steps,
+        )

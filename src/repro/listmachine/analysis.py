@@ -1,0 +1,195 @@
+"""Information-flow analysis: the merge lemma and the few-comparisons bound.
+
+* Definition 36: a sequence of input positions *occurs* in a configuration
+  if it can be read off one list, left to right (cells in non-decreasing
+  order, positions inside a cell in token order).
+* Lemma 37 (merge lemma): every sequence occurring in a configuration of an
+  (r, t)-bounded run is a union of at most t^r subsequences, each monotone
+  with respect to the input order.  We check this by computing a cover of
+  the per-list position sequence into monotone pieces (greedy first, exact
+  search as a fallback) and comparing its size with t^r.
+* Lemma 38: at most t^{2r}·sortedness(φ) indices i have (i, m+φ(i))
+  compared in a skeleton.  Checked directly from compared pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import MachineError
+from .config import LMConfiguration
+from .nlm import NLM
+from .run import LMRun
+from .skeleton import Skeleton, compared_pairs, positions_in_cell
+
+
+def occurring_position_sequence(
+    config: LMConfiguration, list_index: int
+) -> Tuple[int, ...]:
+    """The full left-to-right position sequence of one list.
+
+    Any subsequence of this sequence "occurs in γ" in the sense of
+    Definition 36 (and conversely, every occurring sequence on this list is
+    a subsequence of it), so checking the merge lemma on it checks it for
+    every occurring sequence at once.
+    """
+    out: List[int] = []
+    for cell in config.lists[list_index]:
+        out.extend(positions_in_cell(cell))
+    return tuple(out)
+
+
+def _greedy_monotone_cover(seq: Sequence[int]) -> int:
+    """Upper bound on the minimal monotone cover size (greedy piles).
+
+    Each pile is 'undecided', 'inc' or 'dec'; a new element goes to the
+    first pile it extends, else opens a new pile.
+    """
+    piles: List[Tuple[str, int]] = []  # (kind, last value)
+    for v in seq:
+        placed = False
+        for idx, (kind, last) in enumerate(piles):
+            if kind == "undecided":
+                if v != last:
+                    piles[idx] = ("inc" if v > last else "dec", v)
+                placed = True
+                break
+            if kind == "inc" and v >= last:
+                piles[idx] = ("inc", v)
+                placed = True
+                break
+            if kind == "dec" and v <= last:
+                piles[idx] = ("dec", v)
+                placed = True
+                break
+        if not placed:
+            piles.append(("undecided", v))
+    return len(piles)
+
+
+def greedy_monotone_partition(seq: Sequence[int]) -> List[List[int]]:
+    """An explicit partition of ``seq`` into monotone subsequences.
+
+    Greedy (not necessarily minimal); each returned piece is monotone
+    (non-strictly increasing or decreasing) and the pieces interleave back
+    to exactly ``seq``.  Used to *exhibit* the merge-lemma decomposition.
+    """
+    piles: List[Tuple[str, List[int]]] = []
+    for v in seq:
+        placed = False
+        for idx, (kind, items) in enumerate(piles):
+            last = items[-1]
+            if kind == "undecided":
+                if v != last:
+                    piles[idx] = ("inc" if v > last else "dec", items + [v])
+                else:
+                    items.append(v)
+                placed = True
+                break
+            if kind == "inc" and v >= last:
+                items.append(v)
+                placed = True
+                break
+            if kind == "dec" and v <= last:
+                items.append(v)
+                placed = True
+                break
+        if not placed:
+            piles.append(("undecided", [v]))
+    return [items for _kind, items in piles]
+
+
+def _exact_monotone_cover(seq: Sequence[int], limit: int) -> Optional[int]:
+    """Smallest monotone cover size ≤ limit, or None (backtracking search).
+
+    Exponential; used only for short sequences when the greedy bound
+    exceeds the lemma bound and a definitive answer is needed.
+    """
+
+    best: List[Optional[int]] = [None]
+
+    def search(index: int, piles: List[Tuple[str, int]]) -> None:
+        if best[0] is not None and len(piles) >= best[0]:
+            return
+        if index == len(seq):
+            best[0] = len(piles)
+            return
+        v = seq[index]
+        for i, (kind, last) in enumerate(piles):
+            if kind == "undecided":
+                new_kind = kind if v == last else ("inc" if v > last else "dec")
+                piles[i] = (new_kind, v)
+                search(index + 1, piles)
+                piles[i] = (kind, last)
+            elif kind == "inc" and v >= last:
+                piles[i] = (kind, v)
+                search(index + 1, piles)
+                piles[i] = (kind, last)
+            elif kind == "dec" and v <= last:
+                piles[i] = (kind, v)
+                search(index + 1, piles)
+                piles[i] = (kind, last)
+        if len(piles) + 1 <= limit:
+            piles.append(("undecided", v))
+            search(index + 1, piles)
+            piles.pop()
+
+    search(0, [])
+    return best[0]
+
+
+def monotone_cover_size(
+    seq: Sequence[int], *, exact_threshold: int = 18
+) -> int:
+    """Size of a small monotone cover of ``seq`` (greedy, exact for short).
+
+    Returns an upper bound on the minimum; exact for sequences shorter than
+    ``exact_threshold``.
+    """
+    greedy = _greedy_monotone_cover(seq)
+    if len(seq) < exact_threshold:
+        exact = _exact_monotone_cover(seq, greedy)
+        if exact is not None:
+            return exact
+    return greedy
+
+
+def merge_lemma_holds(run: LMRun, nlm: NLM, r: int) -> bool:
+    """Lemma 37 check: every list's position sequence in every configuration
+    decomposes into ≤ t^r monotone subsequences."""
+    bound = nlm.t**r
+    for config in run.configurations:
+        for list_index in range(nlm.t):
+            seq = occurring_position_sequence(config, list_index)
+            if not seq:
+                continue
+            if monotone_cover_size(seq) > bound:
+                # the greedy/exact cover exceeded the bound; for long
+                # sequences try the exact search with the lemma's bound
+                exact = _exact_monotone_cover(seq, bound)
+                if exact is None:
+                    return False
+    return True
+
+
+def compared_phi_pairs(
+    skeleton: Skeleton, m: int, phi: Sequence[int]
+) -> List[int]:
+    """The indices i ∈ {0..m−1} with positions (i, m+φ(i)) compared in ζ."""
+    if len(phi) != m:
+        raise MachineError("phi must have length m")
+    pairs = compared_pairs(skeleton)
+    return [i for i in range(m) if frozenset((i, m + phi[i])) in pairs]
+
+
+def lemma38_bound_holds(
+    skeleton: Skeleton,
+    m: int,
+    phi: Sequence[int],
+    nlm: NLM,
+    r: int,
+    phi_sortedness: int,
+) -> bool:
+    """Lemma 38: |{i : (i, m+φ(i)) compared}| ≤ t^{2r} · sortedness(φ)."""
+    count = len(compared_phi_pairs(skeleton, m, phi))
+    return count <= nlm.t ** (2 * r) * phi_sortedness

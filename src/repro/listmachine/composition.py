@@ -1,0 +1,215 @@
+"""The composition lemma (Lemma 34) and the executable Lemma 21 attack.
+
+Lemma 34: if two inputs v, w differ only at positions i, i′ that are *not
+compared* in the common skeleton ζ of their (equally accepting) runs under
+the same choice sequence c, then the crossover inputs
+
+    u  = v with position i′ taken from w
+    u′ = v with position i  taken from w
+
+generate runs with the same skeleton and the same verdict.
+
+:func:`lemma21_attack` turns the whole proof of Lemma 21 into a pipeline
+that *executes* against a concrete machine:
+
+1. find a choice sequence accepting ≥ half the yes-family (Lemma 26);
+2. group accepted runs by skeleton, take the largest class;
+3. find an index i with (i, m+φ(i)) uncompared (guaranteed by Lemma 38
+   when the parameters satisfy Lemma 21's hypotheses);
+4. find two class members differing exactly at {i, m+φ(i)};
+5. compose and run: the machine accepts a **no**-instance — a certified
+   counterexample to its claimed one-sided correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MachineError
+from .nlm import NLM
+from .run import LMRun, run_with_choices, find_good_choice_sequence
+from .skeleton import Skeleton, compared_pairs, skeleton_of_run
+
+
+def compose_inputs(
+    v: Sequence[object],
+    w: Sequence[object],
+    take_from_w: Sequence[int],
+) -> Tuple[object, ...]:
+    """The crossover input: v with the listed positions replaced from w."""
+    if len(v) != len(w):
+        raise MachineError("inputs must have equal length")
+    take = set(take_from_w)
+    for i in take:
+        if not 0 <= i < len(v):
+            raise MachineError(f"position {i} out of range")
+    return tuple(w[i] if i in take else v[i] for i in range(len(v)))
+
+
+@dataclass(frozen=True)
+class CompositionWitness:
+    """The verified conclusion of one Lemma 34 application."""
+
+    u: Tuple[object, ...]
+    u_prime: Tuple[object, ...]
+    skeleton_preserved: bool
+    verdict_preserved: bool
+    accepted: bool
+
+
+def verify_composition_lemma(
+    nlm: NLM,
+    v: Sequence[object],
+    w: Sequence[object],
+    i: int,
+    i_prime: int,
+    choices: Sequence[object],
+) -> CompositionWitness:
+    """Check Lemma 34's hypotheses for (v, w, i, i′, c), then its conclusion.
+
+    Raises MachineError when a hypothesis fails; otherwise runs the two
+    crossover inputs and reports whether skeleton and verdict carried over
+    (the lemma says they must — a False field is a genuine discrepancy).
+    """
+    if i == i_prime:
+        raise MachineError("i and i′ must differ")
+    diff = [j for j in range(len(v)) if v[j] != w[j]]
+    if not set(diff) <= {i, i_prime}:
+        raise MachineError(f"v and w differ outside {{i, i′}}: {diff}")
+
+    run_v = run_with_choices(nlm, v, choices)
+    run_w = run_with_choices(nlm, w, choices)
+    skel = skeleton_of_run(run_v)
+    if skeleton_of_run(run_w) != skel:
+        raise MachineError("runs of v and w have different skeletons")
+    if run_v.accepts(nlm) != run_w.accepts(nlm):
+        raise MachineError("runs of v and w disagree on acceptance")
+    pairs = compared_pairs(skel)
+    if frozenset((i, i_prime)) in pairs:
+        raise MachineError(f"positions {i} and {i_prime} are compared in ζ")
+
+    u = compose_inputs(v, w, [i_prime])
+    u_prime = compose_inputs(v, w, [i])
+    run_u = run_with_choices(nlm, u, choices)
+    run_u_prime = run_with_choices(nlm, u_prime, choices)
+    skeleton_preserved = (
+        skeleton_of_run(run_u) == skel and skeleton_of_run(run_u_prime) == skel
+    )
+    verdict_preserved = (
+        run_u.accepts(nlm) == run_v.accepts(nlm)
+        and run_u_prime.accepts(nlm) == run_v.accepts(nlm)
+    )
+    return CompositionWitness(
+        u=u,
+        u_prime=u_prime,
+        skeleton_preserved=skeleton_preserved,
+        verdict_preserved=verdict_preserved,
+        accepted=run_u.accepts(nlm),
+    )
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of the Lemma 21 pipeline against a concrete machine."""
+
+    success: bool
+    fooling_input: Optional[Tuple[object, ...]]
+    donor_v: Optional[Tuple[object, ...]]
+    donor_w: Optional[Tuple[object, ...]]
+    uncompared_index: Optional[int]
+    skeleton_classes: int
+    largest_class_size: int
+    accepted_yes_fraction: float
+    detail: str = ""
+
+
+def lemma21_attack(
+    nlm: NLM,
+    yes_inputs: Sequence[Sequence[object]],
+    phi: Sequence[int],
+    *,
+    r: Optional[int] = None,
+    choice_length: Optional[int] = None,
+) -> AttackOutcome:
+    """Run the proof of Lemma 21 as an attack against ``nlm``.
+
+    ``yes_inputs`` is (a sample of) the family I_eq: inputs
+    (v_1..v_m, v'_1..v'_m) with v_i = v'_φ(i), where m = len(phi) and the
+    machine reads 2m values.  Success means a no-instance the machine
+    accepts was constructed — proving it cannot solve the promise problem
+    with one-sided error.
+    """
+    m = len(phi)
+    if any(len(v) != 2 * m for v in yes_inputs):
+        raise MachineError("every input must have 2·m values")
+    if not yes_inputs:
+        raise MachineError("need at least one yes-input")
+
+    # Step 1–2 (Lemma 26): one choice sequence good for half the family.
+    choices, accepted = find_good_choice_sequence(
+        nlm, yes_inputs, length=choice_length, r=r
+    )
+
+    # Step 3: group accepted inputs by skeleton.
+    classes: Dict[Skeleton, List[Tuple[object, ...]]] = {}
+    for v in accepted:
+        skel = skeleton_of_run(run_with_choices(nlm, v, choices))
+        classes.setdefault(skel, []).append(tuple(v))
+    if not classes:
+        return AttackOutcome(
+            False, None, None, None, None, 0, 0, 0.0, "no accepted yes-inputs"
+        )
+    best_skel, members = max(classes.items(), key=lambda kv: len(kv[1]))
+    pairs = compared_pairs(best_skel)
+    accepted_fraction = len(accepted) / len(yes_inputs)
+
+    # Step 4: an index whose pair (i, m+φ(i)) is never compared.
+    for i in range(m):
+        if frozenset((i, m + phi[i])) in pairs:
+            continue
+        other_positions = [
+            j for j in range(2 * m) if j not in (i, m + phi[i])
+        ]
+        groups: Dict[Tuple[object, ...], List[Tuple[object, ...]]] = {}
+        for v in members:
+            key = tuple(v[j] for j in other_positions)
+            groups.setdefault(key, []).append(v)
+        for group in groups.values():
+            distinct = {g for g in group}
+            if len(distinct) < 2:
+                continue
+            v, w = sorted(distinct)[:2]
+            # Step 5: compose — first half from v, the φ(i) slot from w.
+            u = compose_inputs(v, w, [m + phi[i]])
+            run_u = run_with_choices(nlm, u, choices)
+            if run_u.accepts(nlm):
+                return AttackOutcome(
+                    success=True,
+                    fooling_input=u,
+                    donor_v=v,
+                    donor_w=w,
+                    uncompared_index=i,
+                    skeleton_classes=len(classes),
+                    largest_class_size=len(members),
+                    accepted_yes_fraction=accepted_fraction,
+                    detail=(
+                        f"machine accepts u although u[{i}] = {u[i]!r} ≠ "
+                        f"{u[m + phi[i]]!r} = u[m+φ({i})]"
+                    ),
+                )
+    return AttackOutcome(
+        success=False,
+        fooling_input=None,
+        donor_v=None,
+        donor_w=None,
+        uncompared_index=None,
+        skeleton_classes=len(classes),
+        largest_class_size=len(members),
+        accepted_yes_fraction=accepted_fraction,
+        detail=(
+            "no fooling input found at this sample size — either the "
+            "machine compares every pair (enough reversals/states) or the "
+            "yes-sample is too small for step 7's counting argument"
+        ),
+    )

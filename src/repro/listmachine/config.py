@@ -1,0 +1,169 @@
+"""List machine configurations and the single-step semantics (Definition 24).
+
+A configuration is (a, p, d, X): state, 0-based head positions, head
+directions, and the lists (tuples of cells, cells being token tuples).
+
+The step semantics is implemented **literally** from Definition 24(c):
+
+1. α yields (b, e_1..e_t); each e_i is clamped at the list ends so heads
+   never fall off;
+2. f_i = 1 iff head i moves or turns; if all f_i = 0 only the state changes;
+3. otherwise y = a⟨x_{1,p1}⟩…⟨x_{t,pt}⟩⟨c⟩ is written on *every* list:
+   overwriting the head cell when move_i, inserted before the head cell
+   when d_i = +1, after it when d_i = −1;
+4. the new positions follow the (head-direction, move) table — with the
+   effect that a head that merely turns ends up **on the freshly written
+   cell** y, and a head that neither moves nor turns stays on its old cell
+   with y deposited behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import MachineError
+from .nlm import NLM, Cell, Choice, Inp, LA, RA, Movement, StateTok
+
+
+@dataclass(frozen=True)
+class LMConfiguration:
+    """An NLM configuration (a, p, d, X); hashable for memoization."""
+
+    state: str
+    positions: Tuple[int, ...]
+    directions: Tuple[int, ...]
+    lists: Tuple[Tuple[Cell, ...], ...]
+
+    def head_cell(self, list_index: int) -> Cell:
+        return self.lists[list_index][self.positions[list_index]]
+
+    def head_cells(self) -> Tuple[Cell, ...]:
+        return tuple(self.head_cell(i) for i in range(len(self.lists)))
+
+    def is_final(self, nlm: NLM) -> bool:
+        return self.state in nlm.final_states
+
+    def is_accepting(self, nlm: NLM) -> bool:
+        return self.state in nlm.accepting_states
+
+    @property
+    def total_list_length(self) -> int:
+        """Σ_τ (number of cells of list τ) — the quantity of Lemma 30(a)."""
+        return sum(len(lst) for lst in self.lists)
+
+    @property
+    def cell_size(self) -> int:
+        """Maximum cell length — the quantity of Lemma 30(b)."""
+        return max(len(cell) for lst in self.lists for cell in lst)
+
+
+def initial_configuration(nlm: NLM, values: Sequence[object]) -> LMConfiguration:
+    """Definition 24(b): list 1 holds ⟨v_1⟩ … ⟨v_m⟩; the rest hold ⟨⟩."""
+    if len(values) != nlm.m:
+        raise MachineError(
+            f"input has {len(values)} values, machine expects m = {nlm.m}"
+        )
+    for v in values:
+        if v not in nlm.input_alphabet:
+            raise MachineError(f"input value {v!r} not in I")
+    first: Tuple[Cell, ...]
+    if values:
+        first = tuple((LA, Inp(v, i), RA) for i, v in enumerate(values))
+    else:
+        first = ((LA, RA),)  # an empty input still needs one cell to stand on
+    rest: Tuple[Cell, ...] = ((LA, RA),)
+    return LMConfiguration(
+        state=nlm.initial_state,
+        positions=(0,) * nlm.t,
+        directions=(+1,) * nlm.t,
+        lists=(first,) + tuple(rest for _ in range(nlm.t - 1)),
+    )
+
+
+def successor(
+    nlm: NLM, config: LMConfiguration, choice: object
+) -> Tuple[LMConfiguration, Tuple[int, ...]]:
+    """The c-successor of a configuration, plus the move vector.
+
+    Returns (next_configuration, moves) where moves ∈ {0, +1, −1}^t records,
+    per list, whether the head stayed on the same cell or moved to the
+    neighbouring cell (Definition 27(b)(iii) — cell identity, not index).
+    """
+    if config.is_final(nlm):
+        raise MachineError("no successor: configuration is final")
+    if choice not in nlm.choices:
+        raise MachineError(f"choice {choice!r} not in C")
+    heads = config.head_cells()
+    new_state, movements = nlm.validate_transition(
+        config.state, nlm.alpha(config.state, heads, choice)
+    )
+
+    t = nlm.t
+    clamped: list = []
+    for i in range(t):
+        hd, mv = movements[i]
+        p_i = config.positions[i]
+        if p_i == 0 and (hd, mv) == (-1, True):
+            clamped.append((-1, False))
+        elif p_i == len(config.lists[i]) - 1 and (hd, mv) == (+1, True):
+            clamped.append((+1, False))
+        else:
+            clamped.append((hd, mv))
+
+    flags = [
+        1 if (clamped[i][1] or clamped[i][0] != config.directions[i]) else 0
+        for i in range(t)
+    ]
+    if not any(flags):
+        next_config = LMConfiguration(
+            state=new_state,
+            positions=config.positions,
+            directions=config.directions,
+            lists=config.lists,
+        )
+        return next_config, (0,) * t
+
+    y: Cell = (StateTok(config.state),)
+    for cell in heads:
+        y = y + (LA,) + cell + (RA,)
+    y = y + (LA, Choice(choice), RA)
+
+    new_lists = []
+    new_positions = []
+    new_directions = []
+    moves_vector = []
+    for i in range(t):
+        hd_new, mv = clamped[i]
+        lst = config.lists[i]
+        p_i = config.positions[i]
+        if mv:
+            new_list = lst[:p_i] + (y,) + lst[p_i + 1 :]
+        elif config.directions[i] == +1:
+            new_list = lst[:p_i] + (y,) + lst[p_i:]
+        else:
+            new_list = lst[: p_i + 1] + (y,) + lst[p_i + 1 :]
+        if (hd_new, mv) == (+1, True):
+            p_new = p_i + 1
+        elif (hd_new, mv) == (-1, True):
+            p_new = p_i - 1
+        elif (hd_new, mv) == (+1, False):
+            p_new = p_i + 1
+        else:  # (-1, False)
+            p_new = p_i
+        new_lists.append(new_list)
+        new_positions.append(p_new)
+        new_directions.append(hd_new)
+        moves_vector.append(hd_new if flags[i] else 0)
+        if not 0 <= p_new < len(new_list):  # pragma: no cover - invariant
+            raise MachineError(
+                f"head {i} left its list: position {p_new} of {len(new_list)}"
+            )
+
+    next_config = LMConfiguration(
+        state=new_state,
+        positions=tuple(new_positions),
+        directions=tuple(new_directions),
+        lists=tuple(new_lists),
+    )
+    return next_config, tuple(moves_vector)

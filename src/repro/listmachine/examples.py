@@ -1,0 +1,226 @@
+"""Concrete list machines for tests and experiments.
+
+These machines are small enough to analyse exhaustively yet expressive
+enough to exercise every part of the framework:
+
+* :func:`constant_accept_nlm` — accepts immediately (the degenerate
+  sound-but-useless machine; fooled by any no-instance);
+* :func:`single_scan_parity_nlm` — one forward scan; accepts iff a 1-bit
+  feature XORs to zero across the two halves.  Accepts every yes-instance
+  of (multi)set equality, never compares any pair of positions (its
+  skeletons are comparison-free), and is therefore demolished by the
+  Lemma 21 attack;
+* :func:`tandem_compare_nlm` — copies the first half to list 2 in a
+  forward scan, then walks list 2 backwards while list 1 advances: decides
+  "second half = *reversed* first half" exactly, and its skeletons contain
+  the compared pairs (m−1−j, m+j) — the machine used to validate
+  Definitions 33/36 and Lemmas 37/38 positively;
+* :func:`coin_nlm` — accepts with probability 1/2 regardless of input
+  (|C| = 2); exercises the randomized semantics and Lemma 26.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..errors import MachineError
+from .nlm import NLM, Cell, Inp
+
+
+def _value_of(cell: Cell) -> object:
+    """The unique input value in a cell (first Inp token)."""
+    for tok in cell:
+        if isinstance(tok, Inp):
+            return tok.value
+    raise MachineError(f"cell contains no input token: {cell!r}")
+
+
+def _maybe_value(cell: Cell) -> Optional[object]:
+    for tok in cell:
+        if isinstance(tok, Inp):
+            return tok.value
+    return None
+
+
+def last_bit(value: str) -> int:
+    """Default 1-bit feature: the last character of a 0-1 string."""
+    return 1 if str(value).endswith("1") else 0
+
+
+def constant_accept_nlm(input_alphabet, m: int, t: int = 2) -> NLM:
+    """Accepts every input without a single step (a0 ∈ B_acc)."""
+
+    def alpha(state, cells, c):  # pragma: no cover - never called
+        raise MachineError("final states have no transitions")
+
+    return NLM(
+        t=t,
+        m=m,
+        input_alphabet=frozenset(input_alphabet),
+        choices=("c",),
+        states=frozenset({"acc"}),
+        initial_state="acc",
+        alpha=alpha,
+        final_states=frozenset({"acc"}),
+        accepting_states=frozenset({"acc"}),
+    )
+
+
+def single_scan_parity_nlm(
+    input_alphabet,
+    total_positions: int,
+    feature: Callable[[object], int] = last_bit,
+    t: int = 2,
+) -> NLM:
+    """One forward scan; accept iff ⊕_j feature(value_j) = 0.
+
+    Sound on the equality families (every yes-instance XORs to zero) but
+    deterministic and memoryless beyond one parity bit — the canonical
+    victim of the Lemma 21 attack.  States: (scan, j, parity) plus the two
+    final states; k = 2·total_positions + 2 ≥ 2m + 3 whenever m ≥ ...: the
+    Lemma 21 hypothesis k ≥ 2m+3 holds with m := total_positions/2.
+    """
+    states = {f"scan:{j}:{p}" for j in range(total_positions) for p in (0, 1)}
+    states |= {"acc", "rej"}
+
+    def alpha(state, cells, c):
+        _, j_str, p_str = state.split(":")
+        j, parity = int(j_str), int(p_str)
+        value = _value_of(cells[0])
+        parity ^= feature(value) & 1
+        movements = ((+1, True),) + ((+1, False),) * (t - 1)
+        if j + 1 == total_positions:
+            return ("acc" if parity == 0 else "rej", movements)
+        return (f"scan:{j + 1}:{parity}", movements)
+
+    return NLM(
+        t=t,
+        m=total_positions,
+        input_alphabet=frozenset(input_alphabet),
+        choices=("c",),
+        states=frozenset(states),
+        initial_state="scan:0:0",
+        alpha=alpha,
+        final_states=frozenset({"acc", "rej"}),
+        accepting_states=frozenset({"acc"}),
+    )
+
+
+def tandem_compare_nlm(input_alphabet, half: int) -> NLM:
+    """Decide whether (v'_1..v'_m) = (v_m, …, v_1) — the reversed first half.
+
+    Phase "copy:j" (j = 0..m−1): scan the first half; every step writes y
+    on both lists; list 2's head stays put so the y-cells (each carrying
+    one v_j) pile up to its left.  Phase "cmp:j": list 1 continues right
+    over the primed half while list 2 walks left over the pile; each local
+    view holds v'_{j+1} and v_{m−j} together — a genuine comparison, and
+    the only pairs its skeletons ever compare.
+    """
+    m = half
+    states = {f"copy:{j}" for j in range(m)}
+    states |= {f"cmp:{j}" for j in range(m)}
+    states |= {"turn", "acc", "rej"}
+
+    def alpha(state, cells, c):
+        if state == "turn":
+            # list 1 stays on v'_1 (y slips in behind it); list 2 turns
+            # around and steps onto the top of the pile, y_m.
+            return ("cmp:0", ((+1, False), (-1, True)))
+        phase, j_str = state.split(":")
+        j = int(j_str)
+        if phase == "copy":
+            movements = ((+1, True), (+1, False))
+            if j + 1 == m:
+                return ("turn", movements)
+            return (f"copy:{j + 1}", movements)
+        # phase == "cmp": compare v'_{j+1} (list 1) with v_{m−j} (the pile)
+        primed = _value_of(cells[0])
+        plain = _maybe_value(cells[1])
+        movements = ((+1, True), (-1, True))
+        if plain is None or primed != plain:
+            return ("rej", movements)
+        if j + 1 == m:
+            return ("acc", movements)
+        return (f"cmp:{j + 1}", movements)
+
+    return NLM(
+        t=2,
+        m=2 * m,
+        input_alphabet=frozenset(input_alphabet),
+        choices=("c",),
+        states=frozenset(states),
+        initial_state="copy:0",
+        alpha=alpha,
+        final_states=frozenset({"acc", "rej"}),
+        accepting_states=frozenset({"acc"}),
+    )
+
+
+def randomized_feature_parity_nlm(input_alphabet, total_positions: int) -> NLM:
+    """|C| = 2: the first step nondeterministically picks which bit to
+    fingerprint (last vs. first), then a single scan XORs that feature.
+
+    On equality-type yes-instances *both* branches accept (any per-value
+    feature XORs to zero across equal multisets), so Pr(accept) = 1 — a
+    genuinely randomized machine satisfying the Lemma 21 precondition.
+    The machine still compares nothing, so the attack demolishes it: for
+    a fooling input, *some* branch (in fact the one fixed by Lemma 26's
+    choice sequence) accepts, making Pr(accept) > 0 on a no-instance.
+    """
+    states = {
+        f"scan:{feat}:{j}:{p}"
+        for feat in ("last", "first")
+        for j in range(total_positions)
+        for p in (0, 1)
+    }
+    states |= {"pick", "acc", "rej"}
+
+    def feature(kind: str, value: object) -> int:
+        text = str(value)
+        ch = text[-1] if kind == "last" else text[0]
+        return 1 if ch == "1" else 0
+
+    def alpha(state, cells, c):
+        still = ((+1, False),) * 2
+        if state == "pick":
+            kind = "last" if c == "L" else "first"
+            return (f"scan:{kind}:0:0", still)
+        _, kind, j_str, p_str = state.split(":")
+        j, parity = int(j_str), int(p_str)
+        parity ^= feature(kind, _value_of(cells[0]))
+        movements = ((+1, True), (+1, False))
+        if j + 1 == total_positions:
+            return ("acc" if parity == 0 else "rej", movements)
+        return (f"scan:{kind}:{j + 1}:{parity}", movements)
+
+    return NLM(
+        t=2,
+        m=total_positions,
+        input_alphabet=frozenset(input_alphabet),
+        choices=("L", "F"),
+        states=frozenset(states),
+        initial_state="pick",
+        alpha=alpha,
+        final_states=frozenset({"acc", "rej"}),
+        accepting_states=frozenset({"acc"}),
+    )
+
+
+def coin_nlm(input_alphabet, m: int) -> NLM:
+    """|C| = 2: a single step lands in acc (choice 'h') or rej ('t')."""
+
+    def alpha(state, cells, c):
+        target = "acc" if c == "h" else "rej"
+        return (target, ((+1, False), (+1, False)))
+
+    return NLM(
+        t=2,
+        m=m,
+        input_alphabet=frozenset(input_alphabet),
+        choices=("h", "t"),
+        states=frozenset({"start", "acc", "rej"}),
+        initial_state="start",
+        alpha=alpha,
+        final_states=frozenset({"acc", "rej"}),
+        accepting_states=frozenset({"acc"}),
+    )

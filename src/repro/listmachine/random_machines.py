@@ -1,0 +1,142 @@
+"""Random (but terminating) list machines for property-based fuzzing.
+
+Hand-built example machines exercise the semantics along designed paths;
+the lemmas, however, quantify over *all* machines.  This module generates
+arbitrary-ish deterministic/randomized NLMs whose termination is
+guaranteed by construction (the state carries a step index that always
+increments), so hypothesis can fuzz the Definition 24 semantics and the
+Lemma 30/31/37 checkers against thousands of machines nobody designed.
+
+The transition table is derived from a seeded RNG keyed by
+(step, choice, head-contents-bucket); the bucket uses a deterministic CRC
+so a machine is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Dict, FrozenSet, Sequence, Tuple
+
+from .nlm import NLM, Cell, Movement
+
+_MOVEMENTS: Tuple[Movement, ...] = (
+    (+1, True),
+    (+1, False),
+    (-1, True),
+    (-1, False),
+)
+
+
+def _bucket(cells: Tuple[Cell, ...], buckets: int) -> int:
+    """Deterministic hash of the cell contents under the heads."""
+    payload = repr(cells).encode("utf-8")
+    return zlib.crc32(payload) % buckets
+
+
+def random_terminating_nlm(
+    seed: int,
+    input_alphabet: FrozenSet[object],
+    m: int,
+    *,
+    t: int = 2,
+    length: int = 8,
+    choices: int = 1,
+    buckets: int = 4,
+) -> NLM:
+    """A seeded random NLM that always halts within ``length`` steps.
+
+    States are step-{0..length-1} plus acc/rej; every transition advances
+    the step index, so runs have length ≤ length + 1 regardless of the
+    (random) head movements.  ``choices`` > 1 yields a randomized machine.
+    """
+    rng = random.Random(seed)
+    choice_set = tuple(f"c{i}" for i in range(choices))
+    table: Dict[Tuple[int, object, int], Tuple[Tuple[Movement, ...], bool]] = {}
+    for step in range(length):
+        for c in choice_set:
+            for b in range(buckets):
+                movements = tuple(
+                    rng.choice(_MOVEMENTS) for _ in range(t)
+                )
+                accept = rng.random() < 0.5
+                table[(step, c, b)] = (movements, accept)
+
+    states = {f"step:{i}" for i in range(length)} | {"acc", "rej"}
+
+    def alpha(state, cells, c):
+        step = int(state.split(":")[1])
+        movements, accept = table[(step, c, _bucket(cells, buckets))]
+        if step + 1 < length:
+            return (f"step:{step + 1}", movements)
+        return ("acc" if accept else "rej", movements)
+
+    return NLM(
+        t=t,
+        m=m,
+        input_alphabet=frozenset(input_alphabet),
+        choices=choice_set,
+        states=frozenset(states),
+        initial_state="step:0",
+        alpha=alpha,
+        final_states=frozenset({"acc", "rej"}),
+        accepting_states=frozenset({"acc"}),
+    )
+
+
+def feature_vector_parity_nlm(
+    input_alphabet: FrozenSet[str],
+    total_positions: int,
+    feature_bits: Sequence[int],
+    *,
+    t: int = 2,
+) -> NLM:
+    """One scan; accept iff the XOR of a w-bit feature vector is zero.
+
+    Generalizes :func:`repro.listmachine.examples.single_scan_parity_nlm`
+    to an arbitrary subset of bit positions (the feature).  Every such
+    machine accepts all equality-type yes-instances (each value's feature
+    contributes twice), carries k = 2^w·total_positions + 2 states, and
+    compares nothing — the natural family of "sound but doomed" victims
+    for universal attack properties: whenever the value intervals are
+    larger than 2^w, pigeonhole guarantees the Lemma 21 attack finds two
+    same-feature values to splice.
+    """
+    feature_bits = tuple(feature_bits)
+    w = len(feature_bits)
+    states = {
+        f"scan:{j}:{vec}"
+        for j in range(total_positions)
+        for vec in range(2**w)
+    }
+    states |= {"acc", "rej"}
+
+    def feature(value: str) -> int:
+        out = 0
+        for idx, bit in enumerate(feature_bits):
+            ch = value[bit] if bit < len(value) else "0"
+            out |= (1 if ch == "1" else 0) << idx
+        return out
+
+    def alpha(state, cells, c):
+        from .examples import _value_of
+
+        _, j_str, vec_str = state.split(":")
+        j, vec = int(j_str), int(vec_str)
+        vec ^= feature(str(_value_of(cells[0])))
+        movements = ((+1, True),) + ((+1, False),) * (t - 1)
+        if j + 1 == total_positions:
+            return ("acc" if vec == 0 else "rej", movements)
+        return (f"scan:{j + 1}:{vec}", movements)
+
+    return NLM(
+        t=t,
+        m=total_positions,
+        input_alphabet=frozenset(input_alphabet),
+        choices=("c",),
+        states=frozenset(states),
+        initial_state="scan:0:0",
+        alpha=alpha,
+        final_states=frozenset({"acc", "rej"}),
+        accepting_states=frozenset({"acc"}),
+    )

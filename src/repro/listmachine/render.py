@@ -1,0 +1,89 @@
+"""Human-readable rendering of list machine runs and skeletons.
+
+Debugging a lower-bound construction means staring at list contents; these
+helpers print configurations, runs and skeletons in the paper's ⟨…⟩
+notation.  All output is plain text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import LMConfiguration
+from .nlm import NLM, Cell, Choice, Inp, LA, RA, StateTok
+from .run import LMRun
+from .skeleton import Skeleton, WILDCARD
+
+
+def render_cell(cell: Cell) -> str:
+    """One cell in ⟨…⟩ notation, e.g. ``⟨a⟨'01'@0⟩⟨⟩⟨c⟩⟩``."""
+    parts: List[str] = []
+    for tok in cell:
+        if tok is LA:
+            parts.append("⟨")
+        elif tok is RA:
+            parts.append("⟩")
+        elif isinstance(tok, Inp):
+            parts.append(f"{tok.value}@{tok.position}")
+        elif isinstance(tok, Choice):
+            parts.append(f"?{tok.value}")
+        elif isinstance(tok, StateTok):
+            parts.append(f"[{tok.value}]")
+        else:  # pragma: no cover - no other token kinds exist
+            parts.append(repr(tok))
+    return "".join(parts)
+
+
+def render_configuration(config: LMConfiguration) -> str:
+    """Multi-line rendering: state plus each list with a head marker."""
+    lines = [f"state = {config.state}"]
+    for i, lst in enumerate(config.lists):
+        cells = []
+        for j, cell in enumerate(lst):
+            text = render_cell(cell)
+            if j == config.positions[i]:
+                arrow = "→" if config.directions[i] == +1 else "←"
+                text = f"{arrow}{text}"
+            cells.append(text)
+        lines.append(f"  list {i + 1}: " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_run(run: LMRun, nlm: NLM, *, max_steps: int = 50) -> str:
+    """The whole run, step by step (clipped at ``max_steps``)."""
+    lines = [
+        f"run of {run.length} configurations, "
+        f"{run.scan_count(nlm)} scan(s), "
+        f"{'ACCEPT' if run.accepts(nlm) else 'REJECT'}"
+    ]
+    for step, config in enumerate(run.configurations[:max_steps]):
+        header = f"-- step {step}"
+        if 0 < step <= len(run.moves):
+            header += f" (moves {run.moves[step - 1]})"
+        lines.append(header)
+        lines.append(render_configuration(config))
+    if run.length > max_steps:
+        lines.append(f"… {run.length - max_steps} more configurations")
+    return "\n".join(lines)
+
+
+def render_skeleton(skeleton: Skeleton) -> str:
+    """The skeleton: per step either '?' or (state, directions, ind strings)."""
+    lines = [f"skeleton of length {skeleton.length}"]
+    for step, view in enumerate(skeleton.views):
+        if view == WILDCARD:
+            lines.append(f"  s{step + 1} = ?")
+            continue
+        inds = " ".join(
+            "("
+            + " ".join(
+                "?" if tok == WILDCARD else str(tok) for tok in ind
+            )
+            + ")"
+            for ind in view.index_strings
+        )
+        lines.append(
+            f"  s{step + 1} = state {view.state}, d = {view.directions}, "
+            f"ind = {inds}"
+        )
+    return "\n".join(lines)

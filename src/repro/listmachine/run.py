@@ -1,0 +1,241 @@
+"""Runs of list machines: ρ_M(v, c), probabilities, resource statistics.
+
+Implements Definition 15 (the run determined by a choice sequence),
+Lemma 25 (probabilities via choice counting — validated in tests), the
+memoized exact acceptance probability, and Lemma 26 (existence of a single
+choice sequence good for half of a yes-family — made constructive by
+searching the finite choice space of small machines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import MachineError, StepBudgetExceeded
+from .config import LMConfiguration, initial_configuration, successor
+from .nlm import NLM
+
+DEFAULT_STEP_LIMIT = 20_000
+
+
+@dataclass(frozen=True)
+class LMRun:
+    """A finite run: configurations, the move vectors, the choices used."""
+
+    configurations: Tuple[LMConfiguration, ...]
+    moves: Tuple[Tuple[int, ...], ...]  # moves(ρ), one vector per step
+    choices_used: Tuple[object, ...]
+
+    @property
+    def final(self) -> LMConfiguration:
+        return self.configurations[-1]
+
+    @property
+    def length(self) -> int:
+        return len(self.configurations)
+
+    def accepts(self, nlm: NLM) -> bool:
+        return self.final.is_accepting(nlm)
+
+    def reversals_per_list(self, nlm: NLM) -> Tuple[int, ...]:
+        """rev(ρ, τ): direction changes of each head along the run."""
+        revs = [0] * nlm.t
+        for prev, curr in zip(self.configurations, self.configurations[1:]):
+            for i in range(nlm.t):
+                if curr.directions[i] != prev.directions[i]:
+                    revs[i] += 1
+        return tuple(revs)
+
+    def scan_count(self, nlm: NLM) -> int:
+        """1 + Σ_τ rev(ρ, τ) — the bounded quantity of (r, t)-boundedness."""
+        return 1 + sum(self.reversals_per_list(nlm))
+
+    def is_r_bounded(self, nlm: NLM, r: int) -> bool:
+        return self.scan_count(nlm) <= r
+
+    @property
+    def max_total_list_length(self) -> int:
+        return max(cfg.total_list_length for cfg in self.configurations)
+
+    @property
+    def max_cell_size(self) -> int:
+        return max(cfg.cell_size for cfg in self.configurations)
+
+
+def run_with_choices(
+    nlm: NLM,
+    values: Sequence[object],
+    choices: Sequence[object],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> LMRun:
+    """ρ_M(v, c): start on v, use choice c_i in step i (Definition 15)."""
+    configs = [initial_configuration(nlm, values)]
+    moves: List[Tuple[int, ...]] = []
+    used: List[object] = []
+    step = 0
+    while not configs[-1].is_final(nlm):
+        if step >= len(choices):
+            raise MachineError(
+                f"choice sequence exhausted after {step} steps; "
+                "machine has not reached a final state"
+            )
+        if len(configs) > step_limit:
+            raise StepBudgetExceeded(step_limit)
+        nxt, move_vec = successor(nlm, configs[-1], choices[step])
+        configs.append(nxt)
+        moves.append(move_vec)
+        used.append(choices[step])
+        step += 1
+    return LMRun(tuple(configs), tuple(moves), tuple(used))
+
+
+def run_deterministic(
+    nlm: NLM,
+    values: Sequence[object],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> LMRun:
+    """Run a deterministic NLM (|C| = 1) to completion."""
+    if not nlm.is_deterministic:
+        raise MachineError("machine is not deterministic (|C| > 1)")
+    c = nlm.choices[0]
+    configs = [initial_configuration(nlm, values)]
+    moves: List[Tuple[int, ...]] = []
+    while not configs[-1].is_final(nlm):
+        if len(configs) > step_limit:
+            raise StepBudgetExceeded(step_limit)
+        nxt, move_vec = successor(nlm, configs[-1], c)
+        configs.append(nxt)
+        moves.append(move_vec)
+    return LMRun(
+        tuple(configs), tuple(moves), tuple([c] * (len(configs) - 1))
+    )
+
+
+def acceptance_probability(
+    nlm: NLM,
+    values: Sequence[object],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> Fraction:
+    """Exact Pr(M accepts v): each step draws c ∈ C uniformly.
+
+    Memoized over configurations; a cycle would mean an infinite run,
+    which (r, t)-bounded machines cannot have — it is detected and
+    reported.
+    """
+    memo: Dict[LMConfiguration, Fraction] = {}
+    on_stack: set = set()
+
+    def prob(config: LMConfiguration, depth: int) -> Fraction:
+        if config in memo:
+            return memo[config]
+        if config in on_stack:
+            raise MachineError("configuration cycle: the machine can loop")
+        if depth > step_limit:
+            raise StepBudgetExceeded(step_limit)
+        if config.is_final(nlm):
+            result = Fraction(1 if config.is_accepting(nlm) else 0)
+        else:
+            on_stack.add(config)
+            total = Fraction(0)
+            for c in nlm.choices:
+                nxt, _ = successor(nlm, config, c)
+                total += prob(nxt, depth + 1)
+            on_stack.discard(config)
+            result = total / len(nlm.choices)
+        memo[config] = result
+        return result
+
+    return prob(initial_configuration(nlm, values), 0)
+
+
+def sample_acceptance(
+    nlm: NLM,
+    values: Sequence[object],
+    rng,
+    *,
+    trials: int = 200,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> float:
+    """Monte-Carlo estimate of Pr(M accepts v) for machines too large for
+    the exact memoized computation.  Each trial draws choices uniformly
+    per step, per the randomized semantics."""
+    if trials < 1:
+        raise MachineError("trials must be >= 1")
+    accepted = 0
+    for _ in range(trials):
+        config = initial_configuration(nlm, values)
+        steps = 0
+        while not config.is_final(nlm):
+            if steps > step_limit:
+                raise StepBudgetExceeded(step_limit)
+            config, _ = successor(nlm, config, rng.choice(nlm.choices))
+            steps += 1
+        accepted += config.is_accepting(nlm)
+    return accepted / trials
+
+
+def run_length_upper_bound(nlm: NLM, r: int) -> int:
+    """Lemma 31(a): every run of an (r, t)-bounded NLM has length
+    ≤ k + k·(t+1)^{r+1}·m."""
+    k, t, m = nlm.k, nlm.t, max(1, nlm.m)
+    return k + k * (t + 1) ** (r + 1) * m
+
+
+def find_good_choice_sequence(
+    nlm: NLM,
+    yes_inputs: Sequence[Sequence[object]],
+    *,
+    length: Optional[int] = None,
+    r: Optional[int] = None,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> Tuple[Tuple[object, ...], List[Sequence[object]]]:
+    """Lemma 26, constructively: a c ∈ C^ℓ accepting ≥ half of ``yes_inputs``.
+
+    For deterministic machines the unique sequence works.  Otherwise we
+    search C^ℓ — exponential, so callers keep ℓ·|C| tiny; the counting
+    argument guarantees a witness exists whenever every input is accepted
+    with probability ≥ 1/2.
+    """
+    from itertools import product
+
+    if length is None:
+        if r is None:
+            raise MachineError("provide either length or r")
+        length = run_length_upper_bound(nlm, r)
+    if nlm.is_deterministic:
+        seq = tuple([nlm.choices[0]] * length)
+        accepted = [
+            v
+            for v in yes_inputs
+            if run_with_choices(nlm, v, seq, step_limit=step_limit).accepts(nlm)
+        ]
+        if yes_inputs and 2 * len(accepted) < len(yes_inputs):
+            raise MachineError(
+                "the deterministic run accepts fewer than half of the "
+                "yes-inputs — the Lemma 26 precondition fails"
+            )
+        return seq, accepted
+
+    best_seq: Optional[Tuple[object, ...]] = None
+    best_accepted: List[Sequence[object]] = []
+    for seq in product(nlm.choices, repeat=length):
+        accepted = [
+            v
+            for v in yes_inputs
+            if run_with_choices(nlm, v, seq, step_limit=step_limit).accepts(nlm)
+        ]
+        if len(accepted) > len(best_accepted):
+            best_seq, best_accepted = tuple(seq), accepted
+            if len(best_accepted) == len(yes_inputs):
+                break
+    if best_seq is None or 2 * len(best_accepted) < len(yes_inputs):
+        raise MachineError(
+            "no choice sequence accepts half of the yes-inputs — the "
+            "machine does not satisfy the Lemma 26 precondition"
+        )
+    return best_seq, best_accepted

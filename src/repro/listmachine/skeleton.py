@@ -1,0 +1,165 @@
+"""Index strings, local views and skeletons (Definitions 27–28, 33).
+
+The *index string* ind(x) of a cell replaces each input token by the input
+position it originated from and each choice token by the wildcard "?".
+The *skeleton* of a run keeps, per step, either the wildcard (no head
+moved) or the skeleton of the local view (state, directions, index strings
+under the heads) — plus the move vectors.  Skeletons are hashable, so runs
+can be grouped by skeleton (step 5 of the Lemma 21 proof).
+
+Remark 29 — a run is reconstructible from (input, skeleton, choices) — is
+realized by :func:`reconstruct_run`, which re-executes the machine and
+*verifies* the skeleton matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Sequence, Set, Tuple
+
+from ..errors import MachineError
+from .config import LMConfiguration
+from .nlm import NLM, Cell, Choice, Inp, LA, RA, StateTok
+from .run import LMRun, run_with_choices
+
+WILDCARD = "?"
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """lv(γ) = (a, d, cells-under-heads)."""
+
+    state: str
+    directions: Tuple[int, ...]
+    cells: Tuple[Cell, ...]
+
+
+def local_view(config: LMConfiguration) -> LocalView:
+    return LocalView(
+        state=config.state,
+        directions=config.directions,
+        cells=config.head_cells(),
+    )
+
+
+def ind_token(token) -> object:
+    """Map one token: Inp → its input position, Choice → '?', rest unchanged."""
+    if isinstance(token, Inp):
+        return token.position
+    if isinstance(token, Choice):
+        return WILDCARD
+    return token
+
+
+def ind_string(cell: Cell) -> Tuple[object, ...]:
+    """ind(x): the index string of a cell (Definition 28(a))."""
+    return tuple(ind_token(tok) for tok in cell)
+
+
+def positions_in_cell(cell: Cell) -> Tuple[int, ...]:
+    """Input positions occurring in a cell, in token order (with repeats)."""
+    return tuple(tok.position for tok in cell if isinstance(tok, Inp))
+
+
+@dataclass(frozen=True)
+class SkeletonView:
+    """skel(lv(γ)) = (a, d, ind(y))."""
+
+    state: str
+    directions: Tuple[int, ...]
+    index_strings: Tuple[Tuple[object, ...], ...]
+
+    def positions(self) -> FrozenSet[int]:
+        """All input positions occurring in this view."""
+        out: Set[int] = set()
+        for ind in self.index_strings:
+            for tok in ind:
+                if isinstance(tok, int):
+                    out.add(tok)
+        return frozenset(out)
+
+
+def skeleton_view(config: LMConfiguration) -> SkeletonView:
+    lv = local_view(config)
+    return SkeletonView(
+        state=lv.state,
+        directions=lv.directions,
+        index_strings=tuple(ind_string(cell) for cell in lv.cells),
+    )
+
+
+@dataclass(frozen=True)
+class Skeleton:
+    """skel(ρ) = (s, moves(ρ)) per Definition 28(d).
+
+    ``views[i]`` is either a :class:`SkeletonView` or the wildcard string;
+    views[0] is always a view; views[i+1] is a view iff moves[i] ≠ 0-vector.
+    """
+
+    views: Tuple[object, ...]
+    moves: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.views)
+
+
+def skeleton_of_run(run: LMRun) -> Skeleton:
+    views: list = [skeleton_view(run.configurations[0])]
+    for i, move_vec in enumerate(run.moves):
+        if any(move_vec):
+            views.append(skeleton_view(run.configurations[i + 1]))
+        else:
+            views.append(WILDCARD)
+    return Skeleton(views=tuple(views), moves=run.moves)
+
+
+def compared_pairs(skeleton: Skeleton) -> FrozenSet[FrozenSet[int]]:
+    """All unordered pairs of input positions compared in ζ (Definition 33).
+
+    Two positions are compared iff some non-wildcard view contains both
+    (anywhere among its index strings).
+    """
+    pairs: Set[FrozenSet[int]] = set()
+    for view in skeleton.views:
+        if view == WILDCARD:
+            continue
+        positions = sorted(view.positions())
+        for a_idx in range(len(positions)):
+            for b_idx in range(a_idx + 1, len(positions)):
+                pairs.add(frozenset((positions[a_idx], positions[b_idx])))
+    return frozenset(pairs)
+
+
+def positions_ever_compared_with(
+    skeleton: Skeleton, position: int
+) -> FrozenSet[int]:
+    """Every position that shares a view with ``position``."""
+    out: Set[int] = set()
+    for view in skeleton.views:
+        if view == WILDCARD:
+            continue
+        positions = view.positions()
+        if position in positions:
+            out.update(positions)
+    out.discard(position)
+    return frozenset(out)
+
+
+def reconstruct_run(
+    nlm: NLM,
+    values: Sequence[object],
+    skeleton: Skeleton,
+    choices: Sequence[object],
+) -> LMRun:
+    """Remark 29: rebuild the run from (v, ζ, c) and verify ζ matches.
+
+    The reconstruction is simply re-execution; the point of the Remark is
+    that ζ plus c pins the run down, which we check by comparing skeletons.
+    """
+    run = run_with_choices(nlm, values, choices)
+    if skeleton_of_run(run) != skeleton:
+        raise MachineError(
+            "skeleton mismatch: (v, c) does not generate the given skeleton"
+        )
+    return run

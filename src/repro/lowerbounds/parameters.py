@@ -1,0 +1,213 @@
+"""The explicit parameter calculus behind Lemma 21, Lemma 22 and Theorem 6.
+
+The lower bound for list machines (Lemma 21) holds whenever
+
+    t ≥ 2,
+    m is a power of 2,
+    m ≥ 24·(t+1)^{4r} + 1,
+    k ≥ 2m + 3,
+    n ≥ 1 + (m² + 1)·log(2k),
+
+and the transfer to Turing machines (Lemma 22) instantiates
+``n = m³`` and requires, with d the simulation-lemma constant,
+
+    (3)  m  ≥ 24·(t+1)^{4·r(2m(m³+1))} + 1
+    (4)  m³ ≥ 1 + d·t²·r(N)·s(N) + 3t·log(N)       where N = 2m(m³+1).
+
+This module makes all of these inequalities executable: given a concrete
+machine profile (r, s, t as Python callables plus the constant d), find the
+smallest m making the contradiction argument go through, and expose each
+hypothesis as a named, checkable predicate.  These are exact integer
+computations — no floating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .._util import ceil_log2, is_power_of_two
+from ..errors import ReproError
+
+
+def _log(x: int) -> int:
+    """The paper's log: ceil(log2 x), at least 1 (for x ≥ 1)."""
+    return max(1, ceil_log2(max(1, x)))
+
+
+@dataclass(frozen=True)
+class LowerBoundParameters:
+    """A concrete parameter tuple for the Lemma 21 argument.
+
+    ``t``: number of lists; ``r``: reversal bound; ``m``: number of input
+    values per half (power of 2); ``n``: bit-length of each value;
+    ``k``: bound on the number of list-machine states.
+    """
+
+    t: int
+    r: int
+    m: int
+    n: int
+    k: int
+
+    @property
+    def input_positions(self) -> int:
+        """The list machine reads 2m input values."""
+        return 2 * self.m
+
+    @property
+    def instance_size(self) -> int:
+        """N = 2m(n+1): size of the encoded Turing-machine input."""
+        return 2 * self.m * (self.n + 1)
+
+
+def lemma21_hypotheses(params: LowerBoundParameters) -> Dict[str, bool]:
+    """Evaluate each hypothesis of Lemma 21 as a named predicate."""
+    t, r, m, n, k = params.t, params.r, params.m, params.n, params.k
+    return {
+        "t >= 2": t >= 2,
+        "m is a power of 2": is_power_of_two(m),
+        "m >= 24*(t+1)^(4r) + 1": m >= 24 * (t + 1) ** (4 * r) + 1,
+        "k >= 2m + 3": k >= 2 * m + 3,
+        "n >= 1 + (m^2+1)*log(2k)": n >= 1 + (m * m + 1) * _log(2 * k),
+    }
+
+
+def lemma21_applies(params: LowerBoundParameters) -> bool:
+    """True iff all hypotheses of Lemma 21 hold for ``params``."""
+    return all(lemma21_hypotheses(params).values())
+
+
+def comparisons_bound(params: LowerBoundParameters, phi_sortedness: int) -> int:
+    """Lemma 38's bound t^{2r}·sortedness(φ) on compared (i, m+φ(i)) pairs."""
+    return params.t ** (2 * params.r) * phi_sortedness
+
+
+def skeleton_count_bound(params: LowerBoundParameters) -> int:
+    """Lemma 32's bound (m+k+3)^{12·m·(t+1)^{2r+2} + 24·(t+1)^r}.
+
+    Careful: for a machine with 2m input positions (as in Lemma 21) callers
+    must pass m' = 2m as the ``m`` of the formula (compare
+    :func:`repro.lowerbounds.counting.enumerate_skeletons`, which takes the
+    machine's own m).
+    """
+    t, r, m, k = params.t, params.r, params.m, params.k
+    exponent = 12 * m * (t + 1) ** (2 * r + 2) + 24 * (t + 1) ** r
+    return (m + k + 3) ** exponent
+
+
+def simulation_state_bound(
+    t: int, r: int, s: int, N: int, d: int = 4
+) -> int:
+    """Lemma 16's bound on list-machine states: 2^{d·t²·r·s + 3t·log N}.
+
+    ``d`` is the simulation constant d(u, |Q|, |Σ|); the default 4 is a
+    placeholder used when studying parameter regimes abstractly.
+    """
+    return 2 ** (d * t * t * r * s + 3 * t * _log(N))
+
+
+def lemma22_thresholds(
+    r_of: Callable[[int], int],
+    s_of: Callable[[int], int],
+    t: int,
+    d: int = 4,
+    *,
+    m_max: int = 2**64,
+) -> Optional[int]:
+    """Smallest power-of-2 ``m`` satisfying Lemma 22's inequalities (3), (4).
+
+    (3)  m  ≥ 24·(t+1)^{4·r(N)} + 1
+    (4)  m³ ≥ 1 + d·t²·r(N)·s(N) + 3·t·log(N)      with N = 2m(m³+1).
+
+    Returns None when no m ≤ m_max works — which is the *expected* outcome
+    when r ∉ o(log N) or r·s ∉ o(N^{1/4}); the existence of some finite m is
+    exactly what "the machine is too weak" means.
+    """
+    m = 2
+    while m <= m_max:
+        N = 2 * m * (m**3 + 1)
+        rN, sN = r_of(N), s_of(N)
+        cond3 = m >= 24 * (t + 1) ** (4 * rN) + 1
+        cond4 = m**3 >= 1 + d * t * t * rN * sN + 3 * t * _log(N)
+        if cond3 and cond4:
+            return m
+        m *= 2
+    return None
+
+
+def parameters_for_machine(
+    r_of: Callable[[int], int],
+    s_of: Callable[[int], int],
+    t: int,
+    d: int = 4,
+    *,
+    m_max: int = 2**64,
+) -> Optional[LowerBoundParameters]:
+    """Instantiate the full Lemma 21 parameter tuple for a machine profile.
+
+    Picks the smallest admissible m (via :func:`lemma22_thresholds`), sets
+    n = m³ and k = the simulation state bound, then *checks* the Lemma 21
+    hypotheses hold — mirroring the chain of inequalities in the proof of
+    Lemma 22.
+    """
+    m = lemma22_thresholds(r_of, s_of, t, d, m_max=m_max)
+    if m is None:
+        return None
+    n = m**3
+    N = 2 * m * (n + 1)
+    k = max(simulation_state_bound(t, r_of(N), s_of(N), N, d), 2 * m + 3)
+    params = LowerBoundParameters(t=t, r=r_of(N), m=m, n=n, k=k)
+    if not lemma21_applies(params):
+        raise ReproError(
+            "internal inconsistency: Lemma 22's thresholds did not imply "
+            f"Lemma 21's hypotheses for {params} — "
+            f"{lemma21_hypotheses(params)}"
+        )
+    return params
+
+
+def theorem6_applies(
+    r_rate: "object", s_rate: "object"
+) -> bool:
+    """Decide whether Theorem 6's regime covers growth rates (r, s).
+
+    The theorem requires r(N) ∈ o(log N) and s(N) ∈ o(N^{1/4}/r(N)).  The
+    arguments are :class:`repro.core.bounds.GrowthRate` objects; imported
+    lazily to avoid a package cycle.
+    """
+    from ..core.bounds import GrowthRate
+
+    if not isinstance(r_rate, GrowthRate) or not isinstance(s_rate, GrowthRate):
+        raise ReproError("theorem6_applies expects GrowthRate arguments")
+    log_n = GrowthRate.log()
+    quarter = GrowthRate.power(1, 4)
+    return r_rate.is_little_o_of(log_n) and (s_rate * r_rate).is_little_o_of(
+        quarter
+    )
+
+
+def minimal_m_for_machine(
+    r_const: int, s_const: int, t: int, d: int = 4
+) -> Optional[int]:
+    """Convenience: smallest admissible m for *constant* r and s.
+
+    Constant bounds are the cleanest corner of the o(log N) / o(N^{1/4})
+    regime; a finite m always exists and is small enough to state exactly.
+    """
+    return lemma22_thresholds(lambda _n: r_const, lambda _n: s_const, t, d)
+
+
+def adversarial_input_space_size(params: LowerBoundParameters) -> int:
+    """|I| = (2^n / m)^{2m}: size of the Lemma 21 instance family.
+
+    Each of the 2m coordinates ranges over an interval of size 2^n/m.
+    """
+    if params.n < ceil_log2(params.m):
+        raise ReproError("n too small: intervals of {0,1}^n by m need 2^n >= m")
+    return (2**params.n // params.m) ** (2 * params.m)
+
+
+def equal_input_count(params: LowerBoundParameters) -> int:
+    """|I_eq| = (2^n / m)^m: the yes-instances within the family."""
+    return (2**params.n // params.m) ** params.m

@@ -1,0 +1,114 @@
+"""Sortedness of permutations and the reverse-binary permutation φ.
+
+Definition 19 of the paper: for a permutation π of {1, …, m},
+``sortedness(π)`` is the length of the longest subsequence of
+``(π(1), …, π(m))`` that is sorted in either ascending or descending order.
+
+Remark 20: every permutation has sortedness Ω(√m) (Erdős–Szekeres), and the
+permutation φ_m that lists 1..m sorted lexicographically by their *reverse
+binary representation* achieves ``sortedness(φ_m) ≤ 2·√m − 1``.
+
+All permutations in this module are **0-based** sequences ``perm`` with
+``perm[i]`` = image of ``i``; :func:`phi_one_based` converts to the paper's
+1-based convention for display.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import List, Sequence
+
+from .._util import (
+    ceil_log2,
+    is_power_of_two,
+    longest_monotone_subsequence_length,
+    reverse_binary,
+)
+from ..errors import ReproError
+
+
+def sortedness(perm: Sequence[int]) -> int:
+    """sortedness(π): max length of an ascending or descending subsequence.
+
+    Runs in O(m log m) via patience sorting.  Accepts any sequence of
+    distinct comparable values (not only permutations), matching the way the
+    paper applies the notion to value sequences.
+    """
+    if not perm:
+        return 0
+    inc = longest_monotone_subsequence_length(perm)
+    dec = longest_monotone_subsequence_length(perm, decreasing=True)
+    return max(inc, dec)
+
+
+def sortedness_bruteforce(perm: Sequence[int]) -> int:
+    """Exponential reference implementation (tests only)."""
+    best = 0
+    m = len(perm)
+    for size in range(m, 0, -1):
+        if size <= best:
+            break
+        for idxs in combinations(range(m), size):
+            vals = [perm[i] for i in idxs]
+            if all(a < b for a, b in zip(vals, vals[1:])) or all(
+                a > b for a, b in zip(vals, vals[1:])
+            ):
+                return size
+    return best
+
+
+def phi_permutation(m: int) -> List[int]:
+    """The permutation φ_m of Remark 20 (0-based).
+
+    ``m`` must be a power of two.  The sequence ``(φ(0), …, φ(m−1))`` lists
+    the numbers 0..m−1 sorted lexicographically by their reverse binary
+    representation — for fixed width ``log2 m`` this equals sorting by the
+    numeric value of the bit-reversed representation.
+    """
+    if not is_power_of_two(m):
+        raise ReproError(f"phi_permutation requires m to be a power of 2, got {m}")
+    width = ceil_log2(m)
+    if width == 0:  # m == 1
+        return [0]
+    return sorted(range(m), key=lambda v: reverse_binary(v, width))
+
+
+def phi_one_based(m: int) -> List[int]:
+    """φ_m in the paper's 1-based convention: a list whose i-th entry (i from 1)
+    is φ(i) ∈ {1, …, m}.  Index 0 of the returned list corresponds to i = 1."""
+    return [v + 1 for v in phi_permutation(m)]
+
+
+def erdos_szekeres_bound(m: int) -> int:
+    """The guaranteed lower bound ⌈√m⌉ on sortedness of any length-m permutation.
+
+    Erdős–Szekeres: a sequence of more than (a−1)(b−1) distinct numbers has
+    an increasing subsequence of length a or a decreasing one of length b;
+    with a = b = ⌈√m⌉ this yields sortedness(π) ≥ ⌈√m⌉.
+    """
+    if m < 0:
+        raise ReproError(f"m must be nonnegative, got {m}")
+    return math.isqrt(m - 1) + 1 if m > 0 else 0
+
+
+def phi_sortedness_bound(m: int) -> float:
+    """The upper bound 2·√m − 1 from Remark 20 (m a power of two).
+
+    Real-valued, as in the paper.  Note the bound is only meaningful for
+    m ≥ 4: a permutation of length 2 necessarily has sortedness 2 > 2√2 − 1.
+    The lower-bound proof uses m ≥ 24·(t+1)^{4r} + 1, far above that.
+    """
+    if not is_power_of_two(m):
+        raise ReproError(f"m must be a power of 2, got {m}")
+    return 2.0 * math.sqrt(m) - 1.0
+
+
+def verify_phi(m: int) -> bool:
+    """Check that φ_m is a permutation with sortedness ≤ 2√m − 1 (m ≥ 4)."""
+    phi = phi_permutation(m)
+    if sorted(phi) != list(range(m)):
+        return False
+    if m < 4:  # degenerate; Remark 20's bound starts binding at m = 4
+        return True
+    return sortedness(phi) <= phi_sortedness_bound(m)

@@ -1,0 +1,80 @@
+"""Multi-tape Turing machines with (r, s, t) accounting (Section 2, App. A).
+
+A machine has ``t`` external-memory tapes (tape 1 is the input tape) and
+``u`` internal-memory tapes.  Definition 1 calls it (r, s, t)-bounded when
+every run ρ on a length-N input is finite, performs
+``1 + Σ_{i≤t} rev(ρ, i) ≤ r(N)`` head reversals on the external tapes, and
+uses ``Σ_{i>t} space(ρ, i) ≤ s(N)`` cells on the internal tapes.
+
+The simulator supports:
+
+* deterministic execution (:func:`~repro.machines.execute.run_deterministic`),
+* full nondeterministic run enumeration and **exact** acceptance
+  probabilities under the uniform-successor semantics of the paper
+  (:func:`~repro.machines.execute.acceptance_probability`) — this is the
+  (1/2, 0)-RTM semantics of Definition 4,
+* the choice-sequence view of Definition 17 (ρ_T(w, c) and the C_T
+  alphabet) used by the simulation lemma,
+* per-run resource statistics rev(ρ, i) / space(ρ, i) and
+  (r, s, t)-boundedness checks against Lemma 3's run-length bound.
+
+Machines are built either directly from a transition relation or through
+the small DSL in :mod:`~repro.machines.builder`; :mod:`~repro.machines.
+library` ships concrete machines used across tests and experiments.
+"""
+
+from .tm import TuringMachine, Transition, L, N, R
+from .config import Configuration
+from .execute import (
+    Run,
+    RunStatistics,
+    run_deterministic,
+    enumerate_runs,
+    acceptance_probability,
+    run_with_choices,
+    choice_alphabet,
+)
+from .builder import MachineBuilder
+from .library import (
+    copy_machine,
+    parity_machine,
+    coin_flip_machine,
+    guess_bit_machine,
+    equality_machine,
+    copy_reverse_machine,
+    majority_machine,
+)
+from .randomized import (
+    RTMReport,
+    RTMViolation,
+    check_half_zero_rtm,
+    check_co_half_zero_rtm,
+)
+
+__all__ = [
+    "TuringMachine",
+    "Transition",
+    "L",
+    "N",
+    "R",
+    "Configuration",
+    "Run",
+    "RunStatistics",
+    "run_deterministic",
+    "enumerate_runs",
+    "acceptance_probability",
+    "run_with_choices",
+    "choice_alphabet",
+    "MachineBuilder",
+    "copy_machine",
+    "parity_machine",
+    "coin_flip_machine",
+    "guess_bit_machine",
+    "equality_machine",
+    "copy_reverse_machine",
+    "majority_machine",
+    "RTMReport",
+    "RTMViolation",
+    "check_half_zero_rtm",
+    "check_co_half_zero_rtm",
+]

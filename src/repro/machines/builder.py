@@ -1,0 +1,115 @@
+"""A small fluent DSL for assembling Turing machines.
+
+States and alphabet are inferred from the declared transitions; the blank
+symbol is always included.  Example::
+
+    machine = (
+        MachineBuilder("flip", external_tapes=1)
+        .start("q0")
+        .accept("yes")
+        .reject("no")
+        .on("q0", ("0",), "q0", ("1",), (R,))
+        .on("q0", ("1",), "q0", ("0",), (R,))
+        .on("q0", (BLANK,), "yes", (BLANK,), (N,))
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import MachineError
+from ..extmem.tape import BLANK
+from .tm import Transition, TuringMachine
+
+
+class MachineBuilder:
+    """Accumulates transitions and builds an immutable TuringMachine."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        external_tapes: int = 1,
+        internal_tapes: int = 0,
+    ):
+        self.name = name
+        self.external_tapes = external_tapes
+        self.internal_tapes = internal_tapes
+        self._transitions: List[Transition] = []
+        self._initial: Optional[str] = None
+        self._accepting: Set[str] = set()
+        self._rejecting: Set[str] = set()
+        self._extra_symbols: Set[str] = set()
+
+    # -- declarations -------------------------------------------------------
+
+    def start(self, state: str) -> "MachineBuilder":
+        self._initial = state
+        return self
+
+    def accept(self, *states: str) -> "MachineBuilder":
+        self._accepting.update(states)
+        return self
+
+    def reject(self, *states: str) -> "MachineBuilder":
+        self._rejecting.update(states)
+        return self
+
+    def symbols(self, *symbols: str) -> "MachineBuilder":
+        """Force extra symbols into the alphabet (rarely needed)."""
+        self._extra_symbols.update(symbols)
+        return self
+
+    def on(
+        self,
+        state: str,
+        read: Sequence[str],
+        new_state: str,
+        write: Sequence[str],
+        moves: Sequence[str],
+    ) -> "MachineBuilder":
+        """Add one transition."""
+        self._transitions.append(
+            Transition(state, tuple(read), new_state, tuple(write), tuple(moves))
+        )
+        return self
+
+    def on_each(
+        self,
+        symbols: Iterable[str],
+        state: str,
+        read_template,
+        new_state: str,
+        write_template,
+        moves: Sequence[str],
+    ) -> "MachineBuilder":
+        """Add one transition per symbol; templates are callables sym → tuple."""
+        for sym in symbols:
+            self.on(state, read_template(sym), new_state, write_template(sym), moves)
+        return self
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> TuringMachine:
+        if self._initial is None:
+            raise MachineError("no start state declared")
+        states = {self._initial} | self._accepting | self._rejecting
+        alphabet = {BLANK} | self._extra_symbols
+        for tr in self._transitions:
+            states.add(tr.state)
+            states.add(tr.new_state)
+            alphabet.update(tr.read)
+            alphabet.update(tr.write)
+        return TuringMachine(
+            name=self.name,
+            states=frozenset(states),
+            alphabet=frozenset(alphabet),
+            transitions=tuple(self._transitions),
+            initial_state=self._initial,
+            final_states=frozenset(self._accepting | self._rejecting),
+            accepting_states=frozenset(self._accepting),
+            external_tapes=self.external_tapes,
+            internal_tapes=self.internal_tapes,
+        )

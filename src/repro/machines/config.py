@@ -1,0 +1,103 @@
+"""Immutable Turing-machine configurations.
+
+A configuration is ``(q, p_1..p_{t+u}, w_1..w_{t+u})`` — current state, head
+positions (0-based here; the paper uses 1-based), and tape contents (the
+written prefixes; blanks beyond).  Immutable so nondeterministic search can
+memoize on configurations, which is also how exact acceptance probabilities
+are computed without enumerating the exponentially many choice sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import MachineError
+from ..extmem.tape import BLANK
+from .tm import L, N, R, Transition, TuringMachine
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One machine configuration; hashable for memoization."""
+
+    state: str
+    positions: Tuple[int, ...]
+    tapes: Tuple[str, ...]  # written prefix of each tape
+
+    def symbol(self, tape: int) -> str:
+        """Symbol under the head of ``tape`` (0-based)."""
+        content = self.tapes[tape]
+        pos = self.positions[tape]
+        return content[pos] if pos < len(content) else BLANK
+
+    def read_tuple(self) -> Tuple[str, ...]:
+        return tuple(self.symbol(i) for i in range(len(self.tapes)))
+
+    def is_final(self, machine: TuringMachine) -> bool:
+        return self.state in machine.final_states
+
+    def is_accepting(self, machine: TuringMachine) -> bool:
+        return self.state in machine.accepting_states
+
+
+def initial_configuration(machine: TuringMachine, word: str) -> Configuration:
+    """Start configuration: input on tape 1, all heads at cell 0."""
+    for ch in word:
+        if ch not in machine.alphabet:
+            raise MachineError(f"input symbol {ch!r} not in the alphabet")
+    tapes = (word,) + ("",) * (machine.tape_count - 1)
+    return Configuration(
+        state=machine.initial_state,
+        positions=(0,) * machine.tape_count,
+        tapes=tapes,
+    )
+
+
+def _write_at(content: str, pos: int, symbol: str) -> str:
+    if pos < len(content):
+        if content[pos] == symbol:
+            return content
+        return content[:pos] + symbol + content[pos + 1 :]
+    if symbol == BLANK:
+        return content  # blanks beyond the written prefix are implicit
+    return content + BLANK * (pos - len(content)) + symbol
+
+
+def apply_transition(config: Configuration, tr: Transition) -> Configuration:
+    """The successor configuration under a single transition.
+
+    Heads cannot move left of cell 0 (one-sided tapes); a left move at the
+    wall is a MachineError — the machines in this package are written never
+    to do it, and silently clamping would corrupt reversal accounting.
+    """
+    new_tapes = []
+    new_positions = []
+    for i in range(len(config.tapes)):
+        content = _write_at(config.tapes[i], config.positions[i], tr.write[i])
+        pos = config.positions[i]
+        if tr.moves[i] == R:
+            pos += 1
+        elif tr.moves[i] == L:
+            if pos == 0:
+                raise MachineError(
+                    f"head {i + 1} fell off the left end in state {config.state!r}"
+                )
+            pos -= 1
+        new_tapes.append(content)
+        new_positions.append(pos)
+    return Configuration(
+        state=tr.new_state,
+        positions=tuple(new_positions),
+        tapes=tuple(new_tapes),
+    )
+
+
+def successors(
+    machine: TuringMachine, config: Configuration
+) -> Tuple[Configuration, ...]:
+    """Next_T(γ): all configurations reachable in one step (ordered)."""
+    if config.is_final(machine):
+        return ()
+    group = machine.transition_index().get((config.state, config.read_tuple()), [])
+    return tuple(apply_transition(config, tr) for tr in group)

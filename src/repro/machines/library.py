@@ -1,0 +1,205 @@
+"""Concrete Turing machines used by tests and experiments.
+
+All machines are normalized (one head moves per step) and every run is
+finite, so they are honest citizens of the (r, s, t) model:
+
+* :func:`copy_machine` — copies the {0,1} input onto tape 2; deterministic,
+  1 scan, 2 external tapes;
+* :func:`parity_machine` — accepts inputs with an even number of 1s using a
+  single internal-memory cell; deterministic, 1 scan, s = 1;
+* :func:`coin_flip_machine` — accepts with probability exactly 1/2 on every
+  input (the minimal randomized machine; used to validate Definition 17 /
+  Lemma 18 bookkeeping);
+* :func:`guess_bit_machine` — guesses a bit, accepts iff it matches the
+  first input symbol: Pr = 1/2 on nonempty {0,1} inputs;
+* :func:`equality_machine` — decides w = w' on input ``w#w'`` by copying w
+  to tape 2 and comparing; deterministic, 3 scans on tape 2, constant
+  internal memory — the machine behind "communication between remote parts
+  of memory is possible by copying and re-reading in parallel".
+"""
+
+from __future__ import annotations
+
+from ..extmem.tape import BLANK
+from .builder import MachineBuilder
+from .tm import L, N, R, TuringMachine
+
+BITS = ("0", "1")
+MARK = "^"  # left-end marker for tapes that are rewound
+
+
+def copy_machine() -> TuringMachine:
+    """Copy the input (over {0,1}) to tape 2; accept at the end."""
+    b = MachineBuilder("copy", external_tapes=2).start("scan").accept("done")
+    for a in BITS:
+        # write a on tape 2, advance tape 2
+        b.on("scan", (a, BLANK), f"adv-{a}", (a, a), (N, R))
+        # then advance tape 1
+        b.on(f"adv-{a}", (a, BLANK), "scan", (a, BLANK), (R, N))
+        # adv state may also see the other symbol on tape 1? no: tape 1 head
+        # did not move, so it still reads `a`.
+    b.on("scan", (BLANK, BLANK), "done", (BLANK, BLANK), (N, N))
+    return b.build()
+
+
+def parity_machine() -> TuringMachine:
+    """Accept iff the number of 1s in the input is even (s = 1 internal cell)."""
+    b = (
+        MachineBuilder("parity", external_tapes=1, internal_tapes=1)
+        .start("scan")
+        .accept("even")
+        .reject("odd")
+    )
+    # the single internal cell holds the running parity; blank means 0
+    for flag in (BLANK, "0", "1"):
+        bit = "1" if flag == "1" else "0"
+        flipped = "0" if bit == "1" else "1"
+        b.on("scan", ("0", flag), "scan", ("0", bit), (R, N))
+        b.on("scan", ("1", flag), "scan", ("1", flipped), (R, N))
+        b.on(
+            "scan",
+            (BLANK, flag),
+            "even" if bit == "0" else "odd",
+            (BLANK, bit),
+            (N, N),
+        )
+    return b.build()
+
+
+def coin_flip_machine() -> TuringMachine:
+    """Two transitions out of the start state: Pr(accept) = 1/2 exactly."""
+    b = MachineBuilder("coin", external_tapes=1).start("flip").accept("heads")
+    b.reject("tails")
+    for sym in BITS + (BLANK,):
+        b.on("flip", (sym,), "heads", (sym,), (N,))
+        b.on("flip", (sym,), "tails", (sym,), (N,))
+    return b.build()
+
+
+def guess_bit_machine() -> TuringMachine:
+    """Guess a bit, then accept iff it equals the first input symbol.
+
+    On a nonempty {0,1} input the acceptance probability is exactly 1/2;
+    on the empty input it is 0.
+    """
+    b = MachineBuilder("guess-bit", external_tapes=1).start("guess")
+    b.accept("match").reject("miss")
+    for sym in BITS + (BLANK,):
+        for guessed in BITS:
+            target = "match" if sym == guessed else "miss"
+            b.on("guess", (sym,), target, (sym,), (N,))
+    return b.build()
+
+
+def copy_reverse_machine() -> TuringMachine:
+    """Write the {0,1} input reversed onto tape 2 with a single reversal.
+
+    The first input symbol is parked in the state (its cell becomes a
+    left-end marker), the head walks to the end of tape 1, then emits
+    symbols onto tape 2 while walking back; at the marker the remembered
+    symbol is emitted and restored.  Cost: one reversal on tape 1, none
+    on tape 2.
+    """
+    b = MachineBuilder("copy-reverse", external_tapes=2).start("to-end")
+    b.accept("done")
+    b.on("to-end", (BLANK, BLANK), "done", (BLANK, BLANK), (N, N))
+    for a in BITS:
+        # park the first symbol in the state; mark its cell
+        b.on("to-end", (a, BLANK), f"remember-{a}", (MARK, BLANK), (N, N))
+        b.on(f"remember-{a}", (MARK, BLANK), f"walk-{a}", (MARK, BLANK), (R, N))
+        for x in BITS:
+            b.on(f"walk-{a}", (x, BLANK), f"walk-{a}", (x, BLANK), (R, N))
+        b.on(f"walk-{a}", (BLANK, BLANK), f"back-{a}", (BLANK, BLANK), (L, N))
+        for x in BITS:
+            # emit x on tape 2, then continue left on tape 1
+            b.on(f"back-{a}", (x, BLANK), f"emit-{a}-{x}", (x, x), (N, R))
+            b.on(f"emit-{a}-{x}", (x, BLANK), f"back-{a}", (x, BLANK), (L, N))
+        # at the marker: restore the parked symbol and emit it last
+        b.on(f"back-{a}", (MARK, BLANK), "done", (a, a), (N, R))
+    return b.build()
+
+
+def majority_machine() -> TuringMachine:
+    """Accept iff the input has strictly more 1s than 0s.
+
+    The single internal tape is a *signed* unary counter: a marker at
+    cell 0 and a stack holding either 'p' pebbles (surplus of 1s) or 'n'
+    pebbles (surplus of 0s) -- never both.  A 1 cancels an 'n' or pushes a
+    'p', symmetrically for 0.  At the end the top symbol decides.
+    Internal space equals the maximal absolute imbalance plus two, a
+    genuinely data-dependent s(N).
+    """
+    b = (
+        MachineBuilder("majority", external_tapes=1, internal_tapes=1)
+        .start("init")
+        .accept("more-ones")
+        .reject("not-more")
+    )
+    for sym in BITS + (BLANK,):
+        b.on("init", (sym, BLANK), "scan", (sym, MARK), (N, R))
+    # invariant in "scan": internal head on the first free slot (blank)
+    for bit, same, opp in (("1", "p", "n"), ("0", "n", "p")):
+        b.on("scan", (bit, BLANK), f"look-{bit}", (bit, BLANK), (N, L))
+        # below the free slot: marker or same-sign pebble -> push
+        b.on(f"look-{bit}", (bit, MARK), f"grow-{bit}", (bit, MARK), (N, R))
+        b.on(f"look-{bit}", (bit, same), f"grow-{bit}", (bit, same), (N, R))
+        # opposite-sign pebble -> cancel it; its cell is the new free slot
+        b.on(f"look-{bit}", (bit, opp), "scan", (bit, BLANK), (R, N))
+        b.on(f"grow-{bit}", (bit, BLANK), f"pushed-{bit}", (bit, same), (N, R))
+        b.on(f"pushed-{bit}", (bit, BLANK), "scan", (bit, BLANK), (R, N))
+    # end of input: the symbol below the free slot decides
+    b.on("scan", (BLANK, BLANK), "check", (BLANK, BLANK), (N, L))
+    b.on("check", (BLANK, "p"), "more-ones", (BLANK, "p"), (N, N))
+    b.on("check", (BLANK, "n"), "not-more", (BLANK, "n"), (N, N))
+    b.on("check", (BLANK, MARK), "not-more", (BLANK, MARK), (N, N))
+    return b.build()
+
+
+def equality_machine() -> TuringMachine:
+    """Decide w = w' on input ``w#w'`` (w, w' over {0,1}).
+
+    Phase 1 writes a left-end marker on tape 2 and copies w; phase 2
+    rewinds tape 2 (reversal 1); phase 3 compares w' against the copy
+    (reversal 2).  Hence 3 scans, 2 external tapes, no internal memory.
+    """
+    b = MachineBuilder("equality", external_tapes=2).start("mark")
+    b.accept("equal").reject("differ")
+
+    # phase 0: drop the left-end marker on tape 2
+    for sym in BITS + ("#", BLANK):
+        b.on("mark", (sym, BLANK), "copy", (sym, MARK), (N, R))
+
+    # phase 1: copy w onto tape 2 (two steps per symbol, normalized)
+    for a in BITS:
+        b.on("copy", (a, BLANK), f"copy-adv-{a}", (a, a), (N, R))
+        b.on(f"copy-adv-{a}", (a, BLANK), "copy", (a, BLANK), (R, N))
+    # the separator: leave tape 2, move tape 1 past '#'
+    b.on("copy", ("#", BLANK), "rewind", ("#", BLANK), (R, N))
+    # no separator at all: w' missing ⇒ inputs like "01" are rejected
+    b.on("copy", (BLANK, BLANK), "differ", (BLANK, BLANK), (N, N))
+
+    # phase 2: rewind tape 2 to the marker
+    for x in BITS + ("#", BLANK):
+        b.on("rewind", (x, BLANK), "rewind", (x, BLANK), (N, L))
+        for cell in BITS:
+            b.on("rewind", (x, cell), "rewind", (x, cell), (N, L))
+        b.on("rewind", (x, MARK), "step-off", (x, MARK), (N, R))
+
+    # phase 3: compare w' (tape 1) with the copy (tape 2)
+    for a in BITS:
+        b.on("step-off", (a, a), f"cmp-adv-{a}", (a, a), (R, N))
+        b.on(f"cmp-adv-{a}", ("0", a), "step-off", ("0", a), (N, R))
+        b.on(f"cmp-adv-{a}", ("1", a), "step-off", ("1", a), (N, R))
+        b.on(f"cmp-adv-{a}", (BLANK, a), "advance-last", (BLANK, a), (N, R))
+        b.on(f"cmp-adv-{a}", ("#", a), "differ", ("#", a), (N, N))
+        other = "1" if a == "0" else "0"
+        b.on("step-off", (a, other), "differ", (a, other), (N, N))
+        b.on("step-off", (a, BLANK), "differ", (a, BLANK), (N, N))
+        b.on("step-off", (BLANK, a), "differ", (BLANK, a), (N, N))
+        b.on("step-off", ("#", a), "differ", ("#", a), (N, N))
+    b.on("step-off", (BLANK, BLANK), "equal", (BLANK, BLANK), (N, N))
+    b.on("step-off", ("#", BLANK), "differ", ("#", BLANK), (N, N))
+    b.on("advance-last", (BLANK, BLANK), "equal", (BLANK, BLANK), (N, N))
+    for cell in BITS:
+        b.on("advance-last", (BLANK, cell), "differ", (BLANK, cell), (N, N))
+    return b.build()

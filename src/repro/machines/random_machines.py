@@ -1,0 +1,74 @@
+"""Random terminating Turing machines for property-based fuzzing.
+
+Mirrors :mod:`repro.listmachine.random_machines` at the TM level: a seeded
+generator produces arbitrary-ish deterministic machines whose termination
+is guaranteed (the state carries a step index that always increments), so
+the run engine, the statistics, Lemma 3, and the Lemma 16 block machinery
+can be fuzzed against machines nobody designed.
+
+Left-end safety: a generated transition never moves a head left out of
+cell 0 — the generator biases per-(state, read) choices and the *runner*
+would raise otherwise; instead of relying on luck, every L move is paired
+with a guard read of a start marker written in a preamble... keeping it
+simple: machines here run on one-sided tapes and the generator simply
+avoids L in the first ``warmup`` states, making early falls impossible,
+while later L moves that would fall off are legitimate generator rejects
+(the caller filters them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..extmem.tape import BLANK
+from .builder import MachineBuilder
+from .tm import L, N, R, TuringMachine
+
+_ALPHABET = ("0", "1", BLANK)
+
+
+def random_terminating_tm(
+    seed: int,
+    *,
+    external_tapes: int = 2,
+    internal_tapes: int = 0,
+    length: int = 8,
+    warmup: int = 2,
+) -> TuringMachine:
+    """A seeded random deterministic TM halting within ``length`` steps.
+
+    States are step-0 … step-(length−1) plus acc/rej; every transition
+    advances the step index.  The first ``warmup`` states never move left,
+    so short runs cannot fall off; longer runs may still attempt it — the
+    runner reports that as a MachineError, which property tests filter.
+    """
+    rng = random.Random(seed)
+    tapes = external_tapes + internal_tapes
+    b = MachineBuilder(
+        f"random-{seed}",
+        external_tapes=external_tapes,
+        internal_tapes=internal_tapes,
+    ).start("step-0")
+    b.accept("acc").reject("rej")
+
+    def random_moves(step: int) -> Tuple[str, ...]:
+        moves = [N] * tapes
+        mover = rng.randrange(tapes + 1)  # maybe nobody moves
+        if mover < tapes:
+            options = (R, N) if step < warmup else (L, R, N)
+            moves[mover] = rng.choice(options)
+        return tuple(moves)
+
+    import itertools
+
+    for step in range(length):
+        for read in itertools.product(_ALPHABET, repeat=tapes):
+            write = tuple(rng.choice(_ALPHABET) for _ in range(tapes))
+            moves = random_moves(step)
+            if step + 1 < length:
+                target = f"step-{step + 1}"
+            else:
+                target = "acc" if rng.random() < 0.5 else "rej"
+            b.on(f"step-{step}", read, target, write, moves)
+    return b.build()

@@ -1,0 +1,83 @@
+"""Validation of randomized machine contracts ((1/2, 0)-RTMs, Las Vegas).
+
+Definition 4 of the paper: a decision problem is solved by a (1/2, 0)-RTM
+iff yes-inputs are accepted with probability ≥ 1/2 and no-inputs with
+probability exactly 0.  These helpers check that contract for a concrete
+machine over finite word samples, using the exact acceptance probabilities
+of :func:`repro.machines.execute.acceptance_probability` — no sampling
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence, Tuple
+
+from .execute import acceptance_probability
+from .tm import TuringMachine
+
+
+@dataclass(frozen=True)
+class RTMViolation:
+    """A word on which the (1/2, 0) contract fails."""
+
+    word: str
+    expected: str  # "yes" or "no"
+    probability: Fraction
+
+
+@dataclass(frozen=True)
+class RTMReport:
+    """Outcome of checking the (1/2, 0)-RTM contract on word samples."""
+
+    violations: Tuple[RTMViolation, ...]
+    checked: int
+
+    @property
+    def holds(self) -> bool:
+        return not self.violations
+
+
+def check_half_zero_rtm(
+    machine: TuringMachine,
+    yes_words: Sequence[str],
+    no_words: Sequence[str],
+    *,
+    step_limit: int = 100_000,
+) -> RTMReport:
+    """Exactly verify the (1/2, 0)-RTM contract on the given samples.
+
+    Yes-words need Pr(accept) ≥ 1/2; no-words need Pr(accept) = 0.
+    """
+    violations = []
+    for word in yes_words:
+        p = acceptance_probability(machine, word, step_limit=step_limit)
+        if p < Fraction(1, 2):
+            violations.append(RTMViolation(word, "yes", p))
+    for word in no_words:
+        p = acceptance_probability(machine, word, step_limit=step_limit)
+        if p != 0:
+            violations.append(RTMViolation(word, "no", p))
+    return RTMReport(tuple(violations), len(yes_words) + len(no_words))
+
+
+def check_co_half_zero_rtm(
+    machine: TuringMachine,
+    yes_words: Sequence[str],
+    no_words: Sequence[str],
+    *,
+    step_limit: int = 100_000,
+) -> RTMReport:
+    """The complementary contract (co-RST side): yes-words accepted with
+    probability 1, no-words accepted with probability ≤ 1/2."""
+    violations = []
+    for word in yes_words:
+        p = acceptance_probability(machine, word, step_limit=step_limit)
+        if p != 1:
+            violations.append(RTMViolation(word, "yes", p))
+    for word in no_words:
+        p = acceptance_probability(machine, word, step_limit=step_limit)
+        if p > Fraction(1, 2):
+            violations.append(RTMViolation(word, "no", p))
+    return RTMReport(tuple(violations), len(yes_words) + len(no_words))

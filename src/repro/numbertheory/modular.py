@@ -1,0 +1,83 @@
+"""Modular arithmetic helpers used by the fingerprinting algorithm.
+
+The Theorem 8(a) fingerprint is the value of the polynomial
+
+    q(X) = Σ_i X^{e_i}  −  Σ_i X^{e'_i}      over F_{p2},
+
+evaluated at a random point ``x``, where ``e_i = v_i mod p1``.  We provide
+streaming-friendly primitives: all of them consume one value at a time so the
+tape-machine implementation can charge internal memory per bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+
+
+def mod_pow(base: int, exponent: int, modulus: int) -> int:
+    """Square-and-multiply modular exponentiation (wraps ``pow`` with checks)."""
+    if modulus <= 0:
+        raise ReproError(f"modulus must be positive, got {modulus}")
+    if exponent < 0:
+        raise ReproError(f"exponent must be nonnegative, got {exponent}")
+    return pow(base % modulus, exponent, modulus)
+
+
+def mod_inverse(value: int, modulus: int) -> int:
+    """Multiplicative inverse modulo a prime (extended Euclid)."""
+    a, b = value % modulus, modulus
+    x0, x1 = 1, 0
+    while b:
+        q, a, b = a // b, b, a % b
+        x0, x1 = x1, x0 - q * x1
+    if a != 1:
+        raise ReproError(f"{value} has no inverse modulo {modulus}")
+    return x0 % modulus
+
+
+def streaming_residue(bits: Iterable[int], modulus: int) -> int:
+    """Residue mod ``modulus`` of the number whose bits arrive MSB first.
+
+    This mirrors how the tape machine computes ``e_i = v_i mod p1`` with one
+    left-to-right scan of the binary string ``v_i``: maintain ``acc`` and per
+    bit do ``acc = (2·acc + bit) mod p``.  Only numbers below ``modulus``
+    are ever stored.
+    """
+    if modulus <= 0:
+        raise ReproError(f"modulus must be positive, got {modulus}")
+    acc = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ReproError(f"stream contained a non-bit value: {bit!r}")
+        acc = (acc * 2 + bit) % modulus
+    return acc
+
+
+def poly_eval_mod(coefficients: Sequence[int], x: int, modulus: int) -> int:
+    """Horner evaluation of Σ c_j · x^j (c_0 first) over Z_modulus."""
+    acc = 0
+    for c in reversed(coefficients):
+        acc = (acc * x + c) % modulus
+    return acc
+
+
+def power_sum_mod(exponents: Iterable[int], x: int, modulus: int) -> int:
+    """Σ_i x^{e_i} mod ``modulus``, streaming over the exponents.
+
+    This is the machine's accumulator s_i = (s_{i−1} + x^{e_i}) mod p2; each
+    term is computed with square-and-multiply so internal memory stays
+    O(log modulus) bits per step.
+    """
+    acc = 0
+    for e in exponents:
+        acc = (acc + mod_pow(x, e, modulus)) % modulus
+    return acc
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Chinese remaindering for two coprime moduli (analytics helper)."""
+    inv = mod_inverse(m1 % m2, m2)
+    k = ((r2 - r1) % m2) * inv % m2
+    return (r1 + m1 * k) % (m1 * m2)

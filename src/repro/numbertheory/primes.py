@@ -1,0 +1,195 @@
+"""Primality testing, sieving and prime sampling.
+
+Two regimes:
+
+* small ranges (≤ a few 10^7): a classic sieve of Eratosthenes;
+* arbitrary integers: deterministic Miller–Rabin with the standard witness
+  sets that are proven exact for all inputs below 3.3·10^24, plus a few
+  random rounds beyond that (more than sufficient here — the paper's primes
+  are polynomial in the input size).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import ReproError
+
+# Witness sets for deterministic Miller-Rabin (Sinclair / Jaeschke bounds).
+_MR_BOUNDS = (
+    (2047, (2,)),
+    (1373653, (2, 3)),
+    (9080191, (31, 73)),
+    (25326001, (2, 3, 5)),
+    (3215031751, (2, 3, 5, 7)),
+    (4759123141, (2, 7, 61)),
+    (1122004669633, (2, 13, 23, 1662803)),
+    (2152302898747, (2, 3, 5, 7, 11)),
+    (3474749660383, (2, 3, 5, 7, 11, 13)),
+    (341550071728321, (2, 3, 5, 7, 11, 13, 17)),
+    (3825123056546413051, (2, 3, 5, 7, 11, 13, 17, 19, 23)),
+    (318665857834031151167461, (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)),
+    (
+        3317044064679887385961981,
+        (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41),
+    ),
+)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _miller_rabin_witness(n: int, a: int) -> bool:
+    """Return True iff ``a`` witnesses the compositeness of odd ``n > 2``."""
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int, *, rng: Optional[random.Random] = None) -> bool:
+    """Primality test: trial division for tiny n, Miller–Rabin above.
+
+    Deterministic (proven witness sets) for every n below ~3.3·10^24;
+    beyond that, 32 random rounds are added.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    for bound, witnesses in _MR_BOUNDS:
+        if n < bound:
+            return not any(_miller_rabin_witness(n, a) for a in witnesses)
+    rng = rng or random.Random(0xC0FFEE)
+    witnesses = tuple(rng.randrange(2, n - 1) for _ in range(32))
+    return not any(_miller_rabin_witness(n, a) for a in witnesses)
+
+
+def primes_up_to(limit: int) -> List[int]:
+    """All primes ``<= limit`` via a sieve of Eratosthenes."""
+    if limit < 2:
+        return []
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0:2] = b"\x00\x00"
+    p = 2
+    while p * p <= limit:
+        if sieve[p]:
+            sieve[p * p :: p] = b"\x00" * len(range(p * p, limit + 1, p))
+        p += 1
+    return [i for i in range(2, limit + 1) if sieve[i]]
+
+
+def primes_in_range(low: int, high: int) -> List[int]:
+    """All primes ``p`` with ``low < p <= high`` (segmented test)."""
+    if high <= low:
+        return []
+    if high <= 10_000_000:
+        base = primes_up_to(high)
+        import bisect
+
+        return base[bisect.bisect_right(base, low) :]
+    return [n for n in range(max(low + 1, 2), high + 1) if is_prime(n)]
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        if candidate == 2:
+            return 2
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def prev_prime(n: int) -> int:
+    """Largest prime strictly smaller than ``n`` (raises below 3)."""
+    if n <= 2:
+        raise ReproError(f"no prime below {n}")
+    candidate = n - 1
+    if candidate % 2 == 0 and candidate != 2:
+        candidate -= 1
+    while candidate >= 2 and not is_prime(candidate):
+        candidate -= 2 if candidate > 3 else 1
+    if candidate < 2:
+        raise ReproError(f"no prime below {n}")
+    return candidate
+
+
+def random_prime_at_most(
+    k: int, rng: random.Random, *, max_attempts: Optional[int] = None
+) -> int:
+    """A uniformly random prime ``<= k`` by rejection sampling.
+
+    This is exactly step (2) of the Theorem 8(a) algorithm: "choose a random
+    number ≤ k and test if it is prime; if not, repeat".  By the prime number
+    theorem the expected number of attempts is O(log k); ``max_attempts``
+    defaults to ``64 * bit_length(k)`` which fails with only astronomically
+    small probability.
+    """
+    if k < 2:
+        raise ReproError(f"no prime <= {k}")
+    attempts = max_attempts if max_attempts is not None else 64 * max(1, k.bit_length())
+    for _ in range(attempts):
+        candidate = rng.randint(2, k)
+        if is_prime(candidate):
+            return candidate
+    raise ReproError(f"failed to sample a prime <= {k} in {attempts} attempts")
+
+
+def bertrand_prime(k: int) -> int:
+    """An arbitrary (here: the smallest) prime ``p`` with ``3k < p <= 6k``.
+
+    Bertrand's postulate guarantees a prime in ``(3k, 6k]`` for every
+    ``k >= 1`` — this is step (3) of the Theorem 8(a) algorithm.
+    """
+    if k < 1:
+        raise ReproError(f"bertrand_prime requires k >= 1, got {k}")
+    p = next_prime(3 * k)
+    if p > 6 * k:  # cannot happen by Bertrand's postulate; guard anyway
+        raise ReproError(f"no prime in (3*{k}, 6*{k}] — Bertrand violated?!")
+    return p
+
+
+def prime_count_upper(k: int) -> int:
+    """A simple upper bound on π(k) (number of primes ≤ k).
+
+    Uses the Rosser–Schoenfeld style bound π(k) ≤ 1.3 · k / ln k for k ≥ 17
+    and exact counts below.  Only used for sanity analytics in experiments.
+    """
+    import math
+
+    if k < 2:
+        return 0
+    if k < 17:
+        return len(primes_up_to(k))
+    return int(1.3 * k / math.log(k)) + 1
+
+
+def prime_factors(n: int) -> List[int]:
+    """Prime factorization with multiplicity (trial division; small n only)."""
+    if n < 1:
+        raise ReproError(f"prime_factors requires n >= 1, got {n}")
+    out: List[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        out.append(n)
+    return out

@@ -1,0 +1,185 @@
+"""Reference deciders for every decision problem in the paper.
+
+These are the *specifications*: unconstrained Python implementations used as
+ground truth by tests, experiments, and the adversarial harness.  The
+resource-bounded implementations live in :mod:`repro.algorithms`.
+
+Lexicographic order on 0-1 strings follows the usual string convention
+(shorter prefixes sort first): ``"0" < "00" < "01" < "1"``.  On equal-length
+strings — the only case the lower-bound constructions use — this coincides
+with numeric order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from .._util import ceil_log2
+from ..errors import EncodingError
+from .encoding import Instance, decode_instance
+
+InstanceLike = Union[str, Instance]
+
+
+def as_instance(instance: InstanceLike) -> Instance:
+    """Accept either an encoded string or a decoded Instance."""
+    if isinstance(instance, Instance):
+        return instance
+    if isinstance(instance, str):
+        return decode_instance(instance)
+    raise EncodingError(f"not an instance: {type(instance).__name__}")
+
+
+def sort_strings(values: Sequence[str]) -> List[str]:
+    """Ascending lexicographic sort — the SORTING function problem's spec."""
+    return sorted(values)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A named decision problem over instance strings.
+
+    ``decide`` is the reference decider; ``promise`` (optional) restricts
+    the instance space — deciders are only meaningful on instances where
+    ``promise`` holds (CHECK-φ and the SHORT variants use this).
+    """
+
+    name: str
+    decide: Callable[[Instance], bool] = field(compare=False)
+    promise: Optional[Callable[[Instance], bool]] = field(
+        default=None, compare=False
+    )
+    description: str = field(default="", compare=False)
+
+    def __call__(self, instance: InstanceLike) -> bool:
+        inst = as_instance(instance)
+        if self.promise is not None and not self.promise(inst):
+            raise EncodingError(
+                f"instance violates the promise of problem {self.name}"
+            )
+        return self.decide(inst)
+
+    def is_valid_instance(self, instance: InstanceLike) -> bool:
+        """Does the (decodable) instance satisfy this problem's promise?"""
+        try:
+            inst = as_instance(instance)
+        except EncodingError:
+            return False
+        return self.promise is None or self.promise(inst)
+
+    def complement(self) -> "Problem":
+        """The complement problem (used by the co-classes of Corollary 9)."""
+        return Problem(
+            f"co-{self.name}",
+            lambda inst: not self.decide(inst),
+            promise=self.promise,
+            description=f"Complement of {self.name}.",
+        )
+
+
+def _decide_set_equality(inst: Instance) -> bool:
+    return set(inst.first) == set(inst.second)
+
+
+def _decide_multiset_equality(inst: Instance) -> bool:
+    return Counter(inst.first) == Counter(inst.second)
+
+
+def _decide_check_sort(inst: Instance) -> bool:
+    return list(inst.second) == sort_strings(inst.first)
+
+
+def _decide_disjoint_sets(inst: Instance) -> bool:
+    return not (set(inst.first) & set(inst.second))
+
+
+SET_EQUALITY = Problem(
+    "SET-EQUALITY",
+    _decide_set_equality,
+    description="Decide {v_1,…,v_m} = {v'_1,…,v'_m} as sets.",
+)
+
+MULTISET_EQUALITY = Problem(
+    "MULTISET-EQUALITY",
+    _decide_multiset_equality,
+    description="Decide equality of the two halves as multisets.",
+)
+
+CHECK_SORT = Problem(
+    "CHECK-SORT",
+    _decide_check_sort,
+    description=(
+        "Decide whether v'_1,…,v'_m is the ascending lexicographic sort "
+        "of v_1,…,v_m."
+    ),
+)
+
+DISJOINT_SETS = Problem(
+    "DISJOINT-SETS",
+    _decide_disjoint_sets,
+    description=(
+        "Decide whether {v_i} and {v'_i} are disjoint — the open problem "
+        "from the paper's conclusion."
+    ),
+)
+
+
+def short_variant(problem: Problem, c: int = 2) -> Problem:
+    """The SHORT restriction: all strings have length ≤ c·log m (c ≥ 2).
+
+    Matches the paper's definition after Theorem 6: instances whose values
+    are 0-1 strings of length at most c·log m.
+    """
+    if c < 2:
+        raise EncodingError(f"SHORT variants require c >= 2, got {c}")
+
+    def promise(inst: Instance) -> bool:
+        if inst.m == 0:
+            return True
+        limit = c * max(1, ceil_log2(inst.m))
+        return all(len(v) <= limit for v in inst.first + inst.second)
+
+    return Problem(
+        f"SHORT-{problem.name}",
+        problem.decide,
+        promise=promise,
+        description=(
+            f"{problem.name} restricted to strings of length <= {c}·log m."
+        ),
+    )
+
+
+def check_phi_problem(phi: Sequence[int]) -> Problem:
+    """CHECK-φ for a fixed 0-based permutation φ (Lemma 22).
+
+    Decides (v_1,…,v_m) = (v'_φ(1),…,v'_φ(m)), i.e. ``first[i] ==
+    second[phi[i]]`` for every i.  The interval promise (values lying in
+    I_φ(i) resp. I_i) is checked by :class:`repro.problems.instances.
+    CheckPhiFamily`, not here, because it needs the interval family.
+    """
+    phi = list(phi)
+    if sorted(phi) != list(range(len(phi))):
+        raise EncodingError("phi must be a 0-based permutation")
+
+    def decide(inst: Instance) -> bool:
+        if inst.m != len(phi):
+            raise EncodingError(
+                f"CHECK-φ expects m = {len(phi)}, instance has m = {inst.m}"
+            )
+        return all(inst.first[i] == inst.second[phi[i]] for i in range(inst.m))
+
+    return Problem(
+        f"CHECK-φ[m={len(phi)}]",
+        decide,
+        description="Promise problem of Lemma 22 for a fixed permutation φ.",
+    )
+
+
+ALL_PROBLEMS: Tuple[Problem, ...] = (
+    SET_EQUALITY,
+    MULTISET_EQUALITY,
+    CHECK_SORT,
+    DISJOINT_SETS,
+)

@@ -1,0 +1,20 @@
+"""Query-evaluation substrate for the Section 4 lower bounds.
+
+Three query languages, each with the exact fragment the paper's theorems
+need, implemented from scratch:
+
+* :mod:`repro.queries.relational` — relational algebra (σ, π, ∪, −, ×, ⋈,
+  ρ) with an in-memory reference evaluator and a tape-backed streaming
+  evaluator whose reversal count realizes Theorem 11(a); the symmetric
+  difference query Q′ of Theorem 11(b) is built in;
+* :mod:`repro.queries.xml` — XML token streams, a parser/serializer for
+  the attribute-free fragment, and the encoder from SET-EQUALITY
+  instances to ``<instance><set1>…</set1><set2>…</set2></instance>``
+  documents;
+* :mod:`repro.queries.xpath` — the Figure 1 XPath query: axes
+  (child/descendant/ancestor/…), name tests, predicates with ``not`` and
+  existential ``=`` on node sets;
+* :mod:`repro.queries.xquery` — the Theorem 12 XQuery query: element
+  constructors, if/then/else, ``and``, ``every/some … satisfies``,
+  general comparisons.
+"""

@@ -1,0 +1,44 @@
+"""Relational algebra: schemas, relations, the operator AST, evaluators."""
+
+from .schema import Schema, Relation, Database
+from .algebra import (
+    Expr,
+    RelationRef,
+    Selection,
+    Projection,
+    Union,
+    Difference,
+    Product,
+    NaturalJoin,
+    Rename,
+    Predicate,
+    AttrEquals,
+    AttrEqualsAttr,
+    symmetric_difference_query,
+)
+from .evaluate import evaluate
+from .parser import parse_algebra
+from .streaming import StreamingEvaluator, set_equality_database
+
+__all__ = [
+    "Schema",
+    "Relation",
+    "Database",
+    "Expr",
+    "RelationRef",
+    "Selection",
+    "Projection",
+    "Union",
+    "Difference",
+    "Product",
+    "NaturalJoin",
+    "Rename",
+    "Predicate",
+    "AttrEquals",
+    "AttrEqualsAttr",
+    "symmetric_difference_query",
+    "evaluate",
+    "parse_algebra",
+    "StreamingEvaluator",
+    "set_equality_database",
+]

@@ -1,0 +1,194 @@
+"""The relational algebra AST (σ, π, ∪, −, ×, ⋈, ρ).
+
+Expressions are immutable trees; ``expr.schema(db)`` performs static
+schema-checking against a database (raising QueryEvaluationError on
+mismatches) without touching any data.  The symmetric-difference query of
+Theorem 11(b), Q′ = (R1 − R2) ∪ (R2 − R1), is provided by
+:func:`symmetric_difference_query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...errors import QueryEvaluationError
+from .schema import Database, Schema
+
+
+class Expr:
+    """Base class for algebra expressions."""
+
+    def schema(self, db: Database) -> Schema:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Predicate:
+    """Base class for selection predicates."""
+
+    def check(self, schema: Schema) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def holds(self, schema: Schema, row) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AttrEquals(Predicate):
+    """attribute = constant."""
+
+    attribute: str
+    value: object
+
+    def check(self, schema: Schema) -> None:
+        schema.index_of(self.attribute)
+
+    def holds(self, schema: Schema, row) -> bool:
+        return row[schema.index_of(self.attribute)] == self.value
+
+
+@dataclass(frozen=True)
+class AttrEqualsAttr(Predicate):
+    """attribute = attribute."""
+
+    left: str
+    right: str
+
+    def check(self, schema: Schema) -> None:
+        schema.index_of(self.left)
+        schema.index_of(self.right)
+
+    def holds(self, schema: Schema, row) -> bool:
+        return row[schema.index_of(self.left)] == row[schema.index_of(self.right)]
+
+
+@dataclass(frozen=True)
+class RelationRef(Expr):
+    name: str
+
+    def schema(self, db: Database) -> Schema:
+        return db[self.name].schema
+
+
+@dataclass(frozen=True)
+class Selection(Expr):
+    """σ_pred(child)."""
+
+    predicate: Predicate
+    child: Expr
+
+    def schema(self, db: Database) -> Schema:
+        schema = self.child.schema(db)
+        self.predicate.check(schema)
+        return schema
+
+
+@dataclass(frozen=True)
+class Projection(Expr):
+    """π_attrs(child) — set semantics, duplicates collapse."""
+
+    attributes: Tuple[str, ...]
+    child: Expr
+
+    def schema(self, db: Database) -> Schema:
+        child_schema = self.child.schema(db)
+        for a in self.attributes:
+            child_schema.index_of(a)
+        return Schema(tuple(self.attributes))
+
+
+def _union_compatible(left: Schema, right: Schema, op: str) -> Schema:
+    if len(left) != len(right):
+        raise QueryEvaluationError(
+            f"{op}: schemas have different arity: "
+            f"{left.attributes} vs {right.attributes}"
+        )
+    return left
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    left: Expr
+    right: Expr
+
+    def schema(self, db: Database) -> Schema:
+        return _union_compatible(self.left.schema(db), self.right.schema(db), "∪")
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    left: Expr
+    right: Expr
+
+    def schema(self, db: Database) -> Schema:
+        return _union_compatible(self.left.schema(db), self.right.schema(db), "−")
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Cartesian product; attribute sets must be disjoint."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: Database) -> Schema:
+        ls, rs = self.left.schema(db), self.right.schema(db)
+        overlap = set(ls.attributes) & set(rs.attributes)
+        if overlap:
+            raise QueryEvaluationError(
+                f"×: overlapping attributes {sorted(overlap)} (rename first)"
+            )
+        return Schema(ls.attributes + rs.attributes)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Expr):
+    """⋈ on the shared attributes."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: Database) -> Schema:
+        ls, rs = self.left.schema(db), self.right.schema(db)
+        extra = tuple(a for a in rs.attributes if a not in ls.attributes)
+        return Schema(ls.attributes + extra)
+
+    def shared_attributes(self, db: Database) -> Tuple[str, ...]:
+        ls, rs = self.left.schema(db), self.right.schema(db)
+        return tuple(a for a in ls.attributes if a in rs.attributes)
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """ρ: rename attributes via a (old, new) mapping."""
+
+    mapping: Tuple[Tuple[str, str], ...]
+    child: Expr
+
+    def schema(self, db: Database) -> Schema:
+        child_schema = self.child.schema(db)
+        mapping = dict(self.mapping)
+        for old in mapping:
+            child_schema.index_of(old)
+        return Schema(
+            tuple(mapping.get(a, a) for a in child_schema.attributes)
+        )
+
+
+def symmetric_difference_query(
+    r1: str = "R1", r2: str = "R2"
+) -> Expr:
+    """Q′ = (R1 − R2) ∪ (R2 − R1): empty iff R1 = R2 (Theorem 11(b))."""
+    a, b = RelationRef(r1), RelationRef(r2)
+    return Union(Difference(a, b), Difference(b, a))
+
+
+def operator_count(expr: Expr) -> int:
+    """Number of operator nodes — the constant c_Q of Theorem 11(a)."""
+    if isinstance(expr, RelationRef):
+        return 1
+    if isinstance(expr, (Selection, Projection, Rename)):
+        return 1 + operator_count(expr.child)
+    if isinstance(expr, (Union, Difference, Product, NaturalJoin)):
+        return 1 + operator_count(expr.left) + operator_count(expr.right)
+    raise QueryEvaluationError(f"unknown expression node {expr!r}")

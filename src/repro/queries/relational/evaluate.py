@@ -1,0 +1,77 @@
+"""In-memory reference evaluator for the relational algebra (set semantics)."""
+
+from __future__ import annotations
+
+from ...errors import QueryEvaluationError
+from .algebra import (
+    AttrEquals,
+    Difference,
+    Expr,
+    NaturalJoin,
+    Predicate,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+from .schema import Database, Relation, Schema
+
+
+def evaluate(expr: Expr, db: Database) -> Relation:
+    """Evaluate an algebra expression against a database."""
+    schema = expr.schema(db)  # static check first; errors surface early
+
+    if isinstance(expr, RelationRef):
+        return db[expr.name]
+
+    if isinstance(expr, Selection):
+        child = evaluate(expr.child, db)
+        rows = frozenset(
+            row for row in child.tuples if expr.predicate.holds(child.schema, row)
+        )
+        return Relation(child.schema, rows)
+
+    if isinstance(expr, Projection):
+        child = evaluate(expr.child, db)
+        idxs = [child.schema.index_of(a) for a in expr.attributes]
+        rows = frozenset(tuple(row[i] for i in idxs) for row in child.tuples)
+        return Relation(schema, rows)
+
+    if isinstance(expr, Union):
+        left, right = evaluate(expr.left, db), evaluate(expr.right, db)
+        return Relation(schema, left.tuples | right.tuples)
+
+    if isinstance(expr, Difference):
+        left, right = evaluate(expr.left, db), evaluate(expr.right, db)
+        return Relation(schema, left.tuples - right.tuples)
+
+    if isinstance(expr, Product):
+        left, right = evaluate(expr.left, db), evaluate(expr.right, db)
+        rows = frozenset(a + b for a in left.tuples for b in right.tuples)
+        return Relation(schema, rows)
+
+    if isinstance(expr, NaturalJoin):
+        left, right = evaluate(expr.left, db), evaluate(expr.right, db)
+        shared = expr.shared_attributes(db)
+        l_idx = [left.schema.index_of(a) for a in shared]
+        r_idx = [right.schema.index_of(a) for a in shared]
+        r_extra = [
+            i
+            for i, a in enumerate(right.schema.attributes)
+            if a not in left.schema.attributes
+        ]
+        rows = set()
+        for a in left.tuples:
+            key_a = tuple(a[i] for i in l_idx)
+            for b in right.tuples:
+                if key_a == tuple(b[i] for i in r_idx):
+                    rows.add(a + tuple(b[i] for i in r_extra))
+        return Relation(schema, frozenset(rows))
+
+    if isinstance(expr, Rename):
+        child = evaluate(expr.child, db)
+        return Relation(schema, child.tuples)
+
+    raise QueryEvaluationError(f"unknown expression node {expr!r}")

@@ -1,0 +1,195 @@
+"""A small text syntax for relational algebra expressions.
+
+Grammar (whitespace-insensitive)::
+
+    expr      := term (('union' | '∪') term)*
+    term      := factor (('-' | '−') factor)*
+    factor    := atom (('x' | '×' | 'join' | '⋈') atom)*
+    atom      := NAME
+               | '(' expr ')'
+               | ('select' | 'σ') '[' NAME '=' (VALUE | NAME) ']' atom
+               | ('project' | 'π') '[' NAME (',' NAME)* ']' atom
+               | ('rename' | 'ρ') '[' NAME '->' NAME (',' …)* ']' atom
+
+Selections compare against a quoted 'value' (constant) or a bare name
+(attribute = attribute).  Example — the Theorem 11(b) query::
+
+    parse_algebra("(R1 - R2) union (R2 - R1)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from ...errors import QuerySyntaxError
+from .algebra import (
+    AttrEquals,
+    AttrEqualsAttr,
+    Difference,
+    Expr,
+    NaturalJoin,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+
+_TOKEN = re.compile(
+    r"\s*("
+    r"->|'[^']*'|\(|\)|\[|\]|,|=|-|−|∪|×|⋈|σ|π|ρ"
+    r"|[A-Za-z_][A-Za-z0-9_]*"
+    r")"
+)
+
+_UNION_WORDS = {"union", "∪"}
+_DIFF_WORDS = {"-", "−"}
+_PRODUCT_WORDS = {"x", "×"}
+_JOIN_WORDS = {"join", "⋈"}
+_SELECT_WORDS = {"select", "σ"}
+_PROJECT_WORDS = {"project", "π"}
+_RENAME_WORDS = {"rename", "ρ"}
+_KEYWORDS = (
+    _UNION_WORDS
+    | _PRODUCT_WORDS
+    | _JOIN_WORDS
+    | _SELECT_WORDS
+    | _PROJECT_WORDS
+    | _RENAME_WORDS
+)
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: List[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if not m:
+                if text[pos:].strip():
+                    raise QuerySyntaxError(
+                        f"cannot tokenize algebra at offset {pos}: "
+                        f"{text[pos:pos+20]!r}"
+                    )
+                break
+            self.items.append(m.group(1))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError("unexpected end of algebra expression")
+        self.index += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise QuerySyntaxError(f"expected {token!r}, got {got!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_algebra(text: str) -> Expr:
+    """Parse an algebra expression; raises QuerySyntaxError on garbage."""
+    tokens = _Tokens(text)
+    expr = _parse_union(tokens)
+    if not tokens.exhausted:
+        raise QuerySyntaxError(f"trailing tokens: {tokens.peek()!r}")
+    return expr
+
+
+def _parse_union(tokens: _Tokens) -> Expr:
+    left = _parse_difference(tokens)
+    while tokens.peek() in _UNION_WORDS:
+        tokens.next()
+        left = Union(left, _parse_difference(tokens))
+    return left
+
+
+def _parse_difference(tokens: _Tokens) -> Expr:
+    left = _parse_product(tokens)
+    while tokens.peek() in _DIFF_WORDS:
+        tokens.next()
+        left = Difference(left, _parse_product(tokens))
+    return left
+
+
+def _parse_product(tokens: _Tokens) -> Expr:
+    left = _parse_atom(tokens)
+    while tokens.peek() in (_PRODUCT_WORDS | _JOIN_WORDS):
+        op = tokens.next()
+        right = _parse_atom(tokens)
+        left = (
+            Product(left, right) if op in _PRODUCT_WORDS else NaturalJoin(left, right)
+        )
+    return left
+
+
+def _name(tokens: _Tokens) -> str:
+    tok = tokens.next()
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+        raise QuerySyntaxError(f"expected a name, got {tok!r}")
+    return tok
+
+
+def _parse_atom(tokens: _Tokens) -> Expr:
+    tok = tokens.peek()
+    if tok is None:
+        raise QuerySyntaxError("expected an expression")
+
+    if tok == "(":
+        tokens.next()
+        inner = _parse_union(tokens)
+        tokens.expect(")")
+        return inner
+
+    if tok in _SELECT_WORDS:
+        tokens.next()
+        tokens.expect("[")
+        attribute = _name(tokens)
+        tokens.expect("=")
+        operand = tokens.next()
+        tokens.expect("]")
+        child = _parse_atom(tokens)
+        if operand.startswith("'") and operand.endswith("'"):
+            return Selection(AttrEquals(attribute, operand[1:-1]), child)
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", operand):
+            raise QuerySyntaxError(f"bad selection operand {operand!r}")
+        return Selection(AttrEqualsAttr(attribute, operand), child)
+
+    if tok in _PROJECT_WORDS:
+        tokens.next()
+        tokens.expect("[")
+        attrs = [_name(tokens)]
+        while tokens.peek() == ",":
+            tokens.next()
+            attrs.append(_name(tokens))
+        tokens.expect("]")
+        return Projection(tuple(attrs), _parse_atom(tokens))
+
+    if tok in _RENAME_WORDS:
+        tokens.next()
+        tokens.expect("[")
+        mapping = []
+        while True:
+            old = _name(tokens)
+            tokens.expect("->")
+            mapping.append((old, _name(tokens)))
+            if tokens.peek() != ",":
+                break
+            tokens.next()
+        tokens.expect("]")
+        return Rename(tuple(mapping), _parse_atom(tokens))
+
+    if tok in _KEYWORDS or tok in ("[", "]", ",", "=", ")", "->") or tok in _DIFF_WORDS:
+        raise QuerySyntaxError(f"unexpected token {tok!r}")
+    return RelationRef(_name(tokens))

@@ -1,0 +1,103 @@
+"""Schemas, relations, databases — set semantics, as in the paper.
+
+A relation is a *set* of tuples over a named attribute list.  The paper's
+Theorem 11 reduction represents a SET-EQUALITY instance as two unary
+relations R1, R2 holding the two halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from ...errors import QueryEvaluationError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered attribute list."""
+
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise QueryEvaluationError(
+                f"duplicate attribute in schema {self.attributes}"
+            )
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise QueryEvaluationError(
+                f"unknown attribute {attribute!r} in schema {self.attributes}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A set of equal-arity tuples with a schema."""
+
+    schema: Schema
+    tuples: FrozenSet[Tuple[object, ...]]
+
+    @classmethod
+    def create(
+        cls, attributes: Iterable[str], rows: Iterable[Iterable[object]]
+    ) -> "Relation":
+        schema = Schema(tuple(attributes))
+        tuples = frozenset(tuple(row) for row in rows)
+        for row in tuples:
+            if len(row) != len(schema):
+                raise QueryEvaluationError(
+                    f"row {row} does not match schema {schema.attributes}"
+                )
+        return cls(schema, tuples)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+    def column(self, attribute: str) -> FrozenSet[object]:
+        idx = self.schema.index_of(attribute)
+        return frozenset(row[idx] for row in self.tuples)
+
+    def sorted_rows(self):
+        """Deterministic ordering, for display and stream layout."""
+        return sorted(self.tuples)
+
+    def total_size(self) -> int:
+        """Number of fields across all tuples (the stream length proxy)."""
+        return sum(len(row) for row in self.tuples)
+
+
+class Database:
+    """A named collection of relations."""
+
+    def __init__(self, relations: Dict[str, Relation]):
+        self._relations = dict(relations)
+
+    def __getitem__(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise QueryEvaluationError(f"unknown relation {name!r}")
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def names(self):
+        return sorted(self._relations)
+
+    def total_size(self) -> int:
+        """N: total number of fields across all relations' tuples."""
+        return sum(rel.total_size() for rel in self._relations.values())

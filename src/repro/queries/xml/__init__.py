@@ -1,0 +1,35 @@
+"""XML substrate: tokens, documents, parsing, serialization, encoding.
+
+The fragment implemented is exactly what Section 4 needs: elements and
+text (no attributes, namespaces, comments or processing instructions).
+Documents stream as token sequences — the model's "XML document stream".
+"""
+
+from .tokens import StartTag, EndTag, Text, Token, tokenize
+from .document import (
+    Node,
+    Element,
+    TextNode,
+    Document,
+    parse,
+    parse_tokens,
+    serialize,
+)
+from .encode import instance_to_document, document_to_instance
+
+__all__ = [
+    "StartTag",
+    "EndTag",
+    "Text",
+    "Token",
+    "tokenize",
+    "Node",
+    "Element",
+    "TextNode",
+    "Document",
+    "parse",
+    "parse_tokens",
+    "serialize",
+    "instance_to_document",
+    "document_to_instance",
+]

@@ -1,0 +1,100 @@
+"""XML token stream: the streaming view of a document.
+
+A document stream is a sequence of :class:`StartTag`, :class:`EndTag` and
+:class:`Text` tokens.  The tokenizer handles the attribute-free fragment
+(tags ``<name>``, ``</name>``, self-closing ``<name/>``, and character
+data); anything else raises :class:`repro.errors.XMLError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from ...errors import XMLError
+
+_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_.-]*")
+
+
+@dataclass(frozen=True)
+class StartTag:
+    name: str
+
+
+@dataclass(frozen=True)
+class EndTag:
+    name: str
+
+
+@dataclass(frozen=True)
+class Text:
+    value: str
+
+
+Token = Union[StartTag, EndTag, Text]
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Stream tokens out of serialized XML (attribute-free fragment).
+
+    Whitespace-only character data between tags is skipped (the paper's
+    documents are whitespace-insensitive); all other text is preserved.
+    """
+    pos = 0
+    length = len(source)
+    while pos < length:
+        if source[pos] == "<":
+            close = source.find(">", pos)
+            if close == -1:
+                raise XMLError(f"unterminated tag at offset {pos}")
+            body = source[pos + 1 : close].strip()
+            if not body:
+                raise XMLError(f"empty tag at offset {pos}")
+            if body.startswith("/"):
+                name = body[1:].strip()
+                if not _NAME.fullmatch(name):
+                    raise XMLError(f"bad end-tag name {name!r}")
+                yield EndTag(name)
+            elif body.endswith("/"):
+                name = body[:-1].strip()
+                if not _NAME.fullmatch(name):
+                    raise XMLError(f"bad self-closing tag name {name!r}")
+                yield StartTag(name)
+                yield EndTag(name)
+            else:
+                if not _NAME.fullmatch(body):
+                    raise XMLError(
+                        f"bad start-tag {body!r} (attributes are outside "
+                        "the supported fragment)"
+                    )
+                yield StartTag(body)
+            pos = close + 1
+        else:
+            nxt = source.find("<", pos)
+            if nxt == -1:
+                nxt = length
+            text = source[pos:nxt]
+            if text.strip():
+                yield Text(text.strip())
+            pos = nxt
+
+
+def well_formed(tokens: List[Token]) -> bool:
+    """Single-pass well-formedness check with an explicit tag stack."""
+    stack: List[str] = []
+    seen_root_close = False
+    for tok in tokens:
+        if seen_root_close:
+            return False  # trailing content after the root element
+        if isinstance(tok, StartTag):
+            stack.append(tok.name)
+        elif isinstance(tok, EndTag):
+            if not stack or stack.pop() != tok.name:
+                return False
+            if not stack:
+                seen_root_close = True
+        else:  # Text outside the root is not well-formed
+            if not stack:
+                return False
+    return seen_root_close

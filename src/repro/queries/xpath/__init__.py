@@ -1,0 +1,31 @@
+"""XPath fragment: axes, name tests, predicates with ``not`` and ``=``.
+
+Implements exactly the constructs the Figure 1 query needs (plus the
+obvious neighbours), with XPath 1.0 semantics: node-sets in document
+order, existential general comparison, boolean(node-set) = nonempty.
+"""
+
+from .ast import (
+    Axis,
+    LocationPath,
+    Step,
+    Comparison,
+    Not,
+    PathPredicate,
+)
+from .parser import parse_xpath
+from .evaluate import evaluate_xpath, matches, figure1_query, FIGURE1_TEXT
+
+__all__ = [
+    "Axis",
+    "LocationPath",
+    "Step",
+    "Comparison",
+    "Not",
+    "PathPredicate",
+    "parse_xpath",
+    "evaluate_xpath",
+    "matches",
+    "figure1_query",
+    "FIGURE1_TEXT",
+]

@@ -1,0 +1,73 @@
+"""XPath AST for the supported fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple, Union
+
+from ...errors import QuerySyntaxError
+
+
+class Axis(Enum):
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    SELF = "self"
+    PARENT = "parent"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Axis":
+        for axis in cls:
+            if axis.value == name:
+                return axis
+        raise QuerySyntaxError(f"unsupported axis {name!r}")
+
+
+#: A predicate is a Comparison, a Not, or a bare path (existence test).
+PredicateExpr = Union["Comparison", "Not", "PathPredicate"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """axis::nametest[pred]*  —  nametest '*' matches any element."""
+
+    axis: Axis
+    name_test: str
+    predicates: Tuple[PredicateExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A sequence of steps; ``absolute`` paths start at the document node."""
+
+    steps: Tuple[Step, ...]
+    absolute: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise QuerySyntaxError("a location path needs at least one step")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """path = path, existential over node-set string-values."""
+
+    left: LocationPath
+    right: LocationPath
+
+
+@dataclass(frozen=True)
+class Not:
+    """Boolean negation of a predicate expression."""
+
+    operand: PredicateExpr
+
+
+@dataclass(frozen=True)
+class PathPredicate:
+    """A bare path as predicate: true iff the node-set is nonempty."""
+
+    path: LocationPath

@@ -1,0 +1,176 @@
+"""XPath evaluation with XPath 1.0 semantics on the document model.
+
+* node-sets are returned in document order, duplicates removed;
+* general comparison ``A = B`` is existential over string-values;
+* boolean(node-set) = nonempty;
+* relative paths evaluate from the context node, absolute paths from the
+  (virtual) document node, whose single child is the root element.
+
+The Figure 1 query — selecting the ``<item>`` children of ``set1`` whose
+string is *not* matched in ``set2``, i.e. the elements of X − Y — is
+provided pre-built by :func:`figure1_query` and as source text in
+:data:`FIGURE1_TEXT` (the parser produces the identical AST; a test pins
+that down).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Union
+
+from ...errors import QueryEvaluationError
+from ..xml.document import Document, Element, Node, TextNode
+from .ast import (
+    Axis,
+    Comparison,
+    LocationPath,
+    Not,
+    PathPredicate,
+    PredicateExpr,
+    Step,
+)
+from .parser import parse_xpath
+
+#: Figure 1 of the paper, verbatim (modulo whitespace).
+FIGURE1_TEXT = (
+    "descendant::set1 / child::item [ not child::string = "
+    "ancestor::instance / child::set2 / child::item / child::string ]"
+)
+
+
+class _DocumentNode:
+    """The virtual root ('/'): parent of the document element."""
+
+    def __init__(self, document: Document):
+        self.document = document
+
+    def children(self) -> List[Element]:
+        return [self.document.root]
+
+
+ContextNode = Union[Node, _DocumentNode]
+
+
+def _axis_nodes(axis: Axis, context: ContextNode) -> Iterator[Node]:
+    if isinstance(context, _DocumentNode):
+        if axis in (Axis.CHILD,):
+            yield from context.children()
+        elif axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            root = context.document.root
+            yield root
+            yield from root.descendants()
+        elif axis in (Axis.SELF, Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+            return
+        return
+
+    if axis == Axis.CHILD:
+        if isinstance(context, Element):
+            yield from context.children
+    elif axis == Axis.DESCENDANT:
+        yield from context.descendants()
+    elif axis == Axis.DESCENDANT_OR_SELF:
+        yield context
+        yield from context.descendants()
+    elif axis == Axis.SELF:
+        yield context
+    elif axis == Axis.PARENT:
+        if context.parent is not None:
+            yield context.parent
+    elif axis == Axis.ANCESTOR:
+        yield from context.ancestors()
+    elif axis == Axis.ANCESTOR_OR_SELF:
+        yield context
+        yield from context.ancestors()
+    else:  # pragma: no cover - exhaustive over Axis
+        raise QueryEvaluationError(f"unhandled axis {axis}")
+
+
+def _name_matches(node: Node, name_test: str) -> bool:
+    if not isinstance(node, Element):
+        return False  # name tests select elements in this fragment
+    return name_test == "*" or node.name == name_test
+
+
+def _eval_steps(
+    steps: Sequence[Step], contexts: List[ContextNode], document: Document
+) -> List[Node]:
+    current: List[ContextNode] = list(contexts)
+    for step in steps:
+        produced: List[Node] = []
+        seen = set()
+        for ctx in current:
+            for candidate in _axis_nodes(step.axis, ctx):
+                if not _name_matches(candidate, step.name_test):
+                    continue
+                if all(
+                    _eval_predicate(p, candidate, document)
+                    for p in step.predicates
+                ):
+                    if id(candidate) not in seen:
+                        seen.add(id(candidate))
+                        produced.append(candidate)
+        current = list(produced)
+    return [n for n in current if isinstance(n, Node)]
+
+
+def evaluate_xpath(
+    path: Union[LocationPath, str],
+    document: Document,
+    context: "Node | None" = None,
+) -> List[Node]:
+    """Evaluate a path; relative paths default to the document node context."""
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    doc_node = _DocumentNode(document)
+    if path.absolute or context is None:
+        start: List[ContextNode] = [doc_node]
+    else:
+        start = [context]
+    return _eval_steps(path.steps, start, document)
+
+
+def _eval_predicate(
+    pred: PredicateExpr, context: Node, document: Document
+) -> bool:
+    if isinstance(pred, Not):
+        return not _eval_predicate(pred.operand, context, document)
+    if isinstance(pred, PathPredicate):
+        return bool(_resolve(pred.path, context, document))
+    if isinstance(pred, Comparison):
+        left = _resolve(pred.left, context, document)
+        right = _resolve(pred.right, context, document)
+        left_values = {n.string_value() for n in left}
+        return any(n.string_value() in left_values for n in right)
+    raise QueryEvaluationError(f"unknown predicate {pred!r}")
+
+
+def _resolve(
+    path: LocationPath, context: Node, document: Document
+) -> List[Node]:
+    if path.absolute:
+        return _eval_steps(path.steps, [_DocumentNode(document)], document)
+    return _eval_steps(path.steps, [context], document)
+
+
+def figure1_query() -> LocationPath:
+    """The Figure 1 query, built programmatically (parser-independent)."""
+    inner_right = LocationPath(
+        (
+            Step(Axis.ANCESTOR, "instance"),
+            Step(Axis.CHILD, "set2"),
+            Step(Axis.CHILD, "item"),
+            Step(Axis.CHILD, "string"),
+        )
+    )
+    inner_left = LocationPath((Step(Axis.CHILD, "string"),))
+    predicate = Not(Comparison(inner_left, inner_right))
+    return LocationPath(
+        (
+            Step(Axis.DESCENDANT, "set1"),
+            Step(Axis.CHILD, "item", (predicate,)),
+        )
+    )
+
+
+def matches(path: Union[LocationPath, str], document: Document) -> bool:
+    """Filtering semantics (Theorem 13): does any node match the query?"""
+    return bool(evaluate_xpath(path, document))

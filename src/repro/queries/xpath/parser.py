@@ -1,0 +1,142 @@
+"""Recursive-descent parser for the XPath fragment.
+
+Grammar::
+
+    path       := '/'? step ('/' step)*
+    step       := (axis '::')? nametest predicate*
+    nametest   := NAME | '*'
+    predicate  := '[' predexpr ']'
+    predexpr   := 'not' predexpr
+               |  'not' '(' predexpr ')'
+               |  path ('=' path)?
+
+Whitespace is free between tokens.  The paper writes ``not`` without
+function parentheses (Figure 1); both spellings parse.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...errors import QuerySyntaxError
+from .ast import (
+    Axis,
+    Comparison,
+    LocationPath,
+    Not,
+    PathPredicate,
+    PredicateExpr,
+    Step,
+)
+
+_TOKEN = re.compile(
+    r"\s*(::|//|/|\[|\]|\(|\)|=|\*|[A-Za-z_][A-Za-z0-9_.-]*)"
+)
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: List[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if not m:
+                if text[pos:].strip():
+                    raise QuerySyntaxError(
+                        f"cannot tokenize XPath at offset {pos}: {text[pos:pos+20]!r}"
+                    )
+                break
+            self.items.append(m.group(1))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError("unexpected end of XPath expression")
+        self.index += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise QuerySyntaxError(f"expected {token!r}, got {got!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.items)
+
+
+_AXES = {a.value for a in Axis}
+_KEYWORDS = {"not"}
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse a full location path; raises on trailing garbage."""
+    tokens = _Tokens(text)
+    path = _parse_path(tokens)
+    if not tokens.exhausted:
+        raise QuerySyntaxError(f"trailing tokens after path: {tokens.peek()!r}")
+    return path
+
+
+def _parse_path(tokens: _Tokens) -> LocationPath:
+    absolute = False
+    steps: List[Step] = []
+    if tokens.peek() == "/":
+        absolute = True
+        tokens.next()
+    elif tokens.peek() == "//":
+        # //x is short for /descendant-or-self::*/child::x; we fold it into
+        # a descendant step, which is equivalent for element name tests
+        absolute = True
+        tokens.next()
+        steps.append(_parse_step(tokens, default_axis=Axis.DESCENDANT))
+    if not steps:
+        steps.append(_parse_step(tokens))
+    while tokens.peek() in ("/", "//"):
+        sep = tokens.next()
+        axis = Axis.DESCENDANT if sep == "//" else Axis.CHILD
+        steps.append(_parse_step(tokens, default_axis=axis))
+    return LocationPath(tuple(steps), absolute=absolute)
+
+
+def _parse_step(tokens: _Tokens, default_axis: Axis = Axis.CHILD) -> Step:
+    tok = tokens.next()
+    if tok in ("/", "//", "[", "]", "(", ")", "=", "::"):
+        raise QuerySyntaxError(f"expected a step, got {tok!r}")
+    axis = default_axis
+    if tokens.peek() == "::":
+        axis = Axis.from_name(tok)
+        tokens.next()
+        tok = tokens.next()
+    if tok != "*" and not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.-]*", tok):
+        raise QuerySyntaxError(f"bad name test {tok!r}")
+    predicates: List[PredicateExpr] = []
+    while tokens.peek() == "[":
+        tokens.next()
+        predicates.append(_parse_predexpr(tokens))
+        tokens.expect("]")
+    return Step(axis=axis, name_test=tok, predicates=tuple(predicates))
+
+
+def _parse_predexpr(tokens: _Tokens) -> PredicateExpr:
+    if tokens.peek() == "not":
+        tokens.next()
+        if tokens.peek() == "(":
+            tokens.next()
+            inner = _parse_predexpr(tokens)
+            tokens.expect(")")
+        else:
+            inner = _parse_predexpr(tokens)
+        return Not(inner)
+    left = _parse_path(tokens)
+    if tokens.peek() == "=":
+        tokens.next()
+        right = _parse_path(tokens)
+        return Comparison(left, right)
+    return PathPredicate(left)

@@ -1,0 +1,44 @@
+"""XQuery fragment for Theorem 12.
+
+Supported: element constructors, ``if/then/else``, ``and``/``or``,
+``every/some $x in path satisfies expr``, general comparison ``=`` between
+variables/paths, the empty sequence ``()``, and path expressions (reusing
+the XPath engine).  That is exactly the shape of the paper's query Q plus
+the natural closure.
+"""
+
+from .ast import (
+    XQExpr,
+    ElementConstructor,
+    IfExpr,
+    AndExpr,
+    OrExpr,
+    Quantified,
+    ForExpr,
+    GeneralComparison,
+    PathExpr,
+    VarRef,
+    EmptySequence,
+    TextLiteral,
+)
+from .parser import parse_xquery
+from .evaluate import evaluate_xquery, theorem12_query, THEOREM12_TEXT
+
+__all__ = [
+    "XQExpr",
+    "ElementConstructor",
+    "IfExpr",
+    "AndExpr",
+    "OrExpr",
+    "Quantified",
+    "ForExpr",
+    "GeneralComparison",
+    "PathExpr",
+    "VarRef",
+    "EmptySequence",
+    "TextLiteral",
+    "parse_xquery",
+    "evaluate_xquery",
+    "theorem12_query",
+    "THEOREM12_TEXT",
+]

@@ -1,0 +1,88 @@
+"""XQuery AST for the Theorem 12 fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..xpath.ast import LocationPath
+
+
+class XQExpr:
+    """Base class for XQuery expressions."""
+
+
+@dataclass(frozen=True)
+class ElementConstructor(XQExpr):
+    """<name> content… </name>; children are expressions."""
+
+    name: str
+    content: Tuple[XQExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class TextLiteral(XQExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class IfExpr(XQExpr):
+    condition: XQExpr
+    then_branch: XQExpr
+    else_branch: XQExpr
+
+
+@dataclass(frozen=True)
+class AndExpr(XQExpr):
+    left: XQExpr
+    right: XQExpr
+
+
+@dataclass(frozen=True)
+class OrExpr(XQExpr):
+    left: XQExpr
+    right: XQExpr
+
+
+@dataclass(frozen=True)
+class Quantified(XQExpr):
+    """every/some $var in source satisfies condition."""
+
+    quantifier: str  # "every" | "some"
+    variable: str
+    source: XQExpr
+    condition: XQExpr
+
+
+@dataclass(frozen=True)
+class ForExpr(XQExpr):
+    """for $var in source return body — sequences concatenate."""
+
+    variable: str
+    source: XQExpr
+    body: XQExpr
+
+
+@dataclass(frozen=True)
+class GeneralComparison(XQExpr):
+    """left = right, existential over the two item sequences."""
+
+    left: XQExpr
+    right: XQExpr
+
+
+@dataclass(frozen=True)
+class PathExpr(XQExpr):
+    """An embedded XPath location path."""
+
+    path: LocationPath
+
+
+@dataclass(frozen=True)
+class VarRef(XQExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class EmptySequence(XQExpr):
+    """()"""

@@ -1,0 +1,161 @@
+"""XQuery evaluation over the document model.
+
+Values are *sequences* of items; an item is a Node or a string.  General
+comparison is existential over string-values; effective boolean value is
+"sequence nonempty" (with booleans passed through) — sufficient for the
+fragment.  Element constructors deep-copy their content, as XQuery
+semantics require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ...errors import QueryEvaluationError
+from ..xml.document import Document, Element, Node, TextNode
+from ..xpath.evaluate import evaluate_xpath
+from .ast import (
+    AndExpr,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    GeneralComparison,
+    IfExpr,
+    OrExpr,
+    PathExpr,
+    Quantified,
+    TextLiteral,
+    VarRef,
+    XQExpr,
+)
+from .parser import parse_xquery
+
+Item = Union[Node, str, bool]
+Sequence_ = List[Item]
+
+#: The Theorem 12 query Q, verbatim from the paper (whitespace-normalized).
+THEOREM12_TEXT = """
+<result>
+if ( every $x in /instance/set1/item/string satisfies
+       some $y in /instance/set2/item/string satisfies $x = $y )
+   and
+   ( every $y in /instance/set2/item/string satisfies
+       some $x in /instance/set1/item/string satisfies $x = $y )
+then <true/>
+else ()
+</result>
+"""
+
+
+def theorem12_query() -> XQExpr:
+    """Parse and return the paper's XQuery query Q."""
+    return parse_xquery(THEOREM12_TEXT)
+
+
+def _string_value(item: Item) -> str:
+    if isinstance(item, Node):
+        return item.string_value()
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    return str(item)
+
+
+def _effective_boolean(seq: Sequence_) -> bool:
+    if len(seq) == 1 and isinstance(seq[0], bool):
+        return seq[0]
+    return bool(seq)
+
+
+def _deep_copy(node: Node) -> Node:
+    if isinstance(node, TextNode):
+        return TextNode(node.value)
+    if isinstance(node, Element):
+        return Element(node.name, [_deep_copy(c) for c in node.children])
+    raise QueryEvaluationError(f"cannot copy {node!r}")
+
+
+def evaluate_xquery(
+    query: Union[XQExpr, str],
+    document: Document,
+    variables: "Dict[str, Item] | None" = None,
+) -> Sequence_:
+    """Evaluate a query against a document; returns the result sequence."""
+    if isinstance(query, str):
+        query = parse_xquery(query)
+    return _eval(query, document, dict(variables or {}))
+
+
+def _eval(expr: XQExpr, doc: Document, env: Dict[str, Item]) -> Sequence_:
+    if isinstance(expr, EmptySequence):
+        return []
+
+    if isinstance(expr, TextLiteral):
+        return [expr.value]
+
+    if isinstance(expr, VarRef):
+        if expr.name not in env:
+            raise QueryEvaluationError(f"unbound variable ${expr.name}")
+        return [env[expr.name]]
+
+    if isinstance(expr, PathExpr):
+        context = None
+        return list(evaluate_xpath(expr.path, doc, context))
+
+    if isinstance(expr, ElementConstructor):
+        element = Element(expr.name)
+        for content in expr.content:
+            for item in _eval(content, doc, env):
+                if isinstance(item, Node):
+                    element.append(_deep_copy(item))
+                elif isinstance(item, bool):
+                    element.append(TextNode("true" if item else "false"))
+                else:
+                    element.append(TextNode(str(item)))
+        return [element]
+
+    if isinstance(expr, IfExpr):
+        if _effective_boolean(_eval(expr.condition, doc, env)):
+            return _eval(expr.then_branch, doc, env)
+        return _eval(expr.else_branch, doc, env)
+
+    if isinstance(expr, AndExpr):
+        return [
+            _effective_boolean(_eval(expr.left, doc, env))
+            and _effective_boolean(_eval(expr.right, doc, env))
+        ]
+
+    if isinstance(expr, OrExpr):
+        return [
+            _effective_boolean(_eval(expr.left, doc, env))
+            or _effective_boolean(_eval(expr.right, doc, env))
+        ]
+
+    if isinstance(expr, GeneralComparison):
+        left = {_string_value(i) for i in _eval(expr.left, doc, env)}
+        right = (_string_value(i) for i in _eval(expr.right, doc, env))
+        return [any(v in left for v in right)]
+
+    if isinstance(expr, ForExpr):
+        out: Sequence_ = []
+        for item in _eval(expr.source, doc, env):
+            inner_env = dict(env)
+            inner_env[expr.variable] = item
+            out.extend(_eval(expr.body, doc, inner_env))
+        return out
+
+    if isinstance(expr, Quantified):
+        source = _eval(expr.source, doc, env)
+        results = []
+        for item in source:
+            inner_env = dict(env)
+            inner_env[expr.variable] = item
+            results.append(
+                _effective_boolean(_eval(expr.condition, doc, inner_env))
+            )
+        if expr.quantifier == "every":
+            return [all(results)]
+        if expr.quantifier == "some":
+            return [any(results)]
+        raise QueryEvaluationError(f"unknown quantifier {expr.quantifier!r}")
+
+    raise QueryEvaluationError(f"unknown XQuery node {expr!r}")

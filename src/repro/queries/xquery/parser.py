@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the XQuery fragment.
+
+Grammar (whitespace-free between tokens)::
+
+    expr       := or_expr
+    or_expr    := and_expr ('or' and_expr)*
+    and_expr   := comparison ('and' comparison)*
+    comparison := unary ('=' unary)?
+    unary      := '(' expr ')' | '(' ')'          -- parenthesized / empty
+               |  'if' expr 'then' expr 'else' expr
+               |  ('every' | 'some') '$'NAME 'in' expr 'satisfies' expr
+               |  '<'NAME'/>' | '<'NAME'>' content '</'NAME'>'
+               |  '$'NAME
+               |  path                              -- an XPath expression
+
+    content    := (constructor | '{' expr '}' | expr)*   until the end tag
+
+The paper's query embeds the if-expression directly inside <result> …
+</result> without enclosing braces; both that form and the standard
+``{ expr }`` form are accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ...errors import QuerySyntaxError
+from ..xpath.parser import parse_xpath
+from .ast import (
+    AndExpr,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    GeneralComparison,
+    IfExpr,
+    OrExpr,
+    PathExpr,
+    Quantified,
+    TextLiteral,
+    VarRef,
+    XQExpr,
+)
+
+_TOKEN = re.compile(
+    r"\s*("
+    r"</[A-Za-z_][A-Za-z0-9_.-]*>"  # end tag
+    r"|<[A-Za-z_][A-Za-z0-9_.-]*/>"  # self-closing tag
+    r"|<[A-Za-z_][A-Za-z0-9_.-]*>"  # start tag
+    r"|\$[A-Za-z_][A-Za-z0-9_.-]*"  # variable
+    r"|::|//|/|\(|\)|\{|\}|\[|\]|=|\*"
+    r"|[A-Za-z_][A-Za-z0-9_.-]*"  # names / keywords
+    r")"
+)
+
+_KEYWORDS = {
+    "if",
+    "then",
+    "else",
+    "every",
+    "some",
+    "for",
+    "in",
+    "satisfies",
+    "return",
+    "and",
+    "or",
+    "not",
+}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: List[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if not m:
+                if text[pos:].strip():
+                    raise QuerySyntaxError(
+                        f"cannot tokenize XQuery at offset {pos}: "
+                        f"{text[pos:pos+25]!r}"
+                    )
+                break
+            self.items.append(m.group(1))
+            pos = m.end()
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        i = self.index + offset
+        return self.items[i] if i < len(self.items) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError("unexpected end of XQuery expression")
+        self.index += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise QuerySyntaxError(f"expected {token!r}, got {got!r}")
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_xquery(text: str) -> XQExpr:
+    tokens = _Tokens(text)
+    expr = _parse_expr(tokens)
+    if not tokens.exhausted:
+        raise QuerySyntaxError(f"trailing tokens: {tokens.peek()!r}")
+    return expr
+
+
+def _parse_expr(tokens: _Tokens) -> XQExpr:
+    return _parse_or(tokens)
+
+
+def _parse_or(tokens: _Tokens) -> XQExpr:
+    left = _parse_and(tokens)
+    while tokens.peek() == "or":
+        tokens.next()
+        left = OrExpr(left, _parse_and(tokens))
+    return left
+
+
+def _parse_and(tokens: _Tokens) -> XQExpr:
+    left = _parse_comparison(tokens)
+    while tokens.peek() == "and":
+        tokens.next()
+        left = AndExpr(left, _parse_comparison(tokens))
+    return left
+
+
+def _parse_comparison(tokens: _Tokens) -> XQExpr:
+    left = _parse_unary(tokens)
+    if tokens.peek() == "=":
+        tokens.next()
+        right = _parse_unary(tokens)
+        return GeneralComparison(left, right)
+    return left
+
+
+def _parse_unary(tokens: _Tokens) -> XQExpr:
+    tok = tokens.peek()
+    if tok is None:
+        raise QuerySyntaxError("unexpected end of expression")
+
+    if tok == "(":
+        tokens.next()
+        if tokens.peek() == ")":
+            tokens.next()
+            return EmptySequence()
+        inner = _parse_expr(tokens)
+        tokens.expect(")")
+        return inner
+
+    if tok == "if":
+        tokens.next()
+        condition = _parse_expr(tokens)
+        tokens.expect("then")
+        then_branch = _parse_expr(tokens)
+        tokens.expect("else")
+        else_branch = _parse_expr(tokens)
+        return IfExpr(condition, then_branch, else_branch)
+
+    if tok in ("every", "some"):
+        quantifier = tokens.next()
+        var = tokens.next()
+        if not var.startswith("$"):
+            raise QuerySyntaxError(f"expected a variable after {quantifier!r}")
+        tokens.expect("in")
+        source = _parse_unary(tokens)
+        tokens.expect("satisfies")
+        condition = _parse_expr(tokens)
+        return Quantified(quantifier, var[1:], source, condition)
+
+    if tok == "for":
+        tokens.next()
+        var = tokens.next()
+        if not var.startswith("$"):
+            raise QuerySyntaxError("expected a variable after 'for'")
+        tokens.expect("in")
+        source = _parse_unary(tokens)
+        tokens.expect("return")
+        body = _parse_expr(tokens)
+        return ForExpr(var[1:], source, body)
+
+    if tok.startswith("</"):
+        raise QuerySyntaxError(f"unexpected end tag {tok!r}")
+
+    if tok.startswith("<") and tok.endswith("/>"):
+        tokens.next()
+        return ElementConstructor(tok[1:-2], ())
+
+    if tok.startswith("<"):
+        tokens.next()
+        name = tok[1:-1]
+        content: List[XQExpr] = []
+        end = f"</{name}>"
+        while tokens.peek() != end:
+            if tokens.peek() is None:
+                raise QuerySyntaxError(f"unterminated element <{name}>")
+            if tokens.peek() == "{":
+                tokens.next()
+                content.append(_parse_expr(tokens))
+                tokens.expect("}")
+            else:
+                content.append(_parse_expr(tokens))
+        tokens.next()  # consume the end tag
+        return ElementConstructor(name, tuple(content))
+
+    if tok.startswith("$"):
+        tokens.next()
+        return VarRef(tok[1:])
+
+    # otherwise: a path expression — hand the token stream to the XPath
+    # parser by slicing out the longest prefix it accepts
+    return _parse_path_expr(tokens)
+
+
+_PATH_TOKENS = {"/", "//", "::", "[", "]", "*", "="}
+
+
+def _parse_path_expr(tokens: _Tokens) -> XQExpr:
+    """Greedily collect tokens that can belong to a location path."""
+    collected: List[str] = []
+    depth = 0
+    while True:
+        tok = tokens.peek()
+        if tok is None:
+            break
+        if tok in ("/", "//", "::", "[", "*"):
+            if tok == "[":
+                depth += 1
+            collected.append(tokens.next())
+            continue
+        if tok == "]":
+            if depth == 0:
+                break
+            depth -= 1
+            collected.append(tokens.next())
+            continue
+        if tok == "=" and depth > 0:
+            collected.append(tokens.next())
+            continue
+        if (
+            re.fullmatch(r"[A-Za-z_][A-Za-z0-9_.-]*", tok)
+            and (tok not in _KEYWORDS or depth > 0)
+        ):
+            # a name extends the path only at the start or after a path
+            # separator; otherwise it starts a new expression
+            if collected and collected[-1] not in ("/", "//", "::", "[", "="):
+                break
+            collected.append(tokens.next())
+            continue
+        break
+    if not collected:
+        raise QuerySyntaxError(f"expected an expression, got {tokens.peek()!r}")
+    return PathExpr(parse_xpath(" ".join(collected)))

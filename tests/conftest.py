@@ -1,0 +1,15 @@
+"""Shared test configuration: a forgiving hypothesis profile.
+
+Tape-level simulations make some examples slow on loaded CI machines;
+the deadline is disabled globally so health checks measure correctness,
+not scheduler jitter.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

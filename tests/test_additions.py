@@ -1,0 +1,87 @@
+"""Tests for later additions: sampling, partitions, block traces, edges."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.extmem import ResourceBudget
+from repro.listmachine.analysis import greedy_monotone_partition
+from repro.listmachine.examples import coin_nlm, randomized_feature_parity_nlm
+from repro.listmachine.run import sample_acceptance
+from repro.listmachine.simulate_tm import block_trace
+from repro.machines import copy_reverse_machine
+
+WORDS = frozenset({"00", "01", "10", "11"})
+
+
+class TestSampling:
+    def test_matches_exact_on_coin(self):
+        nlm = coin_nlm(WORDS, 1)
+        rng = random.Random(0)
+        estimate = sample_acceptance(nlm, ["01"], rng, trials=2000)
+        assert abs(estimate - 0.5) < 0.05
+
+    def test_deterministic_acceptance_is_exact(self):
+        nlm = randomized_feature_parity_nlm(WORDS, 2)
+        rng = random.Random(1)
+        # yes-inputs are accepted by both branches → estimate is exactly 1
+        assert sample_acceptance(nlm, ["01", "01"], rng, trials=50) == 1.0
+
+    def test_trials_validated(self):
+        nlm = coin_nlm(WORDS, 1)
+        with pytest.raises(MachineError):
+            sample_acceptance(nlm, ["01"], random.Random(0), trials=0)
+
+
+class TestGreedyPartition:
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=30))
+    def test_pieces_are_monotone_and_partition(self, seq):
+        pieces = greedy_monotone_partition(seq)
+        # every piece monotone
+        for piece in pieces:
+            inc = all(a <= b for a, b in zip(piece, piece[1:]))
+            dec = all(a >= b for a, b in zip(piece, piece[1:]))
+            assert inc or dec
+        # pieces partition the multiset of elements
+        assert Counter(x for piece in pieces for x in piece) == Counter(seq)
+
+    def test_empty(self):
+        assert greedy_monotone_partition([]) == []
+
+    def test_single_monotone_input(self):
+        assert greedy_monotone_partition([1, 2, 3]) == [[1, 2, 3]]
+
+
+class TestBlockTraceOnReversingMachine:
+    def test_copy_reverse_trace(self):
+        machine = copy_reverse_machine()
+        trace = block_trace(machine, "0110")
+        turns = [e for e in trace.events if e.kind == "turn"]
+        assert len(turns) == 1  # the single reversal at the right end
+        assert turns[0].tape == 0
+        assert trace.run.accepts(machine)
+
+
+class TestBudgetEdges:
+    def test_unbounded_budget_never_fires(self):
+        from repro.extmem import ResourceTracker
+
+        tracker = ResourceTracker(ResourceBudget())
+        tid = tracker.register_tape()
+        for _ in range(100):
+            tracker.charge_reversal(tid)
+        tracker.charge_internal(10**9)
+        assert tracker.scans == 101
+
+    def test_report_within_tapes(self):
+        from repro.extmem import ResourceTracker
+
+        tracker = ResourceTracker()
+        tracker.register_tape()
+        tracker.register_tape()
+        report = tracker.report()
+        assert report.within(ResourceBudget(max_tapes=2))
+        assert not report.within(ResourceBudget(max_tapes=1))

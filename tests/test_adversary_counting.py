@@ -1,0 +1,123 @@
+"""Tests for the adversarial constructions and skeleton counting."""
+
+import random
+
+import pytest
+
+from repro.algorithms import multiset_equality_fingerprint, one_pass_multiset_test
+from repro.errors import MachineError, ReproError
+from repro.listmachine.examples import coin_nlm, single_scan_parity_nlm
+from repro.lowerbounds.adversary import (
+    fool_all_baselines,
+    padded_collision_instance,
+    sum_collision_instance,
+    xor_collision_instance,
+    xor_sum_collision_instance,
+)
+from repro.lowerbounds.counting import (
+    enumerate_skeletons,
+    skeletons_independent_of_value_length,
+)
+from repro.problems import MULTISET_EQUALITY
+
+
+class TestCollisions:
+    @pytest.mark.parametrize("n", [2, 8, 16, 64])
+    def test_xor_collision(self, n):
+        inst = xor_collision_instance(n)
+        assert not MULTISET_EQUALITY(inst)
+        assert one_pass_multiset_test(inst, sketch="xor").accepted
+
+    @pytest.mark.parametrize("n", [2, 8, 16])
+    def test_sum_collision(self, n):
+        inst = sum_collision_instance(n)
+        assert not MULTISET_EQUALITY(inst)
+        assert one_pass_multiset_test(inst, sketch="sum").accepted
+
+    @pytest.mark.parametrize("n", [2, 8, 16])
+    def test_xor_sum_collision(self, n):
+        inst = xor_sum_collision_instance(n)
+        assert not MULTISET_EQUALITY(inst)
+        assert one_pass_multiset_test(inst, sketch="xor+sum").accepted
+
+    def test_minimum_length_enforced(self):
+        with pytest.raises(ReproError):
+            xor_collision_instance(1)
+
+    def test_padded_collision(self):
+        rng = random.Random(0)
+        inst = padded_collision_instance(8, 6, rng)
+        assert inst.m == 6
+        assert not MULTISET_EQUALITY(inst)
+        assert one_pass_multiset_test(inst, sketch="xor+sum").accepted
+
+    def test_fool_all_baselines(self):
+        failures = fool_all_baselines(16)
+        assert len(failures) == 3
+        assert all(f.accepted for f in failures)
+
+    def test_fingerprint_is_not_fooled(self):
+        """The randomized machine rejects the very inputs that kill the
+        deterministic sketches — the RST vs. one-pass separation."""
+        rng = random.Random(1)
+        for n in (8, 16):
+            inst = xor_sum_collision_instance(n)
+            rejections = sum(
+                not multiset_equality_fingerprint(inst, rng).accepted
+                for _ in range(30)
+            )
+            assert rejections >= 15  # well above the guaranteed 1/2
+
+    def test_one_pass_baselines_complete(self):
+        """Baselines never reject equal multisets (their redeeming feature)."""
+        from repro.problems import random_equal_instance
+
+        rng = random.Random(2)
+        for _ in range(10):
+            inst = random_equal_instance(5, 8, rng)
+            for sketch in ("xor", "sum", "xor+sum"):
+                assert one_pass_multiset_test(inst, sketch=sketch).accepted
+
+    def test_unknown_sketch(self):
+        with pytest.raises(ValueError):
+            one_pass_multiset_test("0#0#", sketch="sha256")
+
+
+class TestSkeletonCounting:
+    def test_census_parity_machine(self):
+        words = frozenset({"00", "01", "10", "11"})
+        nlm = single_scan_parity_nlm(words, 2)
+        census = enumerate_skeletons(nlm, sorted(words), r=1)
+        assert census.inputs_enumerated == 16
+        # skeletons see the parity *after v1* (it is in the state of the
+        # second moving step); the final accept/reject step moves no head,
+        # so it is a wildcard (Definition 28) and does not split further → 2
+        assert census.distinct_skeletons == 2
+        assert census.within_bound
+
+    def test_census_rejects_nondeterministic(self):
+        with pytest.raises(MachineError):
+            enumerate_skeletons(coin_nlm(frozenset({"0"}), 1), ["0"], r=1)
+
+    def test_census_rejects_explosion(self):
+        words = frozenset({"0", "1"})
+        nlm = single_scan_parity_nlm(words, 2)
+        with pytest.raises(MachineError):
+            enumerate_skeletons(nlm, sorted(words), r=1, max_inputs=1)
+
+    def test_skeleton_count_independent_of_value_length(self):
+        """Lemma 32's essence: n does not enter the skeleton count."""
+
+        def make_alphabet(n):
+            # two values per parity class, length n
+            return frozenset(
+                {"0" * n, "0" * (n - 1) + "1", "1" + "0" * (n - 1), "1" * n}
+            )
+
+        def make_machine(alphabet):
+            return single_scan_parity_nlm(alphabet, 2)
+
+        counts = skeletons_independent_of_value_length(
+            make_machine, make_alphabet, [2, 4, 8], r=1
+        )
+        assert len(set(counts.values())) == 1

@@ -1,0 +1,165 @@
+"""Tests for the bit-level fingerprint machine and the Las Vegas layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    LasVegasSorter,
+    check_sort_via_sorter,
+    las_vegas_success_amplification,
+    multiset_equality_fingerprint,
+    multiset_equality_fingerprint_bitlevel,
+)
+from repro.errors import EncodingError, ReproError
+from repro.problems import (
+    CHECK_SORT,
+    MULTISET_EQUALITY,
+    encode_instance,
+    near_miss_instance,
+    random_checksort_instance,
+    random_equal_instance,
+)
+
+bit_words = st.lists(st.text(alphabet="01", max_size=8), max_size=6)
+
+
+class TestBitLevelFingerprint:
+    def test_equal_always_accepted(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            inst = random_equal_instance(rng.randint(1, 8), rng.randint(0, 10), rng)
+            result = multiset_equality_fingerprint_bitlevel(inst.encode(), rng)
+            assert result.accepted
+
+    def test_empty_instance(self):
+        result = multiset_equality_fingerprint_bitlevel("", random.Random(0))
+        assert result.accepted
+
+    def test_empty_values(self):
+        # "##" = one empty value per half: equal
+        result = multiset_equality_fingerprint_bitlevel("##", random.Random(0))
+        assert result.accepted
+
+    def test_leading_separator(self):
+        # v1 = "", v'1 = "0": unequal — rejected in most runs
+        rng = random.Random(1)
+        accepts = sum(
+            multiset_equality_fingerprint_bitlevel("#0#", rng).accepted
+            for _ in range(50)
+        )
+        assert accepts <= 25
+
+    def test_two_scans_one_tape(self):
+        rng = random.Random(2)
+        inst = random_equal_instance(16, 12, rng)
+        result = multiset_equality_fingerprint_bitlevel(inst.encode(), rng)
+        assert result.report.scans <= 2
+        assert result.report.tapes_used == 1
+
+    def test_rejects_bad_alphabet(self):
+        with pytest.raises(EncodingError):
+            multiset_equality_fingerprint_bitlevel("ab#", random.Random(0))
+        with pytest.raises(EncodingError):
+            multiset_equality_fingerprint_bitlevel("01", random.Random(0))
+        with pytest.raises(EncodingError):
+            multiset_equality_fingerprint_bitlevel("0#", random.Random(0))
+
+    def test_unequal_mostly_rejected(self):
+        rng = random.Random(3)
+        accepts = sum(
+            multiset_equality_fingerprint_bitlevel(
+                near_miss_instance(6, 8, rng).encode(), rng
+            ).accepted
+            for _ in range(100)
+        )
+        assert accepts <= 50
+
+    @given(bit_words, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_record_level_on_equal(self, words, seed):
+        rng = random.Random(seed)
+        shuffled = list(words)
+        rng.shuffle(shuffled)
+        text = encode_instance(words, shuffled)
+        bit = multiset_equality_fingerprint_bitlevel(text, random.Random(seed))
+        rec = multiset_equality_fingerprint(text, random.Random(seed))
+        # on equal multisets both always accept
+        assert bit.accepted and rec.accepted
+
+    @given(bit_words, bit_words, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_identical_transcript_same_seed(self, first, second, seed):
+        """With the same seed the two implementations make the same random
+        choices and compute the same sums — a strong equivalence check."""
+        k = min(len(first), len(second))
+        text = encode_instance(first[:k], second[:k])
+        bit = multiset_equality_fingerprint_bitlevel(text, random.Random(seed))
+        rec = multiset_equality_fingerprint(text, random.Random(seed))
+        assert bit.accepted == rec.accepted
+        assert bit.p1 == rec.p1 and bit.x == rec.x
+        assert bit.sum_first == rec.sum_first
+        assert bit.sum_second == rec.sum_second
+
+    def test_rejection_is_always_correct(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            inst = random_equal_instance(4, 6, rng)
+            assert multiset_equality_fingerprint_bitlevel(
+                inst.encode(), rng
+            ).accepted
+
+
+class TestLasVegas:
+    def test_reliable_sorter(self):
+        sorter = LasVegasSorter()
+        result = sorter.sort(["10", "01", "11"])
+        assert result.output == ["01", "10", "11"]
+
+    def test_failure_rate_bounded(self):
+        with pytest.raises(ReproError):
+            LasVegasSorter(failure_probability=0.6)
+
+    def test_failing_sorter_says_dont_know(self):
+        sorter = LasVegasSorter(failure_probability=0.5)
+        rng = random.Random(0)
+        outcomes = [sorter.sort(["1", "0"], rng).answered for _ in range(200)]
+        failures = outcomes.count(False)
+        assert 50 <= failures <= 150  # ≈ half
+        # answered runs are always correct
+        for _ in range(50):
+            res = sorter.sort(["1", "0"], rng)
+            if res.answered:
+                assert res.output == ["0", "1"]
+
+    def test_corollary10_reduction_exact(self):
+        rng = random.Random(1)
+        sorter = LasVegasSorter()
+        for _ in range(10):
+            yes = random_checksort_instance(8, 6, rng, yes=True)
+            no = random_checksort_instance(8, 6, rng, yes=False)
+            assert check_sort_via_sorter(yes, sorter).accepted == CHECK_SORT(yes)
+            assert check_sort_via_sorter(no, sorter).accepted == CHECK_SORT(no)
+
+    def test_corollary10_reduction_one_sided(self):
+        """With a flaky sorter the reduction is a (1/2, 0)-RTM: no false
+        positives ever, false negatives only when the sorter fails."""
+        rng = random.Random(2)
+        sorter = LasVegasSorter(failure_probability=0.5)
+        yes = random_checksort_instance(8, 6, rng, yes=True)
+        no = random_checksort_instance(8, 6, rng, yes=False)
+        yes_accepts = sum(
+            check_sort_via_sorter(yes, sorter, rng).accepted for _ in range(100)
+        )
+        no_accepts = sum(
+            check_sort_via_sorter(no, sorter, rng).accepted for _ in range(100)
+        )
+        assert no_accepts == 0  # no false positives, ever
+        assert yes_accepts >= 30  # answers (and then accepts) about half
+
+    def test_amplification(self):
+        rng = random.Random(3)
+        sorter = LasVegasSorter(failure_probability=0.5)
+        result = las_vegas_success_amplification(sorter, ["1", "0"], rng)
+        assert result.answered and result.output == ["0", "1"]

@@ -1,0 +1,161 @@
+"""Tests for repro.core: growth rates, classes, theorem registry."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    REGISTRY,
+    CoRST,
+    Containment,
+    GrowthRate,
+    LasVegasRST,
+    NST,
+    RST,
+    ST,
+    lemma3_bound,
+    verify,
+    verify_all,
+)
+from repro.core.bounds import theorem6_regime
+from repro.errors import ReproError
+
+
+class TestGrowthRate:
+    def test_constructors(self):
+        assert str(GrowthRate.const()) == "1"
+        assert str(GrowthRate.log()) == "log N"
+        assert str(GrowthRate.linear()) == "N"
+        assert str(GrowthRate.power(1, 4)) == "N^1/4"
+        assert str(GrowthRate.make(Fraction(1, 4), -1)) == "N^1/4·(log N)^-1"
+
+    def test_algebra(self):
+        quarter = GrowthRate.power(1, 4)
+        log = GrowthRate.log()
+        assert quarter / log == GrowthRate.make(Fraction(1, 4), -1)
+        assert log * log == GrowthRate.polylog(2)
+
+    def test_little_o(self):
+        assert GrowthRate.const().is_little_o_of(GrowthRate.log())
+        assert GrowthRate.log().is_little_o_of(GrowthRate.power(1, 4))
+        assert GrowthRate.polylog(100).is_little_o_of(GrowthRate.power(1, 100))
+        assert not GrowthRate.log().is_little_o_of(GrowthRate.log())
+
+    def test_big_o_reflexive(self):
+        assert GrowthRate.log().is_big_o_of(GrowthRate.log())
+        assert not GrowthRate.linear().is_big_o_of(GrowthRate.log())
+
+    def test_omega(self):
+        assert GrowthRate.linear().is_omega_of(GrowthRate.log())
+
+    def test_evaluate(self):
+        assert GrowthRate.linear().evaluate(1024) == 1024.0
+        assert GrowthRate.log().evaluate(1024) == 10.0
+        with pytest.raises(ReproError):
+            GrowthRate.log().evaluate(1)
+
+    def test_theorem6_regime(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        assert theorem6_regime(const, log)
+        assert theorem6_regime(
+            GrowthRate.polylog(Fraction(1, 2)),
+            GrowthRate.make(Fraction(1, 4), -1),
+        )
+        # r = log N is NOT o(log N): the regime ends exactly there
+        assert not theorem6_regime(log, const)
+        # s too large: s·r reaches N^{1/4}
+        assert not theorem6_regime(const, GrowthRate.power(1, 4))
+
+    def test_lemma3_bound(self):
+        assert lemma3_bound(10, 1, 1, 2) == 10 * 2**6
+        with pytest.raises(ReproError):
+            lemma3_bound(-1, 1, 1, 2)
+
+
+class TestComplexityClasses:
+    def test_str(self):
+        c = RST(GrowthRate.log(), GrowthRate.const(), 2)
+        assert str(c) == "RST(O(log N), O(1), 2)"
+
+    def test_theorem6_exclusions(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        sublog = GrowthRate.polylog(Fraction(1, 2))
+        for problem in ("SET-EQUALITY", "MULTISET-EQUALITY", "CHECK-SORT"):
+            assert RST(const, log).contains(problem) == Containment.NO
+            assert ST(sublog, log).contains(problem) == Containment.NO
+
+    def test_corollary7_inclusions(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        for problem in ("SET-EQUALITY", "MULTISET-EQUALITY", "CHECK-SORT"):
+            assert ST(log, const, 2).contains(problem) == Containment.YES
+            # and upward: RST/NST with the same resources contain them too
+            assert RST(log, const, 2).contains(problem) == Containment.YES
+            assert NST(log, const, 2).contains(problem) == Containment.YES
+
+    def test_theorem8a_inclusion(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        assert CoRST(const, log, 1).contains("MULTISET-EQUALITY") == Containment.YES
+        # RST (no false positives) does NOT get the fingerprint witness
+        assert RST(const, log, 1).contains("MULTISET-EQUALITY") == Containment.NO
+
+    def test_theorem8b_inclusion(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        for problem in ("SET-EQUALITY", "MULTISET-EQUALITY", "CHECK-SORT"):
+            assert NST(const, log, 2).contains(problem) == Containment.YES
+
+    def test_short_variants(self):
+        log = GrowthRate.log()
+        assert ST(log, log, 3).contains("SHORT-CHECK-SORT") == Containment.YES
+        assert (
+            RST(GrowthRate.const(), log).contains("SHORT-SET-EQUALITY")
+            == Containment.NO
+        )
+
+    def test_open_problems_stay_open(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        assert ST(const, log).contains("DISJOINT-SETS") == Containment.OPEN
+        # set equality in co-RST with 2 scans: not resolved by the paper
+        assert CoRST(const, log, 1).contains("SET-EQUALITY") == Containment.OPEN
+
+    def test_tape_counts_matter(self):
+        const, log = GrowthRate.const(), GrowthRate.log()
+        assert NST(const, log, 1).contains("CHECK-SORT") == Containment.OPEN
+        assert NST(const, log, 2).contains("CHECK-SORT") == Containment.YES
+
+    def test_unknown_problem(self):
+        with pytest.raises(ReproError):
+            ST(GrowthRate.log(), GrowthRate.const()).contains("HALTING")
+
+
+class TestTheoremRegistry:
+    def test_registry_covers_the_headline_results(self):
+        expected = {
+            "lemma-3",
+            "theorem-6",
+            "corollary-7",
+            "corollary-7-short",
+            "theorem-8a",
+            "theorem-8b",
+            "corollary-9",
+            "corollary-10",
+            "theorem-11",
+            "theorem-12",
+            "theorem-13",
+            "lemma-16",
+            "remark-20",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_unknown_result(self):
+        with pytest.raises(ReproError):
+            verify("theorem-999")
+
+    @pytest.mark.parametrize("result_id", sorted(REGISTRY))
+    def test_each_check_passes(self, result_id):
+        check = verify(result_id)
+        assert check.passed, f"{result_id}: {check.measured}"
+
+    def test_verify_all(self):
+        checks = verify_all()
+        assert len(checks) == len(REGISTRY)
+        assert all(c.passed for c in checks)

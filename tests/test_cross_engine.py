@@ -1,0 +1,105 @@
+"""Cross-engine consistency: every decision procedure in the library must
+agree with the reference deciders — and with each other — on random and
+adversarial instances.  One failure here means two subsystems disagree
+about the same paper-defined problem."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    amplified_multiset_equality,
+    multiset_equality_deterministic,
+    multiset_equality_fingerprint_bitlevel,
+    nondeterministic_accepts,
+    set_equality_deterministic,
+    sets_disjoint_deterministic,
+)
+from repro.problems import (
+    DISJOINT_SETS,
+    MULTISET_EQUALITY,
+    SET_EQUALITY,
+    decode_instance,
+    encode_instance,
+)
+from repro.queries.relational import (
+    StreamingEvaluator,
+    evaluate,
+    set_equality_database,
+    symmetric_difference_query,
+)
+from repro.queries.xml import instance_to_document
+from repro.queries.xml.streaming import (
+    instance_to_token_tape,
+    theorem12_query_streaming,
+)
+from repro.queries.xpath import figure1_query, matches
+
+words = st.lists(st.text(alphabet="01", min_size=1, max_size=5), max_size=6)
+
+
+def _instance(first, second):
+    k = min(len(first), len(second))
+    return decode_instance(encode_instance(first[:k], second[:k]))
+
+
+class TestMultisetEqualityEngines:
+    @given(words, words, st.integers(0, 2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_all_engines_agree(self, first, second, seed):
+        inst = _instance(first, second)
+        rng = random.Random(seed)
+        truth = MULTISET_EQUALITY(inst)
+        assert multiset_equality_deterministic(inst).accepted == truth
+        assert nondeterministic_accepts(inst) == truth
+        # the randomized engines: completeness always; soundness w.h.p.
+        amplified = amplified_multiset_equality(inst, rng, rounds=10)
+        if truth:
+            assert amplified
+        bit = multiset_equality_fingerprint_bitlevel(inst.encode(), rng)
+        if truth:
+            assert bit.accepted
+        if not bit.accepted:
+            assert not truth
+
+
+class TestSetEqualityEngines:
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_all_engines_agree(self, first, second):
+        inst = _instance(first, second)
+        truth = SET_EQUALITY(inst)
+        assert set_equality_deterministic(inst).accepted == truth
+        assert nondeterministic_accepts(inst, problem="set-equality") == truth
+        # relational algebra: reference and streaming
+        db = set_equality_database(inst)
+        query = symmetric_difference_query()
+        assert evaluate(query, db).is_empty == truth
+        assert StreamingEvaluator(db).evaluate(query).is_empty == truth
+        # XPath protocol (exact filter both directions)
+        fires = matches(figure1_query(), instance_to_document(inst)) or matches(
+            figure1_query(), instance_to_document(inst.swapped())
+        )
+        assert (not fires) == truth
+        # streaming XML (Theorem 12 on token tapes)
+        tape, tracker = instance_to_token_tape(inst)
+        assert theorem12_query_streaming(tape, tracker).answer == truth
+
+
+class TestDisjointSetsEngines:
+    @given(words, words)
+    @settings(max_examples=40, deadline=None)
+    def test_solver_matches_reference(self, first, second):
+        inst = _instance(first, second)
+        assert sets_disjoint_deterministic(inst).accepted == DISJOINT_SETS(inst)
+
+    def test_disjoint_solver_costs_match_equality(self):
+        rng = random.Random(0)
+        from repro.problems import random_equal_instance
+
+        inst = random_equal_instance(64, 8, rng)
+        dis = sets_disjoint_deterministic(inst)
+        eq = set_equality_deterministic(inst)
+        # both are sort-dominated: same order of magnitude of scans
+        assert abs(dis.report.scans - eq.report.scans) <= 10

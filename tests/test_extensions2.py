@@ -1,0 +1,83 @@
+"""Tests for the FLWOR `for` extension and problem complements."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.problems import MULTISET_EQUALITY, SET_EQUALITY, encode_instance
+from repro.queries.xml import parse, serialize
+from repro.queries.xquery import ForExpr, evaluate_xquery, parse_xquery
+
+DOC = parse(
+    "<instance>"
+    "<set1><item><string>01</string></item><item><string>10</string></item></set1>"
+    "<set2><item><string>10</string></item></set2>"
+    "</instance>"
+)
+
+
+class TestForExpr:
+    def test_parse(self):
+        q = parse_xquery("for $x in /instance/set1/item/string return $x")
+        assert isinstance(q, ForExpr)
+        assert q.variable == "x"
+
+    def test_evaluate_concatenates(self):
+        out = evaluate_xquery(
+            "for $x in /instance/set1/item/string return $x", DOC
+        )
+        assert [n.string_value() for n in out] == ["01", "10"]
+
+    def test_for_inside_constructor(self):
+        out = evaluate_xquery(
+            "<all>{ for $x in /instance/set1/item/string return $x }</all>",
+            DOC,
+        )
+        assert serialize(out[0]) == (
+            "<all><string>01</string><string>10</string></all>"
+        )
+
+    def test_nested_for(self):
+        out = evaluate_xquery(
+            "for $x in /instance/set1/item/string return "
+            "for $y in /instance/set2/item/string return <pair/>",
+            DOC,
+        )
+        assert len(out) == 2  # 2 × 1 cross product of bindings
+
+    def test_for_with_condition_body(self):
+        # every binding evaluates the body; comparisons yield booleans
+        out = evaluate_xquery(
+            "for $x in /instance/set1/item/string return "
+            "$x = /instance/set2/item/string",
+            DOC,
+        )
+        assert out == [False, True]
+
+    def test_parse_errors(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("for x in /a return $x")  # missing '$'
+        with pytest.raises(QuerySyntaxError):
+            parse_xquery("for $x in /a")  # missing 'return'
+
+
+class TestComplement:
+    def test_complement_flips(self):
+        co = SET_EQUALITY.complement()
+        yes = encode_instance(["0"], ["0"])
+        no = encode_instance(["0"], ["1"])
+        assert not co(yes)
+        assert co(no)
+        assert co.name == "co-SET-EQUALITY"
+
+    def test_double_complement(self):
+        co_co = MULTISET_EQUALITY.complement().complement()
+        inst = encode_instance(["0", "1"], ["1", "0"])
+        assert co_co(inst) == MULTISET_EQUALITY(inst)
+
+    def test_complement_preserves_promise(self):
+        from repro.problems import short_variant
+
+        short = short_variant(SET_EQUALITY, c=2)
+        co = short.complement()
+        long_instance = encode_instance(["0" * 30] * 4, ["0" * 30] * 4)
+        assert not co.is_valid_instance(long_instance)

@@ -1,0 +1,297 @@
+"""Unit and property tests for the external-memory runtime (repro.extmem)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    ReproError,
+    ReversalBudgetExceeded,
+    SpaceBudgetExceeded,
+    TapeBudgetExceeded,
+)
+from repro.extmem import (
+    BLANK,
+    InternalMemory,
+    RecordTape,
+    ResourceBudget,
+    ResourceTracker,
+    SymbolTape,
+)
+from repro.extmem.memory import bit_cost
+from repro.extmem.record_tape import fresh_tapes
+
+
+class TestTracker:
+    def test_scans_is_one_plus_reversals(self):
+        tr = ResourceTracker()
+        tid = tr.register_tape()
+        assert tr.scans == 1
+        tr.charge_reversal(tid)
+        tr.charge_reversal(tid)
+        assert tr.reversals == 2
+        assert tr.scans == 3
+
+    def test_unknown_tape_rejected(self):
+        tr = ResourceTracker()
+        with pytest.raises(ValueError):
+            tr.charge_reversal(99)
+
+    def test_scan_budget_enforced(self):
+        tr = ResourceTracker(ResourceBudget(max_scans=2))
+        tid = tr.register_tape()
+        tr.charge_reversal(tid)  # scans = 2, ok
+        with pytest.raises(ReversalBudgetExceeded):
+            tr.charge_reversal(tid)
+
+    def test_space_budget_enforced(self):
+        tr = ResourceTracker(ResourceBudget(max_internal_bits=10))
+        tr.charge_internal(10)
+        with pytest.raises(SpaceBudgetExceeded):
+            tr.charge_internal(1)
+
+    def test_space_peak_not_current(self):
+        tr = ResourceTracker()
+        tr.charge_internal(10)
+        tr.charge_internal(-10)
+        tr.charge_internal(5)
+        assert tr.peak_internal_bits == 10
+        assert tr.current_internal_bits == 5
+
+    def test_negative_space_rejected(self):
+        tr = ResourceTracker()
+        with pytest.raises(ValueError):
+            tr.charge_internal(-1)
+
+    def test_tape_budget_enforced(self):
+        tr = ResourceTracker(ResourceBudget(max_tapes=1))
+        tr.register_tape()
+        with pytest.raises(TapeBudgetExceeded):
+            tr.register_tape()
+
+    def test_report_snapshot(self):
+        tr = ResourceTracker()
+        tid = tr.register_tape()
+        tr.charge_reversal(tid)
+        tr.charge_internal(7)
+        tr.charge_step(3)
+        rep = tr.report()
+        assert rep.reversals == 1
+        assert rep.scans == 2
+        assert rep.peak_internal_bits == 7
+        assert rep.tapes_used == 1
+        assert rep.steps == 3
+        assert rep.reversals_per_tape == {tid: 1}
+
+    def test_report_within(self):
+        tr = ResourceTracker()
+        tid = tr.register_tape()
+        tr.charge_reversal(tid)
+        rep = tr.report()
+        assert rep.within(ResourceBudget(max_scans=2))
+        assert not rep.within(ResourceBudget(max_scans=1))
+        assert rep.within(ResourceBudget())
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(max_scans=-1)
+
+
+class TestInternalMemory:
+    def test_bit_cost_int(self):
+        assert bit_cost(0) == 1
+        assert bit_cost(1) == 1
+        assert bit_cost(255) == 8
+        assert bit_cost(True) == 1
+
+    def test_bit_cost_str_and_tuple(self):
+        assert bit_cost("ab") == 16
+        assert bit_cost((3, "a")) == 2 + 8
+        assert bit_cost(None) == 0
+
+    def test_bit_cost_rejects_unknown(self):
+        with pytest.raises(ReproError):
+            bit_cost(object())
+
+    def test_store_load_free(self):
+        mem = InternalMemory()
+        mem["x"] = 255
+        assert mem["x"] == 255
+        assert mem.used_bits == 8
+        mem["x"] = 1  # re-store frees the old charge
+        assert mem.used_bits == 1
+        mem.free("x")
+        assert mem.used_bits == 0
+        assert mem.peak_bits == 8
+
+    def test_missing_register(self):
+        mem = InternalMemory()
+        with pytest.raises(ReproError):
+            mem.load("nope")
+        with pytest.raises(KeyError):
+            del mem["nope"]
+
+    def test_dict_protocol(self):
+        mem = InternalMemory()
+        mem["a"] = 1
+        mem["b"] = 2
+        assert "a" in mem and "c" not in mem
+        assert sorted(mem) == ["a", "b"]
+        assert len(mem) == 2
+        del mem["a"]
+        assert len(mem) == 1
+
+    def test_clear(self):
+        mem = InternalMemory()
+        mem["a"], mem["b"] = 10, 20
+        mem.clear()
+        assert len(mem) == 0 and mem.used_bits == 0
+
+    def test_budget_enforced_through_memory(self):
+        tr = ResourceTracker(ResourceBudget(max_internal_bits=8))
+        mem = InternalMemory(tr)
+        mem["x"] = 255  # 8 bits, exactly at budget
+        with pytest.raises(SpaceBudgetExceeded):
+            mem["y"] = 1
+
+
+class TestSymbolTape:
+    def test_initial_state(self):
+        t = SymbolTape("abc")
+        assert t.head == 0
+        assert t.direction == +1
+        assert t.read() == "a"
+        assert len(t) == 3
+
+    def test_read_past_end_is_blank(self):
+        t = SymbolTape("")
+        assert t.read() == BLANK
+
+    def test_write_extends(self):
+        t = SymbolTape()
+        t.write("x")
+        t.move(+1)
+        t.move(+1)
+        t.write("y")
+        assert t.contents() == "x" + BLANK + "y"
+
+    def test_reversal_counting(self):
+        t = SymbolTape("abcd")
+        t.move(+1)
+        t.move(+1)
+        assert t.reversals == 0
+        t.move(-1)
+        assert t.reversals == 1
+        t.move(+1)
+        assert t.reversals == 2
+
+    def test_left_wall(self):
+        t = SymbolTape("ab")
+        t.move(-1)  # flips direction (1 reversal) but stays at 0
+        assert t.head == 0
+        assert t.reversals == 1
+
+    def test_move_validation(self):
+        t = SymbolTape("a")
+        with pytest.raises(ReproError):
+            t.move(0)
+
+    def test_seek_start_costs_at_most_one_reversal(self):
+        t = SymbolTape("abcdef")
+        for _ in range(5):
+            t.move(+1)
+        t.seek_start()
+        assert t.head == 0
+        assert t.reversals == 1
+
+    def test_scan_right(self):
+        t = SymbolTape("abc")
+        assert "".join(t.scan_right()) == "abc"
+        assert t.head == 3
+
+    def test_space_used_tracks_touched_cells(self):
+        t = SymbolTape()
+        assert t.space_used == 0
+        t.write("a")
+        t.move(+1)
+        assert t.space_used == 2
+
+
+class TestRecordTape:
+    def test_read_write_step(self):
+        t = RecordTape()
+        t.step_write("v1")
+        t.step_write("v2")
+        assert t.snapshot() == ["v1", "v2"]
+        t.rewind()
+        assert t.step_read() == "v1"
+        assert t.step_read() == "v2"
+        assert t.read() is None
+
+    def test_cannot_write_none(self):
+        t = RecordTape()
+        with pytest.raises(ReproError):
+            t.write(None)
+
+    def test_rewind_cost(self):
+        tr = ResourceTracker()
+        t = RecordTape(["a", "b", "c"], tracker=tr)
+        list(t.scan())  # forward scan, no reversal
+        assert tr.reversals == 0
+        t.rewind()  # walk left (1) then face right (1)
+        assert tr.reversals == 2
+        list(t.scan())
+        assert tr.reversals == 2
+
+    def test_rewind_at_start_facing_right_is_free(self):
+        tr = ResourceTracker()
+        t = RecordTape(["a"], tracker=tr)
+        t.rewind()
+        assert tr.reversals == 0
+
+    def test_scan_backward(self):
+        t = RecordTape(["a", "b", "c"])
+        t.seek_end()
+        t.move(-1)  # onto "c"
+        assert list(t.scan_backward()) == ["c", "b", "a"]
+
+    def test_write_all(self):
+        t = RecordTape()
+        t.write_all(["x", "y"])
+        assert t.snapshot() == ["x", "y"]
+        assert t.at_end
+
+    def test_shared_tracker_over_multiple_tapes(self):
+        tr = ResourceTracker()
+        a, b = fresh_tapes(2, tr)
+        a.write_all([1, 2])
+        b.write_all([3])
+        a.rewind()
+        b.rewind()
+        rep = tr.report()
+        assert rep.tapes_used == 2
+        assert rep.reversals == 4  # two rewinds, two reversals each
+
+    def test_left_wall(self):
+        t = RecordTape(["a"])
+        t.move(-1)
+        assert t.head == 0
+
+    def test_move_validation(self):
+        t = RecordTape()
+        with pytest.raises(ReproError):
+            t.move(2)
+
+    @given(st.lists(st.text(alphabet="01", min_size=1), max_size=30))
+    def test_roundtrip_any_records(self, records):
+        t = RecordTape()
+        t.write_all(records)
+        t.rewind()
+        assert list(t.scan()) == records
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20))
+    def test_forward_scan_never_reverses(self, records):
+        tr = ResourceTracker()
+        t = RecordTape(records, tracker=tr)
+        list(t.scan())
+        assert tr.reversals == 0
+        assert tr.scans == 1

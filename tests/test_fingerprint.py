@@ -1,0 +1,170 @@
+"""Tests for the Theorem 8(a) fingerprinting machine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    amplified_multiset_equality,
+    fingerprint_parameters,
+    fingerprint_space_budget,
+    multiset_equality_fingerprint,
+)
+from repro.errors import EncodingError
+from repro.numbertheory import is_prime
+from repro.problems import (
+    MULTISET_EQUALITY,
+    encode_instance,
+    near_miss_instance,
+    random_equal_instance,
+    random_unequal_instance,
+)
+
+bit_words = st.lists(st.text(alphabet="01", min_size=1, max_size=10), max_size=8)
+
+
+class TestParameters:
+    def test_k_formula(self):
+        params = fingerprint_parameters(encode_instance(["0101"], ["0101"]))
+        # m=1, n=4 → n_eff=5, base=5, k = 5·ceil(log2 5) = 15
+        assert params.k == 15
+        assert 3 * params.k < params.p2 <= 6 * params.k
+        assert is_prime(params.p2)
+
+    def test_empty_instance_has_no_parameters(self):
+        with pytest.raises(EncodingError):
+            fingerprint_parameters("")
+
+    def test_space_budget_is_logarithmic(self):
+        # budget(N²) ≤ 2.5 · budget(N): grows like log N, not like N
+        for n_power in range(4, 16):
+            small = fingerprint_space_budget(2**n_power)
+            big = fingerprint_space_budget(2 ** (2 * n_power))
+            assert big <= 2.5 * small
+
+
+class TestOneSidedness:
+    """Equal multisets must be accepted with probability 1."""
+
+    def test_equal_always_accepted(self):
+        rng = random.Random(0)
+        for trial in range(30):
+            inst = random_equal_instance(rng.randint(1, 10), rng.randint(1, 12), rng)
+            result = multiset_equality_fingerprint(inst, rng)
+            assert result.accepted
+
+    def test_empty_instance_accepted(self):
+        result = multiset_equality_fingerprint("", random.Random(0))
+        assert result.accepted
+
+    @given(bit_words, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_property_no_false_negatives(self, words, seed):
+        rng = random.Random(seed)
+        shuffled = list(words)
+        rng.shuffle(shuffled)
+        inst = encode_instance(words, shuffled)
+        assert multiset_equality_fingerprint(inst, rng).accepted
+
+
+class TestErrorBound:
+    def test_unequal_rejected_mostly(self):
+        rng = random.Random(1)
+        accepts = 0
+        trials = 200
+        for _ in range(trials):
+            inst = random_unequal_instance(8, 8, rng)
+            if multiset_equality_fingerprint(inst, rng).accepted:
+                accepts += 1
+        assert accepts / trials <= 0.5  # the paper's bound; in practice ≈ 0
+
+    def test_near_miss_rejected_mostly(self):
+        rng = random.Random(2)
+        accepts = sum(
+            multiset_equality_fingerprint(near_miss_instance(8, 10, rng), rng).accepted
+            for _ in range(200)
+        )
+        assert accepts / 200 <= 0.5
+
+    def test_mixed_length_values_handled_injectively(self):
+        # "01" vs "1": same integer, different strings — the injectivity
+        # prefix must keep these apart (with overwhelming probability)
+        rng = random.Random(3)
+        inst = encode_instance(["01", "1"], ["1", "1"])
+        accepts = sum(
+            multiset_equality_fingerprint(inst, rng).accepted for _ in range(100)
+        )
+        assert accepts <= 50
+
+    def test_amplification_drives_error_down(self):
+        rng = random.Random(4)
+        accepts = sum(
+            amplified_multiset_equality(random_unequal_instance(4, 4, rng), rng, rounds=8)
+            for _ in range(100)
+        )
+        assert accepts <= 5
+
+    def test_amplification_preserves_completeness(self):
+        rng = random.Random(5)
+        inst = random_equal_instance(6, 6, rng)
+        assert amplified_multiset_equality(inst, rng, rounds=12)
+
+    def test_amplification_validates_rounds(self):
+        with pytest.raises(EncodingError):
+            amplified_multiset_equality("0#0#", random.Random(0), rounds=0)
+
+
+class TestResourceEnvelope:
+    """co-RST(2, O(log N), 1): the budget is enforced, not just measured."""
+
+    def test_two_scans_one_tape(self):
+        rng = random.Random(6)
+        inst = random_equal_instance(16, 16, rng)
+        result = multiset_equality_fingerprint(inst, rng)
+        assert result.report.scans <= 2
+        assert result.report.tapes_used == 1
+        assert result.report.reversals <= 1
+
+    def test_internal_memory_within_log_budget(self):
+        rng = random.Random(7)
+        for m, n in [(4, 8), (16, 16), (64, 16), (128, 32)]:
+            inst = random_equal_instance(m, n, rng)
+            result = multiset_equality_fingerprint(inst, rng)
+            assert result.report.peak_internal_bits <= fingerprint_space_budget(
+                inst.size
+            )
+
+    def test_space_scales_logarithmically(self):
+        rng = random.Random(8)
+        peaks = {}
+        for m in (8, 64, 512):
+            inst = random_equal_instance(m, 16, rng)
+            result = multiset_equality_fingerprint(inst, rng)
+            peaks[m] = result.report.peak_internal_bits
+        # N grows 64×; peak bits should grow far slower (log-like)
+        assert peaks[512] <= 3 * peaks[8]
+
+    def test_transcript_fields_populated(self):
+        rng = random.Random(9)
+        inst = random_equal_instance(4, 6, rng)
+        result = multiset_equality_fingerprint(inst, rng)
+        assert result.p1 is not None and is_prime(result.p1)
+        assert result.p1 <= result.parameters.k
+        assert 1 <= result.x < result.parameters.p2
+        assert result.sum_first == result.sum_second
+
+
+class TestAgainstReference:
+    @given(bit_words, bit_words, st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_rejection_implies_truly_unequal(self, first, second, seed):
+        """One-sidedness as a property: a REJECT answer is always correct."""
+        if len(first) != len(second):
+            first = first[: len(second)]
+            second = second[: len(first)]
+        rng = random.Random(seed)
+        inst = encode_instance(first, second)
+        result = multiset_equality_fingerprint(inst, rng)
+        if not result.accepted:
+            assert not MULTISET_EQUALITY(inst)

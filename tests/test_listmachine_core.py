@@ -1,0 +1,308 @@
+"""Tests for list machine semantics (Definitions 14, 24, 15; Lemma 25)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.listmachine import (
+    Inp,
+    LA,
+    NLM,
+    RA,
+    acceptance_probability,
+    initial_configuration,
+    run_deterministic,
+    run_with_choices,
+    successor,
+)
+from repro.listmachine.examples import (
+    coin_nlm,
+    constant_accept_nlm,
+    single_scan_parity_nlm,
+    tandem_compare_nlm,
+)
+from repro.listmachine.run import find_good_choice_sequence
+
+WORDS = frozenset({"00", "01", "10", "11"})
+
+
+class TestTokens:
+    def test_inp_equality_ignores_position(self):
+        assert Inp("01", 0) == Inp("01", 5)
+        assert hash(Inp("01", 0)) == hash(Inp("01", 5))
+        assert Inp("01", 0) != Inp("10", 0)
+
+    def test_brackets_are_singletons(self):
+        assert LA is not RA
+        assert repr(LA) == "⟨"
+
+
+class TestDefinitionValidation:
+    def test_needs_a_list(self):
+        with pytest.raises(MachineError):
+            constant_accept_nlm(WORDS, 2, t=0)
+
+    def test_initial_state_must_exist(self):
+        nlm = constant_accept_nlm(WORDS, 2)
+        with pytest.raises(MachineError):
+            NLM(
+                t=2,
+                m=2,
+                input_alphabet=WORDS,
+                choices=("c",),
+                states=frozenset({"a"}),
+                initial_state="missing",
+                alpha=nlm.alpha,
+                final_states=frozenset({"a"}),
+                accepting_states=frozenset({"a"}),
+            )
+
+    def test_choices_must_be_distinct(self):
+        nlm = constant_accept_nlm(WORDS, 2)
+        with pytest.raises(MachineError):
+            NLM(
+                t=2,
+                m=2,
+                input_alphabet=WORDS,
+                choices=("c", "c"),
+                states=nlm.states,
+                initial_state="acc",
+                alpha=nlm.alpha,
+                final_states=nlm.final_states,
+                accepting_states=nlm.accepting_states,
+            )
+
+    def test_determinism_flag(self):
+        assert constant_accept_nlm(WORDS, 2).is_deterministic
+        assert not coin_nlm(WORDS, 2).is_deterministic
+
+
+class TestInitialConfiguration:
+    def test_input_list_layout(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        cfg = initial_configuration(nlm, ["01", "10"])
+        assert len(cfg.lists) == 2
+        assert cfg.lists[0] == (
+            (LA, Inp("01", 0), RA),
+            (LA, Inp("10", 1), RA),
+        )
+        assert cfg.lists[1] == ((LA, RA),)
+        assert cfg.positions == (0, 0)
+        assert cfg.directions == (+1, +1)
+
+    def test_positions_recorded(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        cfg = initial_configuration(nlm, ["01", "01"])  # duplicate values
+        assert cfg.lists[0][0][1].position == 0
+        assert cfg.lists[0][1][1].position == 1
+
+    def test_wrong_arity_rejected(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        with pytest.raises(MachineError):
+            initial_configuration(nlm, ["01"])
+
+    def test_alphabet_enforced(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        with pytest.raises(MachineError):
+            initial_configuration(nlm, ["01", "0"])
+
+
+class TestStepSemantics:
+    def test_write_behind_both_heads(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        cfg = initial_configuration(nlm, ["01", "10"])
+        nxt, moves = successor(nlm, cfg, "c")
+        # list 1: head cell overwritten with y, head moved right
+        assert nxt.positions[0] == 1
+        assert moves == (+1, 0)
+        y = nxt.lists[0][0]
+        # y = a ⟨x1⟩ ⟨x2⟩ ⟨c⟩ — starts with the old state token
+        from repro.listmachine import Choice, StateTok
+
+        assert y[0] == StateTok("scan:0:0")
+        assert Inp("01") in y
+        assert Choice("c") in y
+        # list 2: y inserted behind the head (head stays on ⟨⟩)
+        assert nxt.lists[1] == (y, (LA, RA))
+        assert nxt.positions[1] == 1
+        assert nxt.head_cell(1) == (LA, RA)
+
+    def test_pure_state_change_writes_nothing(self):
+        # a machine whose first step moves nothing at all
+        def alpha(state, cells, c):
+            if state == "a":
+                return ("b", ((+1, False), (+1, False)))
+            return ("acc", ((+1, True), (+1, False)))
+
+        nlm = NLM(
+            t=2,
+            m=1,
+            input_alphabet=WORDS,
+            choices=("c",),
+            states=frozenset({"a", "b", "acc"}),
+            initial_state="a",
+            alpha=alpha,
+            final_states=frozenset({"acc"}),
+            accepting_states=frozenset({"acc"}),
+        )
+        cfg = initial_configuration(nlm, ["01"])
+        nxt, moves = successor(nlm, cfg, "c")
+        assert moves == (0, 0)
+        assert nxt.lists == cfg.lists
+        assert nxt.positions == cfg.positions
+        assert nxt.state == "b"
+
+    def test_clamping_at_right_end(self):
+        nlm = single_scan_parity_nlm(WORDS, 1)
+        cfg = initial_configuration(nlm, ["01"])
+        # head on the only cell; (+1, True) must clamp to (+1, False)
+        nxt, moves = successor(nlm, cfg, "c")
+        assert nxt.state == "rej"  # parity of "01" is 1
+        assert 0 <= nxt.positions[0] < len(nxt.lists[0])
+
+    def test_successor_of_final_rejected(self):
+        nlm = constant_accept_nlm(WORDS, 1)
+        cfg = initial_configuration(nlm, ["01"])
+        with pytest.raises(MachineError):
+            successor(nlm, cfg, "c")
+
+    def test_unknown_choice_rejected(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        cfg = initial_configuration(nlm, ["01", "10"])
+        with pytest.raises(MachineError):
+            successor(nlm, cfg, "zzz")
+
+
+class TestRuns:
+    def test_constant_accept(self):
+        nlm = constant_accept_nlm(WORDS, 2)
+        run = run_deterministic(nlm, ["01", "10"])
+        assert run.accepts(nlm)
+        assert run.length == 1
+
+    def test_parity_machine_decides_xor(self):
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        # last bits: 1,0 | 0,1 → xor 0 → accept
+        assert run_deterministic(nlm, ["01", "10", "00", "11"]).accepts(nlm)
+        # last bits: 1,0 | 0,0 → xor 1 → reject
+        assert not run_deterministic(nlm, ["01", "10", "00", "10"]).accepts(nlm)
+
+    def test_parity_machine_single_scan(self):
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        run = run_deterministic(nlm, ["01", "10", "00", "11"])
+        assert run.scan_count(nlm) == 1
+        assert run.reversals_per_list(nlm) == (0, 0)
+
+    @given(st.lists(st.sampled_from(sorted(WORDS)), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_parity_machine_property(self, values):
+        nlm = single_scan_parity_nlm(WORDS, len(values))
+        expected = sum(int(v[-1]) for v in values) % 2 == 0
+        assert run_deterministic(nlm, values).accepts(nlm) == expected
+
+    def test_tandem_decides_reversal(self):
+        nlm = tandem_compare_nlm(WORDS, 2)
+        assert run_deterministic(nlm, ["01", "10", "10", "01"]).accepts(nlm)
+        assert not run_deterministic(nlm, ["01", "10", "01", "10"]).accepts(nlm)
+
+    @given(
+        st.lists(st.sampled_from(sorted(WORDS)), min_size=1, max_size=4),
+        st.lists(st.sampled_from(sorted(WORDS)), min_size=1, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tandem_property(self, first, second):
+        m = min(len(first), len(second))
+        first, second = first[:m], second[:m]
+        nlm = tandem_compare_nlm(WORDS, m)
+        expected = second == list(reversed(first))
+        run = run_deterministic(nlm, first + second)
+        assert run.accepts(nlm) == expected
+
+    def test_tandem_two_scans(self):
+        nlm = tandem_compare_nlm(WORDS, 3)
+        run = run_deterministic(nlm, ["00", "01", "10", "10", "01", "00"])
+        assert run.accepts(nlm)
+        assert run.scan_count(nlm) == 2  # one reversal, on list 2
+
+    def test_run_with_choices_matches_deterministic(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        values = ["01", "01"]
+        det = run_deterministic(nlm, values)
+        chosen = run_with_choices(nlm, values, ["c"] * 10)
+        assert det.configurations == chosen.configurations
+
+    def test_exhausted_choices(self):
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        with pytest.raises(MachineError):
+            run_with_choices(nlm, ["01"] * 4, ["c"])
+
+    def test_nondeterministic_run_requires_choices(self):
+        nlm = coin_nlm(WORDS, 1)
+        with pytest.raises(MachineError):
+            run_deterministic(nlm, ["01"])
+
+
+class TestProbability:
+    def test_coin_is_half(self):
+        nlm = coin_nlm(WORDS, 2)
+        assert acceptance_probability(nlm, ["01", "10"]) == Fraction(1, 2)
+
+    def test_deterministic_is_zero_or_one(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        assert acceptance_probability(nlm, ["01", "01"]) == 1
+        assert acceptance_probability(nlm, ["01", "00"]) == 0
+
+    def test_lemma25_choice_counting(self):
+        """Pr(M accepts v) = |{c ∈ C^ℓ : ρ_M(v,c) accepts}| / |C|^ℓ."""
+        from itertools import product
+
+        nlm = coin_nlm(WORDS, 1)
+        values = ["01"]
+        ell = 2
+        accepting = sum(
+            run_with_choices(nlm, values, seq).accepts(nlm)
+            for seq in product(nlm.choices, repeat=ell)
+        )
+        assert Fraction(accepting, len(nlm.choices) ** ell) == acceptance_probability(
+            nlm, values
+        )
+
+
+class TestLemma26:
+    def test_deterministic_sequence(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        yes = [["01", "01"], ["10", "10"], ["11", "11"]]
+        seq, accepted = find_good_choice_sequence(nlm, yes, r=1)
+        assert len(accepted) == 3
+
+    def test_nondeterministic_search(self):
+        nlm = coin_nlm(WORDS, 1)
+        yes = [["01"], ["10"]]
+        seq, accepted = find_good_choice_sequence(nlm, yes, length=1)
+        assert len(accepted) == 2  # the all-'h' sequence accepts everything
+
+    def test_hopeless_machine_detected(self):
+        # a machine accepting nothing cannot satisfy Lemma 26
+        def alpha(state, cells, c):
+            return ("rej", ((+1, False), (+1, False)))
+
+        nlm = NLM(
+            t=2,
+            m=1,
+            input_alphabet=WORDS,
+            choices=("c",),
+            states=frozenset({"s", "rej"}),
+            initial_state="s",
+            alpha=alpha,
+            final_states=frozenset({"rej"}),
+            accepting_states=frozenset(),
+        )
+        with pytest.raises(MachineError):
+            find_good_choice_sequence(nlm, [["01"]], length=3)
+
+    def test_requires_length_or_r(self):
+        nlm = coin_nlm(WORDS, 1)
+        with pytest.raises(MachineError):
+            find_good_choice_sequence(nlm, [["01"]])

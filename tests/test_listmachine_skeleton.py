@@ -1,0 +1,318 @@
+"""Tests for skeletons, comparisons, merge lemma, bounds, composition."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.listmachine import (
+    check_run_shape,
+    compared_pairs,
+    compared_phi_pairs,
+    compose_inputs,
+    lemma21_attack,
+    lemma30_cell_size_bound,
+    lemma30_list_length_bound,
+    lemma31_run_length_bound,
+    lemma32_skeleton_bound,
+    merge_lemma_holds,
+    monotone_cover_size,
+    occurring_position_sequence,
+    run_deterministic,
+    skeleton_of_run,
+)
+from repro.listmachine.analysis import _exact_monotone_cover, _greedy_monotone_cover
+from repro.listmachine.bounds import lemma32_skeleton_bound_log2
+from repro.listmachine.composition import verify_composition_lemma
+from repro.listmachine.examples import (
+    single_scan_parity_nlm,
+    tandem_compare_nlm,
+)
+from repro.listmachine.skeleton import (
+    WILDCARD,
+    reconstruct_run,
+    skeleton_view,
+)
+from repro.lowerbounds import phi_permutation, sortedness
+
+WORDS = frozenset({"00", "01", "10", "11"})
+
+
+class TestSkeletons:
+    def test_single_scan_machine_compares_nothing(self):
+        """A one-scan machine's local views never hold two positions."""
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        run = run_deterministic(nlm, ["01", "10", "00", "11"])
+        skel = skeleton_of_run(run)
+        assert compared_pairs(skel) == frozenset()
+
+    def test_tandem_machine_compares_reversal_pairs(self):
+        m = 3
+        nlm = tandem_compare_nlm(WORDS, m)
+        values = ["00", "01", "10"] + ["10", "01", "00"]
+        run = run_deterministic(nlm, values)
+        assert run.accepts(nlm)
+        pairs = compared_pairs(skeleton_of_run(run))
+        expected = {frozenset((m - 1 - j, m + j)) for j in range(m)}
+        assert expected <= pairs
+        # and nothing couples two first-half or two second-half positions
+        for pair in pairs:
+            a, b = sorted(pair)
+            assert a < m <= b
+
+    def test_skeleton_is_input_independent_for_oblivious_machine(self):
+        """The parity machine's head motion ignores values, but its *state*
+        encodes the running parity, so skeletons split by parity prefix —
+        inputs with identical parity prefixes share a skeleton."""
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        s1 = skeleton_of_run(run_deterministic(nlm, ["01", "01"]))
+        s2 = skeleton_of_run(run_deterministic(nlm, ["11", "11"]))
+        s3 = skeleton_of_run(run_deterministic(nlm, ["00", "00"]))
+        assert s1 == s2  # both start with a 1-parity value
+        assert s1 != s3  # different parity trace
+
+    def test_wildcard_for_stationary_steps(self):
+        from repro.listmachine.nlm import NLM
+
+        def alpha(state, cells, c):
+            if state == "a":
+                return ("b", ((+1, False), (+1, False)))  # nothing moves
+            return ("acc", ((+1, False), (-1, False)))  # head 2 turns
+
+        nlm = NLM(
+            t=2,
+            m=1,
+            input_alphabet=WORDS,
+            choices=("c",),
+            states=frozenset({"a", "b", "acc"}),
+            initial_state="a",
+            alpha=alpha,
+            final_states=frozenset({"acc"}),
+            accepting_states=frozenset({"acc"}),
+        )
+        run = run_deterministic(nlm, ["01"])
+        skel = skeleton_of_run(run)
+        assert skel.views[1] == WILDCARD
+        assert skel.views[2] != WILDCARD
+
+    def test_reconstruction(self):
+        nlm = tandem_compare_nlm(WORDS, 2)
+        values = ["01", "10", "10", "01"]
+        run = run_deterministic(nlm, values)
+        skel = skeleton_of_run(run)
+        rebuilt = reconstruct_run(nlm, values, skel, run.choices_used)
+        assert rebuilt.configurations == run.configurations
+
+    def test_reconstruction_detects_mismatch(self):
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        run = run_deterministic(nlm, ["01", "01"])
+        skel = skeleton_of_run(run)
+        with pytest.raises(MachineError):
+            reconstruct_run(nlm, ["00", "00"], skel, run.choices_used)
+
+    def test_skeleton_view_positions(self):
+        nlm = tandem_compare_nlm(WORDS, 2)
+        run = run_deterministic(nlm, ["01", "10", "10", "01"])
+        # find a comparison view: it must expose exactly two positions
+        views = [v for v in skeleton_of_run(run).views if v != WILDCARD]
+        paired = [v for v in views if len(v.positions()) == 2]
+        assert paired, "tandem machine must produce comparison views"
+
+
+class TestMonotoneCover:
+    def test_monotone_sequences_cover_one(self):
+        assert monotone_cover_size([1, 2, 3, 4]) == 1
+        assert monotone_cover_size([4, 3, 2, 1]) == 1
+        assert monotone_cover_size([]) == 0
+
+    def test_known_two_cover(self):
+        assert monotone_cover_size([1, 3, 2, 4]) <= 2
+
+    def test_exact_beats_greedy_sometimes(self):
+        seq = [2, 4, 1, 3]
+        exact = _exact_monotone_cover(seq, 4)
+        assert exact is not None and exact <= _greedy_monotone_cover(seq)
+
+    @given(st.permutations(list(range(10))))
+    def test_exact_is_sound_cover_size(self, seq):
+        seq = seq[: len(seq)]
+        size = monotone_cover_size(seq)
+        assert 1 <= size <= len(seq)
+        # Erdős–Szekeres-style sanity: a cover of q monotone pieces bounds
+        # the length by q · sortedness (distinct values)
+        assert len(seq) <= size * sortedness(seq)
+
+
+class TestMergeLemma:
+    def test_holds_for_parity_machine(self):
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        run = run_deterministic(nlm, ["01", "10", "00", "11"])
+        r = run.scan_count(nlm)
+        assert merge_lemma_holds(run, nlm, r)
+
+    def test_holds_for_tandem_machine(self):
+        nlm = tandem_compare_nlm(WORDS, 3)
+        run = run_deterministic(nlm, ["00", "01", "10", "10", "01", "00"])
+        r = run.scan_count(nlm)
+        assert merge_lemma_holds(run, nlm, r)
+
+    def test_occurring_sequence_reads_lists_in_order(self):
+        nlm = tandem_compare_nlm(WORDS, 2)
+        run = run_deterministic(nlm, ["01", "10", "10", "01"])
+        # after the copy phase the pile on list 2 holds positions 0, 1 in order
+        mid = run.configurations[2]
+        seq = occurring_position_sequence(mid, 1)
+        assert seq == (0, 1)
+
+    def test_lemma38_bound(self):
+        m = 4
+        phi = phi_permutation(m)  # [0, 2, 1, 3]
+        nlm = tandem_compare_nlm(WORDS, m)
+        values = ["00", "01", "10", "11", "11", "10", "01", "00"]
+        run = run_deterministic(nlm, values)
+        skel = skeleton_of_run(run)
+        compared = compared_phi_pairs(skel, m, phi)
+        r = run.scan_count(nlm)
+        bound = nlm.t ** (2 * r) * sortedness(phi)
+        assert len(compared) <= bound
+
+
+class TestShapeBounds:
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_lemma30_31_on_tandem(self, m):
+        nlm = tandem_compare_nlm(WORDS, m)
+        values = (["01"] * m) + (["01"] * m)
+        run = run_deterministic(nlm, values)
+        r = run.scan_count(nlm)
+        report = check_run_shape(run, nlm, r)
+        assert report.all_within, report
+
+    def test_lemma30_31_on_parity(self):
+        nlm = single_scan_parity_nlm(WORDS, 6)
+        run = run_deterministic(nlm, ["01"] * 6)
+        report = check_run_shape(run, nlm, run.scan_count(nlm))
+        assert report.all_within, report
+
+    def test_bound_formulas(self):
+        assert lemma30_list_length_bound(2, 1, 4) == 12
+        assert lemma30_cell_size_bound(2, 1) == 22
+        assert lemma31_run_length_bound(k=5, t=2, r=1, m=4) == 5 + 5 * 9 * 4
+        assert lemma32_skeleton_bound(1, 1, 2, 0) == (1 + 1 + 3) ** (
+            12 * 9 + 24
+        )
+
+    def test_lemma32_log_matches(self):
+        import math
+
+        exact = lemma32_skeleton_bound(2, 5, 2, 1)
+        assert abs(lemma32_skeleton_bound_log2(2, 5, 2, 1) - math.log2(exact)) < 1e-6
+
+    def test_lemma32_covers_enumeration(self):
+        """Enumerate actual skeletons of a tiny machine over all inputs —
+        their count must stay (absurdly far) below the Lemma 32 bound."""
+        nlm = single_scan_parity_nlm(WORDS, 2)
+        skeletons = set()
+        for values in itertools.product(sorted(WORDS), repeat=2):
+            run = run_deterministic(nlm, list(values))
+            skeletons.add(skeleton_of_run(run))
+        assert len(skeletons) <= 4  # one per parity trace
+        assert lemma32_skeleton_bound_log2(nlm.m, nlm.k, nlm.t, 1) > 10
+
+
+class TestComposition:
+    def test_compose_inputs(self):
+        u = compose_inputs(("a", "b", "c"), ("x", "y", "z"), [1])
+        assert u == ("a", "y", "c")
+
+    def test_compose_validates(self):
+        with pytest.raises(MachineError):
+            compose_inputs(("a",), ("x", "y"), [0])
+        with pytest.raises(MachineError):
+            compose_inputs(("a",), ("x",), [3])
+
+    def test_lemma34_on_parity_machine(self):
+        """The composition lemma, end to end, on a concrete machine."""
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        # positions 0 and 2 never compared (no pair ever is); v, w differ
+        # exactly there, same parity trace, both accepted
+        v = ("01", "10", "01", "10")  # parities 1,0,1,0 → xor 0, accept
+        w = ("11", "10", "11", "10")  # parities 1,0,1,0 → same trace
+        witness = verify_composition_lemma(nlm, v, w, 0, 2, ["c"] * 10)
+        assert witness.skeleton_preserved
+        assert witness.verdict_preserved
+        assert witness.accepted
+
+    def test_lemma34_rejects_compared_positions(self):
+        m = 2
+        nlm = tandem_compare_nlm(WORDS, m)
+        # positions 1 and 2 are compared by the tandem machine (pair j=0)
+        v = ("01", "10", "10", "01")
+        w = ("01", "11", "11", "01")
+        with pytest.raises(MachineError):
+            verify_composition_lemma(nlm, v, w, 1, 2, ["c"] * 20)
+
+    def test_lemma34_rejects_extra_differences(self):
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        v = ("01", "10", "01", "10")
+        w = ("11", "11", "11", "10")
+        with pytest.raises(MachineError):
+            verify_composition_lemma(nlm, v, w, 0, 2, ["c"] * 10)
+
+
+class TestLemma21Attack:
+    def _yes_family(self, m, n_bits=2):
+        """All yes-inputs of the equality-under-φ promise with tiny values."""
+        from repro.problems import CheckPhiFamily
+
+        fam = CheckPhiFamily(m, n_bits)
+        inputs = []
+        for choices in itertools.product(
+            *[fam.intervals.enumerate_interval(j) for j in range(m)]
+        ):
+            inst = fam.instance_from_choices(list(choices))
+            inputs.append(tuple(inst.first) + tuple(inst.second))
+        return fam, inputs
+
+    def test_attack_demolishes_parity_machine(self):
+        m = 2
+        fam, yes_inputs = self._yes_family(m, n_bits=3)
+        alphabet = frozenset(
+            v for inp in yes_inputs for v in inp
+        )
+        nlm = single_scan_parity_nlm(alphabet, 2 * m)
+        outcome = lemma21_attack(nlm, yes_inputs, fam.phi, r=1)
+        assert outcome.success
+        u = outcome.fooling_input
+        # the fooling input really is a no-instance the machine accepts
+        phi = fam.phi
+        assert any(u[i] != u[m + phi[i]] for i in range(m))
+        assert run_deterministic(nlm, list(u)).accepts(nlm)
+
+    def test_attack_demolishes_constant_accepter(self):
+        from repro.listmachine.examples import constant_accept_nlm
+
+        m = 2
+        fam, yes_inputs = self._yes_family(m, n_bits=3)
+        alphabet = frozenset(v for inp in yes_inputs for v in inp)
+        nlm = constant_accept_nlm(alphabet, 2 * m)
+        outcome = lemma21_attack(nlm, yes_inputs, fam.phi, r=1)
+        assert outcome.success
+
+    def test_attack_reports_diagnostics(self):
+        m = 2
+        fam, yes_inputs = self._yes_family(m, n_bits=3)
+        alphabet = frozenset(v for inp in yes_inputs for v in inp)
+        nlm = single_scan_parity_nlm(alphabet, 2 * m)
+        outcome = lemma21_attack(nlm, yes_inputs, fam.phi, r=1)
+        assert outcome.accepted_yes_fraction == 1.0
+        assert outcome.largest_class_size >= 2
+        assert outcome.uncompared_index is not None
+
+    def test_attack_validates_input_shape(self):
+        nlm = single_scan_parity_nlm(WORDS, 4)
+        with pytest.raises(MachineError):
+            lemma21_attack(nlm, [("01",)], [0, 1], r=1)
+        with pytest.raises(MachineError):
+            lemma21_attack(nlm, [], [0, 1], r=1)

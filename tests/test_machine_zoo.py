@@ -1,0 +1,134 @@
+"""Tests for the extended machine library and the table-driven NLM."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.listmachine import LA, RA, Inp, NLM, run_deterministic as nlm_run
+from repro.machines import (
+    copy_reverse_machine,
+    majority_machine,
+    run_deterministic,
+)
+
+bits = st.text(alphabet="01", max_size=14)
+
+
+class TestCopyReverseMachine:
+    @given(bits)
+    @settings(max_examples=60, deadline=None)
+    def test_reverses(self, word):
+        machine = copy_reverse_machine()
+        run = run_deterministic(machine, word)
+        assert run.accepts(machine)
+        assert run.final.tapes[1] == word[::-1]
+
+    @given(bits)
+    @settings(max_examples=30, deadline=None)
+    def test_single_reversal(self, word):
+        machine = copy_reverse_machine()
+        run = run_deterministic(machine, word)
+        revs = run.statistics.reversals_per_tape
+        assert revs[0] <= 1 and revs[1] == 0
+        assert run.statistics.external_scans(2) <= 2
+
+    @given(bits.filter(lambda w: len(w) >= 1))
+    @settings(max_examples=30, deadline=None)
+    def test_input_restored(self, word):
+        machine = copy_reverse_machine()
+        run = run_deterministic(machine, word)
+        assert run.final.tapes[0].rstrip("␣") == word
+
+
+class TestMajorityMachine:
+    @given(bits)
+    @settings(max_examples=60, deadline=None)
+    def test_decides_majority(self, word):
+        machine = majority_machine()
+        run = run_deterministic(machine, word)
+        expected = word.count("1") > word.count("0")
+        assert run.accepts(machine) == expected
+
+    @given(bits)
+    @settings(max_examples=40, deadline=None)
+    def test_space_is_max_absolute_imbalance(self, word):
+        machine = majority_machine()
+        run = run_deterministic(machine, word)
+        imbalance = 0
+        best = 0
+        for ch in word:
+            imbalance += 1 if ch == "1" else -1
+            best = max(best, abs(imbalance))
+        # marker + pebble stack + the free slot
+        assert run.statistics.internal_space(1) == best + 2
+
+    def test_single_scan(self):
+        machine = majority_machine()
+        run = run_deterministic(machine, "110100")
+        assert run.statistics.external_scans(1) == 1
+
+
+class TestTableNLM:
+    def _machine(self):
+        """A one-step table machine: accepts iff the first value is '1'."""
+        cell0 = lambda v: (LA, Inp(v), RA)  # noqa: E731
+        still = ((+1, False), (+1, False))
+        table = {
+            ("start", (cell0("1"), (LA, RA)), "c"): ("acc", still),
+            ("start", (cell0("0"), (LA, RA)), "c"): ("rej", still),
+        }
+        return NLM.from_table(
+            t=2,
+            m=1,
+            input_alphabet={"0", "1"},
+            choices=("c",),
+            initial_state="start",
+            table=table,
+            final_states={"acc", "rej"},
+            accepting_states={"acc"},
+        )
+
+    def test_runs(self):
+        nlm = self._machine()
+        assert nlm_run(nlm, ["1"]).accepts(nlm)
+        assert not nlm_run(nlm, ["0"]).accepts(nlm)
+
+    def test_states_inferred(self):
+        nlm = self._machine()
+        assert nlm.states == {"start", "acc", "rej"}
+        assert nlm.k == 3
+
+    def test_missing_entry_is_an_error(self):
+        # a machine whose table omits a reachable situation is not total
+        cell0 = lambda v: (LA, Inp(v), RA)  # noqa: E731
+        still = ((+1, False),)
+        table = {
+            ("start", (cell0("1"),), "c"): ("acc", still),
+        }
+        nlm = NLM.from_table(
+            t=1,
+            m=1,
+            input_alphabet={"0", "1"},
+            choices=("c",),
+            initial_state="start",
+            table=table,
+            final_states={"acc"},
+            accepting_states={"acc"},
+        )
+        assert nlm_run(nlm, ["1"]).accepts(nlm)
+        with pytest.raises(MachineError):
+            nlm_run(nlm, ["0"])
+
+    def test_explicit_states_respected(self):
+        nlm = NLM.from_table(
+            t=1,
+            m=0,
+            input_alphabet={"0"},
+            choices=("c",),
+            initial_state="acc",
+            table={},
+            final_states={"acc"},
+            accepting_states={"acc"},
+            states={"acc", "spare"},
+        )
+        assert nlm.k == 2

@@ -1,0 +1,258 @@
+"""Tests for the Turing machine substrate (repro.machines)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError, StepBudgetExceeded
+from repro.extmem.tape import BLANK
+from repro.machines import (
+    L,
+    MachineBuilder,
+    N,
+    R,
+    TuringMachine,
+    Transition,
+    acceptance_probability,
+    choice_alphabet,
+    coin_flip_machine,
+    copy_machine,
+    enumerate_runs,
+    equality_machine,
+    guess_bit_machine,
+    parity_machine,
+    run_deterministic,
+    run_with_choices,
+)
+from repro.machines.execute import lemma3_run_length_bound
+
+bits = st.text(alphabet="01", max_size=12)
+
+
+class TestDefinitions:
+    def test_transition_arity_validated(self):
+        with pytest.raises(MachineError):
+            Transition("q", ("0",), "q", ("0", "1"), (R,))
+
+    def test_transition_move_validated(self):
+        with pytest.raises(MachineError):
+            Transition("q", ("0",), "q", ("0",), ("X",))
+
+    def test_normalization_enforced(self):
+        b = MachineBuilder("bad", external_tapes=2).start("q").accept("a")
+        b.on("q", ("0", BLANK), "a", ("0", "0"), (R, R))
+        with pytest.raises(MachineError):
+            b.build()
+
+    def test_final_states_are_sinks(self):
+        b = MachineBuilder("bad").start("q").accept("a")
+        b.on("a", ("0",), "q", ("0",), (N,))
+        with pytest.raises(MachineError):
+            b.build()
+
+    def test_builder_requires_start(self):
+        with pytest.raises(MachineError):
+            MachineBuilder("x").accept("a").build()
+
+    def test_determinism_detection(self):
+        assert copy_machine().is_deterministic
+        assert not coin_flip_machine().is_deterministic
+
+    def test_max_branching(self):
+        assert copy_machine().max_branching() == 1
+        assert coin_flip_machine().max_branching() == 2
+
+
+class TestDeterministicExecution:
+    def test_copy_machine_copies(self):
+        run = run_deterministic(copy_machine(), "0110")
+        assert run.accepts(copy_machine())
+        assert run.final.tapes[1] == "0110"
+
+    def test_copy_machine_single_scan(self):
+        run = run_deterministic(copy_machine(), "010101")
+        assert run.statistics.external_scans(2) == 1  # no reversal anywhere
+
+    @given(bits)
+    @settings(max_examples=50, deadline=None)
+    def test_copy_machine_property(self, word):
+        machine = copy_machine()
+        run = run_deterministic(machine, word)
+        assert run.final.tapes[1] == word
+
+    def test_parity_machine(self):
+        machine = parity_machine()
+        assert run_deterministic(machine, "1100").accepts(machine)
+        assert not run_deterministic(machine, "1110").accepts(machine)
+        assert run_deterministic(machine, "").accepts(machine)
+
+    def test_parity_uses_one_internal_cell(self):
+        machine = parity_machine()
+        run = run_deterministic(machine, "110101")
+        assert run.statistics.internal_space(1) == 1
+        assert run.statistics.is_bounded(machine, r=1, s=1)
+
+    @given(bits)
+    @settings(max_examples=50, deadline=None)
+    def test_parity_property(self, word):
+        machine = parity_machine()
+        expected = word.count("1") % 2 == 0
+        assert run_deterministic(machine, word).accepts(machine) == expected
+
+    def test_nondeterministic_machine_rejected(self):
+        with pytest.raises(MachineError):
+            run_deterministic(coin_flip_machine(), "0")
+
+    def test_stuck_machine_reported(self):
+        b = MachineBuilder("stuck").start("q").accept("a")
+        b.on("q", ("0",), "q", ("0",), (R,))
+        machine = b.build()
+        with pytest.raises(MachineError):
+            run_deterministic(machine, "00")  # blank has no transition
+
+    def test_step_limit(self):
+        b = MachineBuilder("long").start("q").accept("a")
+        b.on("q", (BLANK,), "q", ("0",), (R,))
+        # writes forever; every run infinite — must hit the step budget
+        with pytest.raises(StepBudgetExceeded):
+            run_deterministic(b.build(), "", step_limit=100)
+
+    def test_head_cannot_fall_off(self):
+        b = MachineBuilder("fall").start("q").accept("a")
+        b.on("q", ("0",), "q", ("0",), (L,))
+        with pytest.raises(MachineError):
+            run_deterministic(b.build(), "0")
+
+
+class TestEqualityMachine:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("01#01", True),
+            ("01#10", False),
+            ("0#0", True),
+            ("#", True),
+            ("01#0", False),
+            ("0#01", False),
+            ("", False),
+            ("0101", False),
+            ("#01", False),
+            ("01#", False),
+        ],
+    )
+    def test_decisions(self, word, expected):
+        machine = equality_machine()
+        assert run_deterministic(machine, word).accepts(machine) == expected
+
+    @given(bits, bits)
+    @settings(max_examples=50, deadline=None)
+    def test_property(self, w1, w2):
+        machine = equality_machine()
+        run = run_deterministic(machine, f"{w1}#{w2}")
+        assert run.accepts(machine) == (w1 == w2)
+
+    def test_three_scans_two_tapes(self):
+        machine = equality_machine()
+        run = run_deterministic(machine, "0110#0110")
+        assert run.statistics.external_scans(2) <= 3
+        assert machine.external_tapes == 2
+        assert run.statistics.internal_space(2) == 0
+
+
+class TestRandomizedSemantics:
+    def test_coin_flip_probability(self):
+        machine = coin_flip_machine()
+        for word in ("", "0", "0101"):
+            assert acceptance_probability(machine, word) == Fraction(1, 2)
+
+    def test_guess_bit_probability(self):
+        machine = guess_bit_machine()
+        assert acceptance_probability(machine, "0") == Fraction(1, 2)
+        assert acceptance_probability(machine, "1") == Fraction(1, 2)
+        assert acceptance_probability(machine, "") == Fraction(0)
+
+    def test_deterministic_probability_is_zero_or_one(self):
+        machine = parity_machine()
+        assert acceptance_probability(machine, "11") == 1
+        assert acceptance_probability(machine, "1") == 0
+
+    def test_enumerate_runs_counts(self):
+        machine = coin_flip_machine()
+        runs = list(enumerate_runs(machine, "0"))
+        assert len(runs) == 2
+        assert sum(run.accepts(machine) for run in runs) == 1
+
+    def test_probability_matches_run_enumeration(self):
+        """Pr = Σ over accepting runs of Π 1/|Next|, cross-checked."""
+        machine = guess_bit_machine()
+        total = Fraction(0)
+        for run in enumerate_runs(machine, "1"):
+            prob = Fraction(1)
+            for cfg in run.configurations[:-1]:
+                from repro.machines.config import successors
+
+                prob /= len(successors(machine, cfg))
+            if run.accepts(machine):
+                total += prob
+        assert total == acceptance_probability(machine, "1")
+
+
+class TestChoiceSequences:
+    """Definition 17 / Lemma 18: the C_T view of randomness."""
+
+    def test_choice_alphabet_is_lcm_range(self):
+        assert len(choice_alphabet(copy_machine())) == 1
+        assert len(choice_alphabet(coin_flip_machine())) == 2
+
+    def test_run_with_choices_deterministic_machine(self):
+        machine = parity_machine()
+        run = run_with_choices(machine, "11", [1] * 50)
+        assert run.accepts(machine)
+
+    def test_run_with_choices_picks_branches(self):
+        machine = coin_flip_machine()
+        accept_run = run_with_choices(machine, "0", [2])  # 2 mod 2 = 0 → first
+        reject_run = run_with_choices(machine, "0", [1])  # 1 mod 2 = 1 → second
+        assert accept_run.accepts(machine)
+        assert not reject_run.accepts(machine)
+
+    def test_exhausted_choices_reported(self):
+        machine = parity_machine()
+        with pytest.raises(MachineError):
+            run_with_choices(machine, "111111", [1])
+
+    def test_lemma18_probability_identity(self):
+        """Pr(T accepts w) = |{c : ρ_T(w,c) accepts}| / |C_T|^ℓ."""
+        from itertools import product
+
+        machine = guess_bit_machine()
+        word = "0"
+        ell = 3  # any ℓ ≥ the max run length works
+        alphabet = choice_alphabet(machine)
+        accepting = sum(
+            run_with_choices(machine, word, seq).accepts(machine)
+            for seq in product(alphabet, repeat=ell)
+        )
+        assert Fraction(accepting, len(alphabet) ** ell) == acceptance_probability(
+            machine, word
+        )
+
+
+class TestLemma3:
+    def test_run_length_bound(self):
+        machine = equality_machine()
+        for word in ("01#01", "0110#0110", "011010#011010"):
+            run = run_deterministic(machine, word)
+            stats = run.statistics
+            r = stats.external_scans(machine.external_tapes)
+            s = stats.internal_space(machine.external_tapes)
+            bound = lemma3_run_length_bound(
+                len(word), r, s, machine.external_tapes
+            )
+            assert stats.length <= bound
+
+    def test_bound_monotone(self):
+        assert lemma3_run_length_bound(100, 2, 3, 2) <= lemma3_run_length_bound(
+            100, 3, 3, 2
+        )

@@ -1,0 +1,121 @@
+"""Coverage of remaining public API corners."""
+
+import pytest
+
+from repro.errors import MachineError, ReproError
+from repro.extmem import SymbolTape
+from repro.machines import MachineBuilder, run_deterministic
+from repro.machines.tm import N, R
+
+
+class TestBuilderOnEach:
+    def test_on_each_expands_per_symbol(self):
+        b = MachineBuilder("flip").start("q").accept("done")
+        b.on_each(
+            ["0", "1"],
+            "q",
+            lambda s: (s,),
+            "q",
+            lambda s: ("1" if s == "0" else "0",),
+            (R,),
+        )
+        from repro.extmem.tape import BLANK
+
+        b.on("q", (BLANK,), "done", (BLANK,), (N,))
+        machine = b.build()
+        run = run_deterministic(machine, "0011")
+        assert run.final.tapes[0] == "1100"
+
+    def test_symbols_forced_into_alphabet(self):
+        b = MachineBuilder("x").start("q").accept("q").symbols("@")
+        machine = b.build()
+        assert "@" in machine.alphabet
+
+
+class TestSymbolTapeMisc:
+    def test_stay_is_free(self):
+        t = SymbolTape("ab")
+        t.stay()
+        assert t.head == 0 and t.reversals == 0
+
+    def test_repr_contains_head(self):
+        t = SymbolTape("abc", name="demo")
+        assert "demo" in repr(t)
+
+    def test_space_used_monotone(self):
+        t = SymbolTape("ab")
+        before = t.space_used
+        t.move(+1)
+        t.move(+1)
+        t.write("x")
+        assert t.space_used >= before
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in (
+            "ResourceError",
+            "ReversalBudgetExceeded",
+            "SpaceBudgetExceeded",
+            "TapeBudgetExceeded",
+            "StepBudgetExceeded",
+            "MachineError",
+            "TransitionError",
+            "EncodingError",
+            "QueryError",
+            "QuerySyntaxError",
+            "QueryEvaluationError",
+            "XMLError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_budget_errors_carry_numbers(self):
+        from repro.errors import ReversalBudgetExceeded, SpaceBudgetExceeded
+
+        err = ReversalBudgetExceeded(5, 3, tape=2)
+        assert err.used == 5 and err.budget == 3 and err.tape == 2
+        assert "tape 2" in str(err)
+        err2 = SpaceBudgetExceeded(100, 64)
+        assert "100" in str(err2)
+
+
+class TestVersionAndMain:
+    def test_version_importable(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_main_module_runs(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"], capture_output=True, text=True
+        )
+        assert proc.returncode == 0
+        assert "results verified" in proc.stdout
+
+
+class TestGrowthRateEdges:
+    def test_bad_exponent_rejected(self):
+        from repro.core.bounds import GrowthRate, _fraction
+
+        with pytest.raises(ReproError):
+            _fraction(1.5)
+
+    def test_string_exponents(self):
+        from repro.core.bounds import GrowthRate
+
+        rate = GrowthRate.make("1/4", "-1")
+        assert str(rate) == "N^1/4·(log N)^-1"
+
+    def test_theorem6_applies_wrapper(self):
+        from repro.core.bounds import GrowthRate
+        from repro.lowerbounds.parameters import theorem6_applies
+
+        assert theorem6_applies(GrowthRate.const(), GrowthRate.log())
+        with pytest.raises(ReproError):
+            theorem6_applies("not-a-rate", GrowthRate.log())

@@ -1,0 +1,138 @@
+"""Tests for Theorem 8(b): certificates and their deterministic verifier."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import (
+    Certificate,
+    build_certificate,
+    nondeterministic_accepts,
+    verify_certificate,
+)
+from repro.algorithms.nondet_verify import (
+    certificate_length,
+    find_matching_permutation,
+)
+from repro.errors import EncodingError
+from repro.problems import (
+    CHECK_SORT,
+    MULTISET_EQUALITY,
+    SET_EQUALITY,
+    encode_instance,
+    random_checksort_instance,
+    random_equal_instance,
+    random_unequal_instance,
+)
+
+small_words = st.lists(st.text(alphabet="01", min_size=1, max_size=4), max_size=5)
+
+
+class TestMatching:
+    def test_finds_permutation_when_equal(self):
+        inst = encode_instance(["0", "1", "0"], ["1", "0", "0"])
+        pi = find_matching_permutation(inst)
+        assert pi is not None
+        from repro.problems import decode_instance
+
+        d = decode_instance(inst)
+        assert all(d.first[i] == d.second[pi[i]] for i in range(3))
+
+    def test_none_when_unequal(self):
+        assert find_matching_permutation("0#0#0#1#") is None
+
+
+class TestCertificates:
+    def test_build_requires_permutation(self):
+        with pytest.raises(EncodingError):
+            build_certificate("0#1#1#0#", [0, 0])
+
+    def test_copies_formula(self):
+        inst = encode_instance(["01"], ["01"])  # m=1, N=6
+        cert = build_certificate(inst, [0])
+        assert cert.copies == certificate_length(1, 6) == 1 + 6 * 1
+
+    def test_honest_certificate_verifies(self):
+        rng = random.Random(0)
+        inst = random_equal_instance(4, 4, rng)
+        pi = find_matching_permutation(inst)
+        cert = build_certificate(inst, pi)
+        assert verify_certificate(inst, cert).accepted
+
+    def test_wrong_permutation_rejected(self):
+        inst = encode_instance(["0", "1"], ["0", "1"])
+        bad = build_certificate(inst, [1, 0])  # pairs 0↔1: bits disagree
+        result = verify_certificate(inst, bad)
+        assert not result.accepted
+        assert "mismatch" in result.reason
+
+    def test_wrong_copy_count_rejected(self):
+        inst = encode_instance(["0"], ["0"])
+        cert = build_certificate(inst, [0])
+        tampered = Certificate(cert.pi, cert.first, cert.second, cert.copies - 1)
+        assert not verify_certificate(inst, tampered).accepted
+
+    def test_foreign_values_rejected(self):
+        # certificate rows claim different input values than the real input
+        inst = encode_instance(["0"], ["0"])
+        cert = build_certificate(inst, [0])
+        forged = Certificate(cert.pi, ("1",), ("1",), cert.copies)
+        result = verify_certificate(inst, forged)
+        assert not result.accepted
+        assert "input" in result.reason
+
+    def test_duplicate_pi_rejected(self):
+        inst = encode_instance(["0", "0"], ["0", "0"])
+        cert = build_certificate(inst, [0, 1])
+        forged = Certificate((0, 0), cert.first, cert.second, cert.copies)
+        assert not verify_certificate(inst, forged).accepted
+
+    def test_row_access_bounds(self):
+        cert = build_certificate("0#0#", [0])
+        with pytest.raises(EncodingError):
+            cert.row(cert.copies)
+
+    def test_verifier_uses_one_backward_scan(self):
+        inst = encode_instance(["01", "10"], ["10", "01"])
+        cert = build_certificate(inst, find_matching_permutation(inst))
+        result = verify_certificate(inst, cert)
+        assert result.accepted
+        # backward walk over two freshly written tapes: ≤ 1 reversal each
+        assert result.report.reversals <= 2
+
+
+class TestExistentialAcceptance:
+    def test_multiset_yes_no(self):
+        rng = random.Random(1)
+        yes = random_equal_instance(5, 4, rng)
+        no = random_unequal_instance(5, 4, rng)
+        assert nondeterministic_accepts(yes)
+        assert not nondeterministic_accepts(no)
+
+    def test_checksort(self):
+        rng = random.Random(2)
+        yes = random_checksort_instance(5, 4, rng, yes=True)
+        no = random_checksort_instance(5, 4, rng, yes=False)
+        assert nondeterministic_accepts(yes, problem="check-sort")
+        assert not nondeterministic_accepts(no, problem="check-sort")
+
+    def test_set_equality(self):
+        inst = encode_instance(["0", "0", "1"], ["1", "1", "0"])
+        assert nondeterministic_accepts(inst, problem="set-equality")
+        assert not nondeterministic_accepts(inst, problem="multiset-equality")
+
+    @given(small_words, small_words, st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_references(self, first, second, seed):
+        k = min(len(first), len(second))
+        inst = encode_instance(first[:k], second[:k])
+        assert nondeterministic_accepts(inst) == MULTISET_EQUALITY(inst)
+        assert (
+            nondeterministic_accepts(inst, problem="set-equality")
+            == SET_EQUALITY(inst)
+        )
+        assert (
+            nondeterministic_accepts(inst, problem="check-sort")
+            == CHECK_SORT(inst)
+        )

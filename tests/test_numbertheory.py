@@ -1,0 +1,158 @@
+"""Unit and property tests for repro.numbertheory."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import numbertheory as nt
+from repro.errors import ReproError
+from repro.numbertheory.primes import prime_factors
+
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 97, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 15, 91, 561, 1105, 2**32 - 1, 7917]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert nt.is_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites(self, c):
+        assert not nt.is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool weak tests
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not nt.is_prime(n)
+
+    def test_agrees_with_sieve(self):
+        sieve = set(nt.primes_up_to(2000))
+        for n in range(2000):
+            assert nt.is_prime(n) == (n in sieve)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=200)
+    def test_factorization_consistency(self, n):
+        factors = prime_factors(n)
+        prod = 1
+        for f in factors:
+            prod *= f
+            assert nt.is_prime(f)
+        assert prod == n
+        assert nt.is_prime(n) == (len(factors) == 1)
+
+
+class TestSieve:
+    def test_small(self):
+        assert nt.primes_up_to(1) == []
+        assert nt.primes_up_to(2) == [2]
+        assert nt.primes_up_to(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_count_to_ten_thousand(self):
+        assert len(nt.primes_up_to(10_000)) == 1229  # π(10^4)
+
+    def test_range(self):
+        assert nt.primes_in_range(10, 30) == [11, 13, 17, 19, 23, 29]
+        assert nt.primes_in_range(30, 10) == []
+        # strict lower bound, inclusive upper bound
+        assert nt.primes_in_range(11, 13) == [13]
+
+
+class TestNextPrevPrime:
+    def test_next(self):
+        assert nt.next_prime(1) == 2
+        assert nt.next_prime(2) == 3
+        assert nt.next_prime(14) == 17
+        assert nt.next_prime(7919) == 7927
+
+    def test_prev(self):
+        assert nt.prev_prime(3) == 2
+        assert nt.prev_prime(18) == 17
+
+    def test_prev_underflow(self):
+        with pytest.raises(ReproError):
+            nt.prev_prime(2)
+
+    @given(st.integers(min_value=2, max_value=10**5))
+    @settings(max_examples=100)
+    def test_next_is_next(self, n):
+        p = nt.next_prime(n)
+        assert p > n and nt.is_prime(p)
+        assert all(not nt.is_prime(q) for q in range(n + 1, p))
+
+
+class TestSampling:
+    def test_random_prime_at_most_uniform_support(self):
+        rng = random.Random(1)
+        seen = {nt.random_prime_at_most(20, rng) for _ in range(300)}
+        assert seen == {2, 3, 5, 7, 11, 13, 17, 19}
+
+    def test_random_prime_requires_k_ge_2(self):
+        with pytest.raises(ReproError):
+            nt.random_prime_at_most(1, random.Random(0))
+
+    def test_bertrand_prime_in_interval(self):
+        for k in [1, 2, 3, 10, 100, 12345, 10**6]:
+            p = nt.bertrand_prime(k)
+            assert 3 * k < p <= 6 * k
+            assert nt.is_prime(p)
+
+    def test_bertrand_rejects_zero(self):
+        with pytest.raises(ReproError):
+            nt.bertrand_prime(0)
+
+    def test_prime_count_upper_is_upper(self):
+        for k in [2, 10, 100, 1000, 10_000]:
+            assert nt.prime_count_upper(k) >= len(nt.primes_up_to(k))
+
+
+class TestModular:
+    def test_mod_pow_matches_builtin(self):
+        assert nt.mod_pow(3, 41, 1000) == pow(3, 41, 1000)
+
+    def test_mod_pow_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            nt.mod_pow(2, 3, 0)
+        with pytest.raises(ReproError):
+            nt.mod_pow(2, -1, 5)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=100)
+    def test_mod_inverse(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = nt.mod_inverse(a, p)
+        assert (a * inv) % p == 1
+
+    def test_mod_inverse_noninvertible(self):
+        with pytest.raises(ReproError):
+            nt.mod_inverse(6, 9)
+
+    def test_poly_eval_mod_horner(self):
+        # 2 + 3x + x^2 at x=5 mod 97 → 2 + 15 + 25 = 42
+        assert nt.poly_eval_mod([2, 3, 1], 5, 97) == 42
+
+    def test_power_sum_mod(self):
+        # x=2: 2^1 + 2^3 + 2^4 = 26
+        assert nt.power_sum_mod([1, 3, 4], 2, 1009) == 26
+
+    def test_crt_pair(self):
+        x = nt.crt_pair(2, 3, 3, 5)
+        assert x % 3 == 2 and x % 5 == 3
+
+    def test_streaming_residue_matches_int(self):
+        from repro.numbertheory.modular import streaming_residue
+
+        value = 0b110101101
+        bits = [int(b) for b in bin(value)[2:]]
+        assert streaming_residue(bits, 17) == value % 17
+
+    def test_streaming_residue_rejects_nonbits(self):
+        from repro.numbertheory.modular import streaming_residue
+
+        with pytest.raises(ReproError):
+            streaming_residue([0, 2, 1], 7)

@@ -1,0 +1,79 @@
+"""Tests for the remaining Lemma 21/22 parameter helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lowerbounds.parameters import (
+    LowerBoundParameters,
+    adversarial_input_space_size,
+    comparisons_bound,
+    equal_input_count,
+    lemma21_applies,
+    lemma21_hypotheses,
+    lemma22_thresholds,
+    simulation_state_bound,
+    skeleton_count_bound,
+)
+
+
+class TestParameterHelpers:
+    def _params(self):
+        return LowerBoundParameters(t=2, r=1, m=4, n=8, k=16)
+
+    def test_instance_size(self):
+        p = self._params()
+        assert p.instance_size == 2 * 4 * 9
+        assert p.input_positions == 8
+
+    def test_hypotheses_named(self):
+        p = self._params()
+        hyps = lemma21_hypotheses(p)
+        assert set(hyps) == {
+            "t >= 2",
+            "m is a power of 2",
+            "m >= 24*(t+1)^(4r) + 1",
+            "k >= 2m + 3",
+            "n >= 1 + (m^2+1)*log(2k)",
+        }
+        # these toy parameters violate the m-threshold
+        assert not hyps["m >= 24*(t+1)^(4r) + 1"]
+        assert not lemma21_applies(p)
+
+    def test_comparisons_bound_formula(self):
+        p = self._params()
+        assert comparisons_bound(p, 3) == 2 ** (2 * 1) * 3
+
+    def test_skeleton_count_bound_formula(self):
+        p = LowerBoundParameters(t=2, r=0, m=1, n=8, k=1)
+        # exponent = 12·1·(3)^2 + 24·1 = 132; base = 1+1+3
+        assert skeleton_count_bound(p) == 5**132
+
+    def test_simulation_state_bound(self):
+        assert simulation_state_bound(2, 1, 1, 4, d=1) == 2 ** (
+            1 * 4 * 1 * 1 + 3 * 2 * 2
+        )
+
+    def test_input_space_sizes(self):
+        p = LowerBoundParameters(t=2, r=1, m=4, n=4, k=16)
+        # intervals of size 2^4/4 = 4; |I| = 4^(2·4), |I_eq| = 4^4
+        assert adversarial_input_space_size(p) == 4**8
+        assert equal_input_count(p) == 4**4
+
+    def test_input_space_needs_room(self):
+        p = LowerBoundParameters(t=2, r=1, m=16, n=2, k=16)
+        with pytest.raises(ReproError):
+            adversarial_input_space_size(p)
+
+    def test_thresholds_reject_strong_machines(self):
+        """A machine with r(N) = Θ(log N) escapes: no admissible m exists
+        below the cap (the search returns None) — matching the tightness of
+        Theorem 6."""
+        import math
+
+        result = lemma22_thresholds(
+            lambda n: max(1, int(math.log2(max(2, n)))),
+            lambda _n: 1,
+            2,
+            m_max=2**20,
+        )
+        assert result is None

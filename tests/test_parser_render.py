@@ -1,0 +1,167 @@
+"""Tests for the relational-algebra text parser and the NLM renderer."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.listmachine import run_deterministic, skeleton_of_run
+from repro.listmachine.examples import tandem_compare_nlm
+from repro.listmachine.render import (
+    render_cell,
+    render_configuration,
+    render_run,
+    render_skeleton,
+)
+from repro.queries.relational import (
+    AttrEquals,
+    AttrEqualsAttr,
+    Database,
+    Difference,
+    NaturalJoin,
+    Product,
+    Projection,
+    Relation,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    evaluate,
+    symmetric_difference_query,
+)
+from repro.queries.relational.parser import parse_algebra
+
+WORDS = frozenset({"00", "01", "10", "11"})
+
+
+class TestAlgebraParser:
+    def test_relation_ref(self):
+        assert parse_algebra("R1") == RelationRef("R1")
+
+    def test_symmetric_difference_text(self):
+        assert (
+            parse_algebra("(R1 - R2) union (R2 - R1)")
+            == symmetric_difference_query()
+        )
+
+    def test_unicode_spelling(self):
+        assert (
+            parse_algebra("(R1 − R2) ∪ (R2 − R1)") == symmetric_difference_query()
+        )
+
+    def test_select_constant(self):
+        assert parse_algebra("select[a='01'] R") == Selection(
+            AttrEquals("a", "01"), RelationRef("R")
+        )
+
+    def test_select_attribute(self):
+        assert parse_algebra("σ[a=b] R") == Selection(
+            AttrEqualsAttr("a", "b"), RelationRef("R")
+        )
+
+    def test_project(self):
+        assert parse_algebra("project[a, b] R") == Projection(
+            ("a", "b"), RelationRef("R")
+        )
+        assert parse_algebra("π[a] R") == Projection(("a",), RelationRef("R"))
+
+    def test_rename(self):
+        assert parse_algebra("rename[a -> b, c -> d] R") == Rename(
+            (("a", "b"), ("c", "d")), RelationRef("R")
+        )
+
+    def test_product_and_join(self):
+        assert parse_algebra("A x B") == Product(RelationRef("A"), RelationRef("B"))
+        assert parse_algebra("A ⋈ B") == NaturalJoin(
+            RelationRef("A"), RelationRef("B")
+        )
+        assert parse_algebra("A join B") == NaturalJoin(
+            RelationRef("A"), RelationRef("B")
+        )
+
+    def test_precedence(self):
+        # product binds tighter than difference binds tighter than union
+        expr = parse_algebra("A union B - C x D")
+        assert expr == Union(
+            RelationRef("A"),
+            Difference(
+                RelationRef("B"), Product(RelationRef("C"), RelationRef("D"))
+            ),
+        )
+
+    def test_nesting(self):
+        expr = parse_algebra("π[a] ( σ[a='0'] (A union B) )")
+        assert isinstance(expr, Projection)
+        assert isinstance(expr.child, Selection)
+        assert isinstance(expr.child.child, Union)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(",
+            "A union",
+            "select[a] R",
+            "select[a='0'",
+            "project[] R",
+            "rename[a] R",
+            "A B",
+            "σ[a=''unterminated] R",
+            "union A",
+        ],
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_algebra(bad)
+
+    def test_parsed_query_evaluates(self):
+        db = Database(
+            {
+                "R1": Relation.create(("v",), [("0",), ("1",)]),
+                "R2": Relation.create(("v",), [("1",), ("0",)]),
+            }
+        )
+        out = evaluate(parse_algebra("(R1 - R2) union (R2 - R1)"), db)
+        assert out.is_empty
+
+
+class TestRenderer:
+    def _run(self):
+        nlm = tandem_compare_nlm(WORDS, 2)
+        return nlm, run_deterministic(nlm, ["01", "10", "10", "01"])
+
+    def test_render_cell_initial(self):
+        nlm, run = self._run()
+        text = render_cell(run.configurations[0].lists[0][0])
+        assert "01@0" in text and text.startswith("⟨")
+
+    def test_render_configuration_marks_heads(self):
+        nlm, run = self._run()
+        text = render_configuration(run.configurations[0])
+        assert "state = copy:0" in text
+        assert "→" in text
+        assert "list 1" in text and "list 2" in text
+
+    def test_render_run_shows_verdict_and_steps(self):
+        nlm, run = self._run()
+        text = render_run(run, nlm)
+        assert "ACCEPT" in text
+        assert "-- step 0" in text
+        assert f"{run.length} configurations" in text
+
+    def test_render_run_clips(self):
+        nlm, run = self._run()
+        text = render_run(run, nlm, max_steps=2)
+        assert "more configurations" in text
+
+    def test_render_skeleton(self):
+        nlm, run = self._run()
+        text = render_skeleton(skeleton_of_run(run))
+        assert "skeleton of length" in text
+        assert "state copy:0" in text
+
+    def test_render_skeleton_wildcards(self):
+        from repro.listmachine.examples import single_scan_parity_nlm
+
+        nlm = single_scan_parity_nlm(WORDS, 1)
+        run = run_deterministic(nlm, ["01"])
+        text = render_skeleton(skeleton_of_run(run))
+        assert "= ?" in text  # the clamped final step is a wildcard

@@ -1,0 +1,200 @@
+"""Cross-module property tests: random ASTs, step invariants, random walks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extmem import RecordTape, ResourceTracker, SymbolTape
+from repro.listmachine import initial_configuration, successor
+from repro.listmachine.examples import single_scan_parity_nlm, tandem_compare_nlm
+from repro.queries.relational import (
+    AttrEquals,
+    Database,
+    Difference,
+    Product,
+    Projection,
+    Relation,
+    RelationRef,
+    Rename,
+    Selection,
+    StreamingEvaluator,
+    Union,
+    evaluate,
+)
+
+# ---------------------------------------------------------------------------
+# Random relational-algebra expressions: streaming ≡ reference
+# ---------------------------------------------------------------------------
+
+_VALUES = ["0", "1", "00", "01", "10", "11"]
+
+
+def _db_strategy():
+    rows = st.lists(
+        st.tuples(st.sampled_from(_VALUES), st.sampled_from(_VALUES)),
+        max_size=6,
+    )
+    return st.tuples(rows, rows).map(
+        lambda pair: Database(
+            {
+                "A": Relation.create(("x", "y"), pair[0]),
+                "B": Relation.create(("x", "y"), pair[1]),
+            }
+        )
+    )
+
+
+def _expr_strategy():
+    base = st.sampled_from([RelationRef("A"), RelationRef("B")])
+
+    def extend(children):
+        unary = st.one_of(
+            st.tuples(children, st.sampled_from(_VALUES)).map(
+                lambda t: Selection(AttrEquals("x", t[1]), t[0])
+            ),
+            children.map(lambda c: Projection(("x",), c)),
+            children.map(lambda c: Projection(("y", "x"), c)),
+            children.map(lambda c: Rename((("x", "x2"),), c)),
+        )
+        binary = st.tuples(children, children).flatmap(
+            lambda pair: st.sampled_from(
+                [Union(pair[0], pair[1]), Difference(pair[0], pair[1])]
+            )
+        )
+        return st.one_of(unary, binary)
+
+    return st.recursive(base, extend, max_leaves=5)
+
+
+class TestRandomAlgebraExpressions:
+    @given(_db_strategy(), _expr_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_matches_reference(self, db, expr):
+        from repro.errors import QueryEvaluationError
+
+        try:
+            reference = evaluate(expr, db)
+        except QueryEvaluationError:
+            # schema-invalid expression (e.g. union after incompatible
+            # projections): the streaming evaluator must reject it too
+            with pytest.raises(QueryEvaluationError):
+                StreamingEvaluator(db).evaluate(expr)
+            return
+        streaming = StreamingEvaluator(db).evaluate(expr)
+        assert streaming.tuples == reference.tuples
+        assert streaming.schema.attributes == reference.schema.attributes
+
+    @given(_db_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_difference_union_identity(self, db):
+        """(A − B) ∪ (A ∩ B)-ish sanity: (A−B) ∪ (B−A) ∪ (A∩B via A−(A−B))
+        reconstructs A ∪ B."""
+        a, b = RelationRef("A"), RelationRef("B")
+        sym = Union(Difference(a, b), Difference(b, a))
+        inter = Difference(a, Difference(a, b))
+        rebuilt = evaluate(Union(sym, inter), db)
+        assert rebuilt.tuples == evaluate(Union(a, b), db).tuples
+
+
+# ---------------------------------------------------------------------------
+# NLM single-step invariants under random drive
+# ---------------------------------------------------------------------------
+
+WORDS = ("00", "01", "10", "11")
+
+
+class TestNLMStepInvariants:
+    def _drive(self, nlm, values, steps):
+        config = initial_configuration(nlm, values)
+        seen = [config]
+        for _ in range(steps):
+            if config.is_final(nlm):
+                break
+            config, move = successor(nlm, config, nlm.choices[0])
+            seen.append(config)
+        return seen
+
+    @given(
+        st.lists(st.sampled_from(WORDS), min_size=2, max_size=5),
+        st.lists(st.sampled_from(WORDS), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heads_always_on_lists(self, first, second):
+        m = min(len(first), len(second))
+        nlm = tandem_compare_nlm(frozenset(WORDS), m)
+        for config in self._drive(nlm, first[:m] + second[:m], 200):
+            for i in range(nlm.t):
+                assert 0 <= config.positions[i] < len(config.lists[i])
+                assert config.directions[i] in (-1, +1)
+
+    @given(st.lists(st.sampled_from(WORDS), min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_list_growth_at_most_t_per_step(self, values):
+        nlm = single_scan_parity_nlm(frozenset(WORDS), len(values))
+        trail = self._drive(nlm, values, 200)
+        for prev, curr in zip(trail, trail[1:]):
+            assert (
+                curr.total_list_length - prev.total_list_length <= nlm.t
+            )
+            # lists never shrink (footnote 4 of the paper)
+            assert curr.total_list_length >= prev.total_list_length
+
+    @given(st.lists(st.sampled_from(WORDS), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_input_tokens_conserved(self, values):
+        """Input tokens are never destroyed on the input list prefix the
+        head has not passed: every position appears somewhere."""
+        nlm = tandem_compare_nlm(frozenset(WORDS), len(values) // 2 or 1)
+        m = (len(values) // 2 or 1) * 2
+        trail = self._drive(nlm, values[:m], 200)
+        from repro.listmachine.skeleton import positions_in_cell
+
+        for config in trail:
+            present = set()
+            for lst in config.lists:
+                for cell in lst:
+                    present.update(positions_in_cell(cell))
+            # the machine reads positions in order; anything it has not
+            # consumed yet must still sit on list 1
+            assert present <= set(range(m))
+
+
+# ---------------------------------------------------------------------------
+# Tape random walks: reversal accounting is exactly direction changes
+# ---------------------------------------------------------------------------
+
+
+class TestTapeRandomWalks:
+    @given(st.lists(st.sampled_from([+1, -1]), max_size=60))
+    def test_record_tape_reversals_equal_direction_changes(self, moves):
+        tracker = ResourceTracker()
+        tape = RecordTape(list(range(100)), tracker=tracker)
+        direction = +1
+        expected = 0
+        for mv in moves:
+            if mv != direction:
+                expected += 1
+                direction = mv
+            tape.move(mv)
+        assert tracker.reversals == expected
+        assert tracker.scans == expected + 1
+
+    @given(st.lists(st.sampled_from([+1, -1]), max_size=60))
+    def test_symbol_tape_matches_record_tape_accounting(self, moves):
+        t1 = ResourceTracker()
+        t2 = ResourceTracker()
+        sym = SymbolTape("0" * 100, tracker=t1)
+        rec = RecordTape(["0"] * 100, tracker=t2)
+        for mv in moves:
+            sym.move(mv)
+            rec.move(mv)
+        assert t1.reversals == t2.reversals
+        assert sym.head == rec.head
+
+    @given(st.lists(st.sampled_from([+1, -1]), min_size=1, max_size=60))
+    def test_head_never_negative(self, moves):
+        tape = RecordTape(["a", "b"])
+        for mv in moves:
+            tape.move(mv)
+            assert tape.head >= 0

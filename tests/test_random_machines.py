@@ -1,0 +1,153 @@
+"""Fuzzing the list machine semantics and lemma checkers with random machines.
+
+The lemmas quantify over all (r, t)-bounded machines; these tests sample
+that space: seeded random terminating NLMs (arbitrary head choreography)
+must satisfy every structural bound and semantic invariant, and the whole
+family of feature-parity victims must fall to the Lemma 21 attack.
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.listmachine import (
+    acceptance_probability,
+    check_run_shape,
+    lemma21_attack,
+    merge_lemma_holds,
+    run_deterministic,
+    run_with_choices,
+    skeleton_of_run,
+)
+from repro.listmachine.random_machines import (
+    feature_vector_parity_nlm,
+    random_terminating_nlm,
+)
+from repro.listmachine.skeleton import reconstruct_run
+from repro.problems import CheckPhiFamily
+
+WORDS = frozenset({"00", "01", "10", "11"})
+
+machine_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+inputs3 = st.lists(st.sampled_from(sorted(WORDS)), min_size=3, max_size=3)
+
+
+class TestRandomMachineFuzz:
+    @given(machine_seeds, inputs3)
+    @settings(max_examples=120, deadline=None)
+    def test_shape_bounds_hold_universally(self, seed, values):
+        """Lemmas 30/31 must hold for machines nobody designed."""
+        nlm = random_terminating_nlm(seed, WORDS, 3, length=6)
+        run = run_deterministic(nlm, values)
+        report = check_run_shape(run, nlm, run.scan_count(nlm))
+        assert report.all_within, (seed, values, report)
+
+    @given(machine_seeds, inputs3)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_lemma_holds_universally(self, seed, values):
+        nlm = random_terminating_nlm(seed, WORDS, 3, length=6)
+        run = run_deterministic(nlm, values)
+        assert merge_lemma_holds(run, nlm, run.scan_count(nlm))
+
+    @given(machine_seeds, inputs3)
+    @settings(max_examples=80, deadline=None)
+    def test_skeleton_reconstruction_universally(self, seed, values):
+        nlm = random_terminating_nlm(seed, WORDS, 3, length=6)
+        run = run_deterministic(nlm, values)
+        rebuilt = reconstruct_run(
+            nlm, values, skeleton_of_run(run), run.choices_used
+        )
+        assert rebuilt.configurations == run.configurations
+
+    @given(machine_seeds, inputs3)
+    @settings(max_examples=60, deadline=None)
+    def test_runs_terminate_within_declared_length(self, seed, values):
+        nlm = random_terminating_nlm(seed, WORDS, 3, length=6)
+        run = run_deterministic(nlm, values)
+        assert run.length <= 7  # length steps + initial configuration
+
+    @given(machine_seeds, inputs3)
+    @settings(max_examples=30, deadline=None)
+    def test_probability_identity_for_randomized_machines(self, seed, values):
+        """Lemma 25 on random |C| = 2 machines: exact probability equals
+        the fraction of accepting choice sequences."""
+        nlm = random_terminating_nlm(seed, WORDS, 3, length=3, choices=2)
+        ell = 3
+        accepting = sum(
+            run_with_choices(nlm, values, seq).accepts(nlm)
+            for seq in itertools.product(nlm.choices, repeat=ell)
+        )
+        assert Fraction(accepting, len(nlm.choices) ** ell) == (
+            acceptance_probability(nlm, values)
+        )
+
+    @given(machine_seeds, inputs3)
+    @settings(max_examples=40, deadline=None)
+    def test_total_list_length_never_decreases(self, seed, values):
+        """Footnote 4 of the paper, fuzzed."""
+        nlm = random_terminating_nlm(seed, WORDS, 3, length=6, t=3)
+        run = run_deterministic(nlm, values)
+        lengths = [cfg.total_list_length for cfg in run.configurations]
+        assert lengths == sorted(lengths)
+
+
+def _family_inputs(m, n_bits):
+    fam = CheckPhiFamily(m, n_bits)
+    inputs = []
+    for choices in itertools.product(
+        *[fam.intervals.enumerate_interval(j) for j in range(m)]
+    ):
+        inst = fam.instance_from_choices(list(choices))
+        inputs.append(tuple(inst.first) + tuple(inst.second))
+    return fam, inputs
+
+
+class TestUniversalAttack:
+    """Theorem 6 at machine level: EVERY feature-parity victim falls."""
+
+    @pytest.mark.parametrize(
+        "feature_bits,n_bits",
+        [
+            ((0,), 3),
+            ((1,), 3),
+            ((2,), 3),
+            ((0, 1), 4),
+            ((0, 2), 4),
+            ((1, 3), 4),
+        ],
+    )
+    def test_every_invariant_machine_is_fooled(self, feature_bits, n_bits):
+        m = 2
+        fam, yes_inputs = _family_inputs(m, n_bits)
+        alphabet = frozenset(v for inp in yes_inputs for v in inp)
+        victim = feature_vector_parity_nlm(alphabet, 2 * m, feature_bits)
+        # soundness precondition: accepts every yes-instance
+        assert all(
+            run_deterministic(victim, list(v)).accepts(victim)
+            for v in yes_inputs
+        )
+        outcome = lemma21_attack(victim, yes_inputs, fam.phi, r=1)
+        assert outcome.success, (feature_bits, outcome.detail)
+        u = outcome.fooling_input
+        assert run_deterministic(victim, list(u)).accepts(victim)
+        assert any(u[i] != u[m + fam.phi[i]] for i in range(m))
+
+    def test_wider_features_need_bigger_intervals(self):
+        """The pigeonhole boundary: with intervals no larger than the
+        feature space, the sampled family may not contain spliceable
+        pairs — the attack is then *allowed* to fail (the lower bound
+        needs n ≥ 1 + (m²+1)·log(2k), which such tiny n violates)."""
+        m = 2
+        fam, yes_inputs = _family_inputs(m, 3)  # interval size 4
+        alphabet = frozenset(v for inp in yes_inputs for v in inp)
+        # w = 2 features on 3-bit values: 4 feature classes, interval 4 —
+        # pigeonhole gives no guarantee; both outcomes are legitimate, but
+        # the attack must never produce an invalid witness
+        victim = feature_vector_parity_nlm(alphabet, 2 * m, (0, 1))
+        outcome = lemma21_attack(victim, yes_inputs, fam.phi, r=1)
+        if outcome.success:
+            u = outcome.fooling_input
+            assert run_deterministic(victim, list(u)).accepts(victim)
+            assert any(u[i] != u[m + fam.phi[i]] for i in range(m))

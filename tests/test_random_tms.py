@@ -1,0 +1,88 @@
+"""Fuzzing the TM engine and the Lemma 16 machinery with random machines."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.listmachine.simulate_tm import (
+    block_trace,
+    blocks_respect_lemma30,
+    verify_block_reconstruction,
+)
+from repro.listmachine.simulating_machine import (
+    SimulatingListMachine,
+    verify_cell_contents,
+    verify_cells_partition,
+)
+from repro.machines import run_deterministic
+from repro.machines.execute import lemma3_run_length_bound
+from repro.machines.random_machines import random_terminating_tm
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+inputs = st.text(alphabet="01", max_size=6)
+
+
+def _run_or_skip(machine, word):
+    """Run; treat left-end falls (generator artifacts) as skipped cases."""
+    try:
+        return run_deterministic(machine, word)
+    except MachineError:
+        assume(False)
+
+
+class TestRandomTMs:
+    @given(seeds, inputs)
+    @settings(max_examples=100, deadline=None)
+    def test_runs_terminate_and_respect_lemma3(self, seed, word):
+        machine = random_terminating_tm(seed)
+        run = _run_or_skip(machine, word)
+        stats = run.statistics
+        assert stats.length <= 10  # length-8 machines halt fast
+        r = stats.external_scans(machine.external_tapes)
+        s = stats.internal_space(machine.external_tapes)
+        bound = lemma3_run_length_bound(
+            max(1, len(word)), r, s, machine.external_tapes
+        )
+        assert stats.length <= bound
+
+    @given(seeds, inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_block_traces_consistent(self, seed, word):
+        machine = random_terminating_tm(seed)
+        run = _run_or_skip(machine, word)
+        try:
+            trace = block_trace(machine, word)
+        except MachineError:
+            assume(False)
+        turns = sum(1 for e in trace.events if e.kind == "turn")
+        actual = sum(
+            trace.run.statistics.reversals_per_tape[: machine.external_tapes]
+        )
+        assert turns == actual
+        assert blocks_respect_lemma30(trace, machine)
+        assert verify_block_reconstruction(trace, machine, word)
+
+    @given(seeds, inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_simulating_machine_consistent(self, seed, word):
+        machine = random_terminating_tm(seed)
+        run = _run_or_skip(machine, word)
+        try:
+            sim = SimulatingListMachine(machine).run(word)
+        except MachineError:
+            assume(False)
+        assert sim.accepted == run.accepts(machine)
+        assert verify_cells_partition(sim)
+        assert verify_cell_contents(sim, machine, word)
+        assert sum(sim.reversals_per_list) == sum(
+            run.statistics.reversals_per_tape[: machine.external_tapes]
+        )
+
+    @given(seeds, inputs)
+    @settings(max_examples=40, deadline=None)
+    def test_internal_tapes_supported(self, seed, word):
+        machine = random_terminating_tm(
+            seed, external_tapes=1, internal_tapes=1, length=6
+        )
+        run = _run_or_skip(machine, word)
+        assert run.statistics.internal_space(1) >= 1

@@ -1,0 +1,72 @@
+"""The Lemma 21 attack against a genuinely randomized list machine."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.listmachine import (
+    acceptance_probability,
+    lemma21_attack,
+    run_with_choices,
+)
+from repro.listmachine.examples import randomized_feature_parity_nlm
+from repro.listmachine.run import find_good_choice_sequence
+from repro.problems import CheckPhiFamily
+
+
+def _yes_family(m, n_bits):
+    fam = CheckPhiFamily(m, n_bits)
+    inputs = []
+    for choices in itertools.product(
+        *[fam.intervals.enumerate_interval(j) for j in range(m)]
+    ):
+        inst = fam.instance_from_choices(list(choices))
+        inputs.append(tuple(inst.first) + tuple(inst.second))
+    return fam, inputs
+
+
+class TestRandomizedVictim:
+    def setup_method(self):
+        self.fam, self.yes_inputs = _yes_family(2, 3)
+        self.alphabet = frozenset(v for inp in self.yes_inputs for v in inp)
+        self.victim = randomized_feature_parity_nlm(self.alphabet, 4)
+
+    def test_victim_is_randomized(self):
+        assert not self.victim.is_deterministic
+        assert len(self.victim.choices) == 2
+
+    def test_accepts_every_yes_input_with_probability_one(self):
+        for v in self.yes_inputs[:8]:
+            assert acceptance_probability(self.victim, list(v)) == 1
+
+    def test_lemma26_finds_a_good_sequence(self):
+        seq, accepted = find_good_choice_sequence(
+            self.victim, self.yes_inputs, length=6
+        )
+        assert len(accepted) == len(self.yes_inputs)
+
+    def test_attack_succeeds(self):
+        outcome = lemma21_attack(
+            self.victim, self.yes_inputs, self.fam.phi, choice_length=6
+        )
+        assert outcome.success, outcome.detail
+        u = outcome.fooling_input
+        m = len(self.fam.phi)
+        assert any(u[i] != u[m + self.fam.phi[i]] for i in range(m))
+        # the fooling input is accepted with positive probability —
+        # exactly the Pr(M accepts u) > 0 contradiction of Lemma 21
+        assert acceptance_probability(self.victim, list(u)) > 0
+
+    def test_branches_differ_on_some_input(self):
+        # sanity: "first bit" and "last bit" branches genuinely disagree on
+        # some non-yes input, so the machine is not just a duplicated
+        # deterministic one
+        found = False
+        for v in itertools.product(sorted(self.alphabet), repeat=4):
+            run_last = run_with_choices(self.victim, list(v), ["L"] * 8)
+            run_first = run_with_choices(self.victim, list(v), ["F"] * 8)
+            if run_last.accepts(self.victim) != run_first.accepts(self.victim):
+                found = True
+                break
+        assert found

@@ -1,0 +1,128 @@
+"""Tests for the block-trace simulation (Lemma 16 machinery)."""
+
+import pytest
+
+from repro.listmachine.simulate_tm import (
+    BlockPartition,
+    block_trace,
+    blocks_respect_lemma30,
+)
+from repro.machines import copy_machine, equality_machine, parity_machine
+
+
+class TestBlockPartition:
+    def test_single_block_initially(self):
+        p = BlockPartition()
+        assert p.block_count == 1
+        assert p.block_of(5) == (0, None)
+
+    def test_split(self):
+        p = BlockPartition()
+        p.split_at(3)
+        assert p.block_count == 2
+        assert p.block_of(2) == (0, 3)
+        assert p.block_of(3) == (3, None)
+
+    def test_split_idempotent(self):
+        p = BlockPartition()
+        p.split_at(3)
+        p.split_at(3)
+        assert p.block_count == 2
+
+    def test_split_at_zero_is_noop(self):
+        p = BlockPartition()
+        p.split_at(0)
+        assert p.block_count == 1
+
+    def test_blocks_partition(self):
+        p = BlockPartition()
+        for cut in (7, 2, 5):
+            p.split_at(cut)
+        # every position belongs to exactly one block, blocks are ordered
+        regions = [p.block_of(i) for i in range(10)]
+        for i in range(9):
+            lo, hi = regions[i]
+            assert lo <= i and (hi is None or i < hi)
+
+
+class TestBlockTrace:
+    def test_copy_machine_no_events_on_unsegmented_input(self):
+        # no '#', single block per tape, no reversals → no events at all
+        trace = block_trace(copy_machine(), "0101")
+        assert trace.events == ()
+        assert trace.list_machine_steps == 1
+
+    def test_parity_machine_single_block(self):
+        trace = block_trace(parity_machine(), "110")
+        assert trace.events == ()
+
+    def test_equality_machine_events(self):
+        machine = equality_machine()
+        trace = block_trace(machine, "0110#0110")
+        # tape 2 turns twice (rewind, then forward comparison)
+        turns = [e for e in trace.events if e.kind == "turn"]
+        assert len(turns) == sum(
+            trace.run.statistics.reversals_per_tape[: machine.external_tapes]
+        )
+        assert all(e.tape == 1 for e in turns)
+
+    def test_acceptance_preserved(self):
+        machine = equality_machine()
+        for word in ("01#01", "01#10"):
+            trace = block_trace(machine, word)
+            assert trace.run.accepts(machine) == (
+                word.split("#")[0] == word.split("#")[1]
+            )
+
+    def test_block_growth_bounded(self):
+        machine = equality_machine()
+        word = "0101#0101"
+        trace = block_trace(machine, word)
+        segments = word.count("#") + 1  # '#' terminates a segment
+        assert blocks_respect_lemma30(trace, machine, segments)
+        assert blocks_respect_lemma30(trace, machine)
+
+    def test_list_machine_steps_bounded_by_tm_steps(self):
+        machine = equality_machine()
+        trace = block_trace(machine, "010#010")
+        assert trace.list_machine_steps <= trace.run.statistics.length
+
+    def test_input_blocks_follow_separators(self):
+        machine = equality_machine()
+        trace = block_trace(machine, "0#1")
+        # tape 1 starts with a cut after the first '#'
+        assert 2 in trace.final_partitions[0]
+
+
+class TestBlockReconstruction:
+    """The reconstructibility invariant of Lemma 16: departure snapshots
+    plus the live block reproduce every tape exactly."""
+
+    @pytest.mark.parametrize(
+        "word",
+        ["01#01", "0110#0110", "0110#0111", "0#1", "#", "010101#101010"],
+    )
+    def test_equality_machine(self, word):
+        from repro.listmachine.simulate_tm import verify_block_reconstruction
+
+        machine = equality_machine()
+        trace = block_trace(machine, word)
+        assert verify_block_reconstruction(trace, machine, word)
+
+    def test_writing_machines(self):
+        from repro.listmachine.simulate_tm import verify_block_reconstruction
+        from repro.machines import copy_reverse_machine
+
+        for machine, word in (
+            (copy_machine(), "010101"),
+            (copy_reverse_machine(), "0110"),
+        ):
+            trace = block_trace(machine, word)
+            assert verify_block_reconstruction(trace, machine, word)
+
+    def test_snapshots_cover_all_departures(self):
+        machine = equality_machine()
+        trace = block_trace(machine, "0110#0110")
+        crosses = sum(1 for e in trace.events if e.kind == "cross")
+        # at least one snapshot per cross; splits add more
+        assert len(trace.snapshot_events) >= crosses

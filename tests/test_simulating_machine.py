@@ -1,0 +1,101 @@
+"""Tests for the executable Lemma 16 simulating machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineError
+from repro.listmachine.bounds import lemma30_list_length_bound
+from repro.listmachine.simulating_machine import (
+    SimulatingListMachine,
+    verify_cell_contents,
+    verify_cells_partition,
+)
+from repro.machines import (
+    coin_flip_machine,
+    copy_machine,
+    copy_reverse_machine,
+    equality_machine,
+    run_deterministic,
+)
+
+bits = st.text(alphabet="01", max_size=8)
+
+
+class TestSimulatingListMachine:
+    def test_rejects_nondeterministic(self):
+        with pytest.raises(MachineError):
+            SimulatingListMachine(coin_flip_machine())
+
+    @given(bits, bits)
+    @settings(max_examples=50, deadline=None)
+    def test_acceptance_preserved(self, w1, w2):
+        machine = equality_machine()
+        word = f"{w1}#{w2}"
+        result = SimulatingListMachine(machine).run(word)
+        assert result.accepted == run_deterministic(machine, word).accepts(
+            machine
+        )
+
+    @given(bits, bits)
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants(self, w1, w2):
+        machine = equality_machine()
+        word = f"{w1}#{w2}"
+        result = SimulatingListMachine(machine).run(word)
+        assert verify_cells_partition(result)
+        assert verify_cell_contents(result, machine, word)
+
+    @given(bits, bits)
+    @settings(max_examples=40, deadline=None)
+    def test_reversals_match_tm(self, w1, w2):
+        machine = equality_machine()
+        word = f"{w1}#{w2}"
+        result = SimulatingListMachine(machine).run(word)
+        ref = run_deterministic(machine, word)
+        assert sum(result.reversals_per_list) == sum(
+            ref.statistics.reversals_per_tape[: machine.external_tapes]
+        )
+
+    @given(bits, bits)
+    @settings(max_examples=40, deadline=None)
+    def test_lemma30_list_length(self, w1, w2):
+        machine = equality_machine()
+        word = f"{w1}#{w2}"
+        result = SimulatingListMachine(machine).run(word)
+        r = 1 + sum(result.reversals_per_list)
+        m = max(1, word.count("#") + 1) + (machine.external_tapes - 1)
+        assert result.max_total_list_length() <= lemma30_list_length_bound(
+            machine.external_tapes, r, m
+        )
+
+    def test_step_compression(self):
+        """NLM steps are input-size independent for the equality machine."""
+        machine = equality_machine()
+        small = SimulatingListMachine(machine).run("01#01")
+        large = SimulatingListMachine(machine).run("01010101#01010101")
+        assert small.list_machine_steps == large.list_machine_steps
+        assert large.tm_run_length > small.tm_run_length
+
+    def test_reversal_free_machines_take_one_step(self):
+        for machine, word in ((copy_machine(), "0101"),):
+            result = SimulatingListMachine(machine).run(word)
+            assert result.list_machine_steps == 1
+            assert result.steps[0].kind == "halt"
+
+    def test_single_reversal_machine(self):
+        machine = copy_reverse_machine()
+        result = SimulatingListMachine(machine).run("0110")
+        kinds = [s.kind for s in result.steps]
+        assert kinds.count("turn") == 1
+        assert verify_cells_partition(result)
+        assert verify_cell_contents(result, machine, "0110")
+
+    def test_matches_block_trace_step_count(self):
+        from repro.listmachine.simulate_tm import block_trace
+
+        machine = equality_machine()
+        for word in ("01#01", "0110#0111", "#"):
+            sim = SimulatingListMachine(machine).run(word)
+            trace = block_trace(machine, word)
+            # both decompose the same run at the same events
+            assert sim.list_machine_steps == trace.list_machine_steps

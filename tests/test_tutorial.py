@@ -1,0 +1,103 @@
+"""Executable version of docs/TUTORIAL.md — every snippet must keep working."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.algorithms import (
+    multiset_equality_deterministic,
+    multiset_equality_fingerprint,
+)
+from repro.core import Containment, CoRST, GrowthRate, RST, ST
+from repro.errors import ReversalBudgetExceeded
+from repro.extmem import (
+    InternalMemory,
+    RecordTape,
+    ResourceBudget,
+    ResourceTracker,
+)
+from repro.listmachine import lemma21_attack, run_deterministic, skeleton_of_run
+from repro.listmachine.examples import single_scan_parity_nlm, tandem_compare_nlm
+from repro.listmachine.render import render_run, render_skeleton
+from repro.problems import (
+    CHECK_SORT,
+    MULTISET_EQUALITY,
+    CheckPhiFamily,
+    encode_instance,
+)
+from repro.queries.relational import (
+    StreamingEvaluator,
+    parse_algebra,
+    set_equality_database,
+)
+from repro.queries.xml import instance_to_document
+from repro.queries.xpath import figure1_query, matches
+
+INST = encode_instance(["10", "01"], ["01", "10"])
+
+
+def test_section1_cost_model():
+    tracker = ResourceTracker()
+    tape = RecordTape(["0110", "1010", "0001"], tracker=tracker)
+    list(tape.scan())
+    tape.rewind()
+    assert tracker.reversals == 2
+    assert tracker.scans == 3
+
+    tracker = ResourceTracker(ResourceBudget(max_scans=1))
+    tape = RecordTape(["a", "b"], tracker=tracker)
+    list(tape.scan())
+    with pytest.raises(ReversalBudgetExceeded):
+        tape.move(-1)
+
+    mem = InternalMemory()
+    mem["acc"] = 255
+    mem["acc"] = 1
+    assert mem.used_bits == 1 and mem.peak_bits == 8
+
+
+def test_section2_problems():
+    assert MULTISET_EQUALITY(INST)
+    assert CHECK_SORT(INST)  # ["01", "10"] is indeed sorted ascending
+
+
+def test_section3_upper_and_lower():
+    result = multiset_equality_fingerprint(INST, random.Random(0))
+    assert result.accepted and result.report.scans <= 2
+    assert multiset_equality_deterministic(INST).accepted
+
+    family = CheckPhiFamily(2, 3)
+    yes = []
+    for choice in itertools.product(
+        *[family.intervals.enumerate_interval(j) for j in range(2)]
+    ):
+        i = family.instance_from_choices(list(choice))
+        yes.append(tuple(i.first) + tuple(i.second))
+    victim = single_scan_parity_nlm(
+        frozenset(v for row in yes for v in row), 4
+    )
+    outcome = lemma21_attack(victim, yes, family.phi, r=1)
+    assert outcome.success
+
+
+def test_section4_classes():
+    const, log = GrowthRate.const(), GrowthRate.log()
+    assert RST(const, log).contains("MULTISET-EQUALITY") == Containment.NO
+    assert CoRST(const, log, 1).contains("MULTISET-EQUALITY") == Containment.YES
+    assert ST(log, const, 2).contains("CHECK-SORT") == Containment.YES
+    assert ST(const, log).contains("DISJOINT-SETS") == Containment.OPEN
+
+
+def test_section5_queries():
+    query = parse_algebra("(R1 - R2) union (R2 - R1)")
+    evaluator = StreamingEvaluator(set_equality_database(INST))
+    assert evaluator.evaluate(query).is_empty
+    assert not matches(figure1_query(), instance_to_document(INST))
+
+
+def test_section6_rendering():
+    nlm = tandem_compare_nlm(frozenset({"00", "01", "10", "11"}), 2)
+    run = run_deterministic(nlm, ["01", "10", "10", "01"])
+    assert "ACCEPT" in render_run(run, nlm)
+    assert "skeleton" in render_skeleton(skeleton_of_run(run))

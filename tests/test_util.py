@@ -1,0 +1,159 @@
+"""Unit and property tests for repro._util."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import _util as u
+
+
+class TestLogs:
+    def test_ceil_log2_exact_powers(self):
+        assert u.ceil_log2(1) == 0
+        assert u.ceil_log2(2) == 1
+        assert u.ceil_log2(4) == 2
+        assert u.ceil_log2(1024) == 10
+
+    def test_ceil_log2_between_powers(self):
+        assert u.ceil_log2(3) == 2
+        assert u.ceil_log2(5) == 3
+        assert u.ceil_log2(1025) == 11
+
+    def test_floor_log2(self):
+        assert u.floor_log2(1) == 0
+        assert u.floor_log2(3) == 1
+        assert u.floor_log2(8) == 3
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            u.ceil_log2(0)
+        with pytest.raises(ValueError):
+            u.floor_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_ceil_floor_consistency(self, x):
+        c, f = u.ceil_log2(x), u.floor_log2(x)
+        assert 2**f <= x <= 2**c
+        assert c - f in (0, 1)
+
+
+class TestPowersOfTwo:
+    def test_powers(self):
+        assert u.is_power_of_two(1)
+        assert u.is_power_of_two(2)
+        assert u.is_power_of_two(64)
+
+    def test_non_powers(self):
+        assert not u.is_power_of_two(0)
+        assert not u.is_power_of_two(3)
+        assert not u.is_power_of_two(-4)
+
+
+class TestBinary:
+    def test_to_binary_pads(self):
+        assert u.to_binary(5, 4) == "0101"
+        assert u.to_binary(0, 3) == "000"
+
+    def test_to_binary_overflow(self):
+        with pytest.raises(ValueError):
+            u.to_binary(8, 3)
+
+    def test_from_binary(self):
+        assert u.from_binary("0101") == 5
+        assert u.from_binary("0") == 0
+
+    def test_from_binary_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            u.from_binary("10a")
+        with pytest.raises(ValueError):
+            u.from_binary("")
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_roundtrip(self, x):
+        assert u.from_binary(u.to_binary(x, 20)) == x
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_reverse_binary_involution(self, x):
+        assert u.reverse_binary(u.reverse_binary(x, 12), 12) == x
+
+
+class TestMonotone:
+    def test_lis_simple(self):
+        assert u.longest_monotone_subsequence_length([1, 3, 2, 4]) == 3
+
+    def test_lds_simple(self):
+        assert (
+            u.longest_monotone_subsequence_length([1, 3, 2, 4], decreasing=True) == 2
+        )
+
+    def test_empty(self):
+        assert u.longest_monotone_subsequence_length([]) == 0
+        assert u.longest_monotone_subsequence([]) == []
+
+    def test_witness_is_increasing_subsequence(self):
+        seq = [5, 1, 4, 2, 3, 9, 7]
+        wit = u.longest_monotone_subsequence(seq)
+        assert len(wit) == u.longest_monotone_subsequence_length(seq)
+        assert all(a < b for a, b in zip(wit, wit[1:]))
+        # witness is a genuine subsequence
+        it = iter(seq)
+        assert all(any(x == y for y in it) for x in wit)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=40))
+    def test_witness_matches_length(self, seq):
+        wit = u.longest_monotone_subsequence(seq)
+        assert len(wit) == u.longest_monotone_subsequence_length(seq)
+
+    @given(st.permutations(list(range(12))))
+    def test_erdos_szekeres(self, perm):
+        # any permutation of 12 = (4-1)(4-1)+3 elements has a monotone
+        # subsequence of length 4
+        inc = u.longest_monotone_subsequence_length(perm)
+        dec = u.longest_monotone_subsequence_length(perm, decreasing=True)
+        assert max(inc, dec) >= 4
+
+
+class TestPermutations:
+    def test_inverse(self):
+        assert u.inverse_permutation([2, 0, 1]) == [1, 2, 0]
+
+    def test_inverse_rejects_nonperm(self):
+        with pytest.raises(ValueError):
+            u.inverse_permutation([0, 0, 1])
+        with pytest.raises(ValueError):
+            u.inverse_permutation([0, 3])
+
+    @given(st.permutations(list(range(8))))
+    def test_inverse_roundtrip(self, perm):
+        inv = u.inverse_permutation(perm)
+        assert u.compose_permutations(perm, inv) == list(range(8))
+        assert u.compose_permutations(inv, perm) == list(range(8))
+
+    def test_argsort(self):
+        assert u.argsort([30, 10, 20]) == [1, 2, 0]
+
+
+class TestMisc:
+    def test_chunks(self):
+        assert list(u.chunks("abcdef", 4)) == ["abcd", "ef"]
+
+    def test_chunks_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            list(u.chunks([1], 0))
+
+    def test_lcm_range(self):
+        assert u.lcm_range(1) == 1
+        assert u.lcm_range(4) == 12
+        assert u.lcm_range(6) == 60
+
+    def test_run_length_encode(self):
+        assert u.run_length_encode("aabccc") == [("a", 2), ("b", 1), ("c", 3)]
+        assert u.run_length_encode([]) == []
+
+    def test_pairwise_disjoint(self):
+        assert u.pairwise_disjoint([frozenset({1}), frozenset({2, 3})])
+        assert not u.pairwise_disjoint([frozenset({1, 2}), frozenset({2})])
+
+    def test_bits_needed(self):
+        assert u.bits_needed(0) == 1
+        assert u.bits_needed(1) == 1
+        assert u.bits_needed(255) == 8

@@ -1,0 +1,138 @@
+"""Engine benchmark — reference vs. streaming execution engine.
+
+Unlike the E1–E20 experiments (which regenerate paper claims), this module
+tracks the repo's own performance trajectory: it times
+``run_deterministic`` under both engines on the machine library across an
+input sweep, verifies on every cell that the engines produce identical
+``Run.final`` and ``RunStatistics``, and asserts the streaming engine's
+speedup on the largest library machine at the top N.
+
+Importable: :func:`run_engine_benchmark` returns the result rows as plain
+dicts; ``scripts/bench_to_json.py`` wraps it to regenerate
+``BENCH_engine.json``, the first point of the perf trajectory.
+"""
+
+import time
+
+from repro.machines import (
+    copy_machine,
+    copy_reverse_machine,
+    equality_machine,
+    majority_machine,
+    parity_machine,
+)
+from repro.machines import execute, fast_engine
+
+from conftest import emit_table
+
+#: (machine name, factory, word builder).  The word builders produce
+#: deterministic inputs whose run length grows linearly in ``n``, so the
+#: sweep measures engine overhead, not input luck.  ``equality`` is the
+#: largest library machine (most states/transitions) and the speedup gate.
+CASES = (
+    ("copy", copy_machine, lambda n: ("01" * n)[:n]),
+    ("parity", parity_machine, lambda n: ("110" * n)[:n]),
+    ("majority", majority_machine, lambda n: ("10" * n)[:n]),
+    ("copy-reverse", copy_reverse_machine, lambda n: ("0110" * n)[:n]),
+    ("equality", equality_machine, lambda n: ("01" * n)[:n] + "#" + ("01" * n)[:n]),
+)
+
+SIZES = (64, 256, 1024)
+GATE_MACHINE = "equality"  # largest library machine
+GATE_SPEEDUP = 5.0
+
+STEP_LIMIT = 1_000_000
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_engine_benchmark(sizes=SIZES, repeats=3):
+    """Time both engines over the library sweep; returns a list of rows.
+
+    Every row is cross-checked: the streaming engine's final configuration
+    and statistics must be bit-identical to the reference engine's.
+    """
+    rows = []
+    for name, factory, build_word in CASES:
+        machine = factory()
+        for n in sizes:
+            word = build_word(n)
+            ref = execute.run_deterministic(machine, word, step_limit=STEP_LIMIT)
+            fast = fast_engine.run_deterministic(
+                machine, word, step_limit=STEP_LIMIT
+            )
+            if fast.final != ref.final or fast.statistics != ref.statistics:
+                raise AssertionError(
+                    f"engine mismatch on {name} at n={n}: "
+                    f"{fast.statistics} != {ref.statistics}"
+                )
+            ref_seconds = _best_of(
+                lambda: execute.run_deterministic(
+                    machine, word, step_limit=STEP_LIMIT
+                ),
+                repeats,
+            )
+            fast_seconds = _best_of(
+                lambda: fast_engine.run_deterministic(
+                    machine, word, step_limit=STEP_LIMIT
+                ),
+                repeats,
+            )
+            rows.append(
+                {
+                    "machine": name,
+                    "n": n,
+                    "input_length": len(word),
+                    "run_length": ref.statistics.length,
+                    "ref_seconds": ref_seconds,
+                    "fast_seconds": fast_seconds,
+                    "speedup": ref_seconds / fast_seconds,
+                    "verified_identical": True,
+                }
+            )
+    return rows
+
+
+def top_speedup(rows, machine=GATE_MACHINE):
+    """Speedup of ``machine`` at the largest n present in ``rows``."""
+    candidates = [r for r in rows if r["machine"] == machine]
+    return max(candidates, key=lambda r: r["n"])["speedup"]
+
+
+def test_engine_speedup(benchmark):
+    rows = run_engine_benchmark()
+    table = emit_table(
+        "ENGINE — streaming vs. reference run_deterministic",
+        ("machine", "n", "N", "steps", "ref s", "fast s", "speedup"),
+        [
+            (
+                r["machine"],
+                r["n"],
+                r["input_length"],
+                r["run_length"],
+                f"{r['ref_seconds']:.5f}",
+                f"{r['fast_seconds']:.5f}",
+                f"{r['speedup']:.1f}x",
+            )
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["table"] = table
+
+    # the acceptance gate: >= 5x on the largest library machine at top N
+    assert top_speedup(rows) >= GATE_SPEEDUP
+
+    machine = equality_machine()
+    word = ("01" * SIZES[-1])[:SIZES[-1]]
+    word = word + "#" + word
+    result = benchmark(
+        lambda: fast_engine.run_deterministic(machine, word, step_limit=STEP_LIMIT)
+    )
+    assert result.accepts(machine)

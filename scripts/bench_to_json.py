@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_engine.json — the engine-benchmark trajectory point.
+
+Runs the reference-vs-streaming engine sweep from
+``benchmarks/bench_engine.py`` and writes the rows plus a summary to JSON,
+so the speedup claimed in the repo is reproducible with one command:
+
+    python scripts/bench_to_json.py                 # full sweep
+    python scripts/bench_to_json.py --quick         # CI smoke (small n)
+    python scripts/bench_to_json.py -o out.json
+
+No third-party dependencies; stdlib + the repo only.
+"""
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_engine import (  # noqa: E402  (path setup must come first)
+    GATE_MACHINE,
+    GATE_SPEEDUP,
+    SIZES,
+    run_engine_benchmark,
+    top_speedup,
+)
+
+QUICK_SIZES = (16, 64)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="output path (default: BENCH_engine.json at the repo root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-n smoke sweep (for CI); skips the speedup gate",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repetitions per cell (best-of; default 5)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    sizes = QUICK_SIZES if args.quick else SIZES
+    rows = run_engine_benchmark(sizes=sizes, repeats=args.repeats)
+    gate = top_speedup(rows)
+    payload = {
+        "benchmark": "engine",
+        "description": (
+            "run_deterministic: reference engine (full configuration "
+            "history + post-hoc statistics) vs. streaming engine "
+            "(incremental statistics, O(1) memory per step)"
+        ),
+        "command": "python scripts/bench_to_json.py",
+        "python": platform.python_version(),
+        "machine_sweep": sorted({r["machine"] for r in rows}),
+        "sizes": list(sizes),
+        "repeats": args.repeats,
+        "unit": "seconds",
+        "rows": rows,
+        "summary": {
+            "gate_machine": GATE_MACHINE,
+            "gate_speedup_required": GATE_SPEEDUP,
+            "top_n_speedup": round(gate, 2),
+            "all_cells_verified_identical": all(
+                r["verified_identical"] for r in rows
+            ),
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}: top-N speedup {gate:.1f}x on {GATE_MACHINE}")
+    if not args.quick and gate < GATE_SPEEDUP:
+        print(
+            f"WARNING: speedup below the {GATE_SPEEDUP}x gate", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,16 @@ class SymbolTape:
     at the left end is a no-op that still counts the direction change).
     """
 
+    __slots__ = (
+        "tracker",
+        "tape_id",
+        "name",
+        "_cells",
+        "_head",
+        "_direction",
+        "_max_used",
+    )
+
     def __init__(
         self,
         contents: Iterable[str] = (),
@@ -56,8 +66,8 @@ class SymbolTape:
 
     @property
     def reversals(self) -> int:
-        """Reversals charged to this tape so far."""
-        return self.tracker.report().reversals_per_tape.get(self.tape_id, 0)
+        """Reversals charged to this tape so far (O(1) counter read)."""
+        return self.tracker.reversals_on(self.tape_id)
 
     def __len__(self) -> int:
         """Number of allocated cells (the used prefix of the infinite tape)."""

@@ -144,6 +144,11 @@ class ResourceTracker:
         """Total head reversals across all external tapes."""
         return sum(self._reversals_per_tape.values())
 
+    def reversals_on(self, tape_id: int) -> int:
+        """Reversals charged to one tape — an O(1) counter read, unlike
+        ``report()`` which materializes a full snapshot."""
+        return self._reversals_per_tape.get(tape_id, 0)
+
     @property
     def scans(self) -> int:
         """The paper's bounded quantity: 1 + total reversals."""

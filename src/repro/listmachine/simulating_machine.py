@@ -293,10 +293,10 @@ def verify_cell_contents(
     result: SimulationResult, machine: TuringMachine, word: str
 ) -> bool:
     """Every persisted cell content matches the TM's actual final tape."""
-    from ..machines.execute import run_deterministic
+    from ..machines.fast_engine import run_deterministic
 
     run = run_deterministic(machine, word)
-    final = run.configurations[-1]
+    final = run.final
     for i, lst in enumerate(result.final_lists):
         tape = final.tapes[i]
         for cell in lst:

@@ -21,6 +21,14 @@ The simulator supports:
 Machines are built either directly from a transition relation or through
 the small DSL in :mod:`~repro.machines.builder`; :mod:`~repro.machines.
 library` ships concrete machines used across tests and experiments.
+
+Two engines implement the semantics: the **reference engine**
+(:mod:`~repro.machines.execute`) materializes full configuration
+histories, and the **streaming engine** (:mod:`~repro.machines.fast_engine`)
+simulates in O(1) extra memory per step with incrementally maintained
+statistics — bit-identical results, enforced by differential tests.
+Hot paths use the streaming engine; pass ``trace=True`` to it when the
+full history is needed.
 """
 
 from .tm import TuringMachine, Transition, L, N, R
@@ -30,9 +38,19 @@ from .execute import (
     RunStatistics,
     run_deterministic,
     enumerate_runs,
-    acceptance_probability,
     run_with_choices,
     choice_alphabet,
+)
+
+# The canonical acceptance_probability is the streaming engine's iterative
+# DP — identical exact Fractions, no RecursionError on deep runs.  The
+# recursive reference oracle stays at repro.machines.execute.
+from .fast_engine import (
+    FastRun,
+    StepState,
+    acceptance_probability,
+    run_deterministic as fast_run_deterministic,
+    run_with_choices as fast_run_with_choices,
 )
 from .builder import MachineBuilder
 from .library import (
@@ -65,6 +83,10 @@ __all__ = [
     "acceptance_probability",
     "run_with_choices",
     "choice_alphabet",
+    "FastRun",
+    "StepState",
+    "fast_run_deterministic",
+    "fast_run_with_choices",
     "MachineBuilder",
     "copy_machine",
     "parity_machine",

@@ -96,7 +96,11 @@ def apply_transition(config: Configuration, tr: Transition) -> Configuration:
 def successors(
     machine: TuringMachine, config: Configuration
 ) -> Tuple[Configuration, ...]:
-    """Next_T(γ): all configurations reachable in one step (ordered)."""
+    """Next_T(γ): all configurations reachable in one step (ordered).
+
+    Uses the machine's cached transition index, so per-step cost is one
+    dict lookup rather than a rebuild of the whole grouping.
+    """
     if config.is_final(machine):
         return ()
     group = machine.transition_index().get((config.state, config.read_tuple()), [])

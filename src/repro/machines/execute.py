@@ -15,6 +15,14 @@ Three semantics, all per the paper:
 Also here: the **choice-sequence view** of Definition 17 — the alphabet
 ``C_T = {1, …, lcm(1..b)}`` and the run ``ρ_T(w, c)`` determined by a
 choice sequence c, with Lemma 18's probability identity validated in tests.
+
+This module is the **reference engine**: it materializes full
+configuration histories and recomputes statistics from them, which keeps
+it small and obviously faithful to the definitions.  The streaming
+twin in :mod:`repro.machines.fast_engine` produces bit-identical results
+(same :class:`Run.final`, :class:`RunStatistics` and exact ``Fraction``
+probabilities — enforced by differential tests) in O(1) extra memory per
+step; hot paths route through it, while this engine stays the oracle.
 """
 
 from __future__ import annotations
@@ -140,21 +148,34 @@ def enumerate_runs(
     step_limit: int = DEFAULT_STEP_LIMIT,
     max_runs: int = 100_000,
 ) -> Iterator[Run]:
-    """Yield every run of the machine on ``word`` (DFS over choices)."""
+    """Yield every run of the machine on ``word`` (DFS over choices).
+
+    The DFS stack holds ``(parent_node, configuration, depth)`` spine nodes
+    rather than full path copies — pushing a branch is O(1) instead of the
+    O(depth) list copy of the naive formulation; the path is reconstructed
+    by walking the parent links only when a run is actually yielded.
+    """
     engine = _Engine(machine)
     start = initial_configuration(machine, word)
-    stack: List[List[Configuration]] = [[start]]
+    # node = (parent_node | None, configuration, depth); depth counts configs
+    stack: List[Tuple[Optional[tuple], Configuration, int]] = [(None, start, 1)]
     produced = 0
     while stack:
-        path = stack.pop()
-        tip = path[-1]
+        node = stack.pop()
+        _, tip, depth = node
         if tip.is_final(machine):
             produced += 1
             if produced > max_runs:
                 raise StepBudgetExceeded(max_runs)
+            path: List[Configuration] = []
+            walk: Optional[tuple] = node
+            while walk is not None:
+                path.append(walk[1])
+                walk = walk[0]
+            path.reverse()
             yield Run(tuple(path), engine.statistics(path))
             continue
-        if len(path) > step_limit:
+        if depth > step_limit:
             raise StepBudgetExceeded(step_limit)
         options = engine.applicable(tip)
         if not options:
@@ -162,7 +183,7 @@ def enumerate_runs(
                 f"{machine.name} is stuck (every run must reach a final state)"
             )
         for tr in reversed(options):
-            stack.append(path + [apply_transition(tip, tr)])
+            stack.append((node, apply_transition(tip, tr), depth + 1))
 
 
 def acceptance_probability(
@@ -176,6 +197,13 @@ def acceptance_probability(
     Memoized over configurations; a configuration reachable from itself
     would mean an infinite run, violating Definition 1(1) — detected via
     the recursion stack and reported as a MachineError.
+
+    Reference implementation: recursion depth tracks run depth, so it can
+    hit Python's recursion limit on runs deeper than
+    ``sys.getrecursionlimit()``.  Use
+    :func:`repro.machines.fast_engine.acceptance_probability` (the default
+    export of :mod:`repro.machines`) for an iterative, explicit-stack DP
+    with identical exact results.
     """
     engine = _Engine(machine)
     memo: Dict[Configuration, Fraction] = {}

@@ -4,8 +4,9 @@ Definition 4 of the paper: a decision problem is solved by a (1/2, 0)-RTM
 iff yes-inputs are accepted with probability ≥ 1/2 and no-inputs with
 probability exactly 0.  These helpers check that contract for a concrete
 machine over finite word samples, using the exact acceptance probabilities
-of :func:`repro.machines.execute.acceptance_probability` — no sampling
-noise.
+of :func:`repro.machines.fast_engine.acceptance_probability` (the
+streaming engine's iterative DP — same Fractions as the reference
+oracle, no recursion-depth ceiling) — no sampling noise.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Sequence, Tuple
 
-from .execute import acceptance_probability
+from .fast_engine import acceptance_probability
 from .tm import TuringMachine
 
 

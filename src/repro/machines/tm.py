@@ -110,11 +110,20 @@ class TuringMachine:
         return True
 
     def transition_index(self) -> Dict[Tuple[str, Tuple[str, ...]], List[Transition]]:
-        """Transitions grouped by (state, read-tuple), in declaration order."""
-        index: Dict[Tuple[str, Tuple[str, ...]], List[Transition]] = {}
-        for tr in self.transitions:
-            index.setdefault((tr.state, tr.read), []).append(tr)
-        return index
+        """Transitions grouped by (state, read-tuple), in declaration order.
+
+        Computed once and cached on the instance: both engines look the
+        group up on every single step, and the machine is immutable, so
+        rebuilding the dict per step was pure waste.  Callers must not
+        mutate the returned dict or its lists.
+        """
+        cached = self.__dict__.get("_transition_index")
+        if cached is None:
+            cached = {}
+            for tr in self.transitions:
+                cached.setdefault((tr.state, tr.read), []).append(tr)
+            object.__setattr__(self, "_transition_index", cached)
+        return cached
 
     def max_branching(self) -> int:
         """b = max |Next_T(γ)| over reachable situations (upper-bounded by

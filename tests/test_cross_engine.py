@@ -1,7 +1,15 @@
 """Cross-engine consistency: every decision procedure in the library must
 agree with the reference deciders — and with each other — on random and
 adversarial instances.  One failure here means two subsystems disagree
-about the same paper-defined problem."""
+about the same paper-defined problem.
+
+Also here: the Turing-machine engine pair.  The reference engine
+(:mod:`repro.machines.execute`) and the streaming engine
+(:mod:`repro.machines.fast_engine`) must produce bit-identical
+``Run.final``, ``RunStatistics`` and exact ``Fraction`` acceptance
+probabilities on the machine library and on randomly generated machines —
+the streaming engine earns its speedups only if nothing observable
+changes."""
 
 import random
 
@@ -103,3 +111,103 @@ class TestDisjointSetsEngines:
         eq = set_equality_deterministic(inst)
         # both are sort-dominated: same order of magnitude of scans
         assert abs(dis.report.scans - eq.report.scans) <= 10
+
+
+# ---------------------------------------------------------------------------
+# Turing-machine engines: reference (execute) vs. streaming (fast_engine)
+# ---------------------------------------------------------------------------
+
+from repro.errors import MachineError
+from repro.machines import execute as reference_engine
+from repro.machines import fast_engine as streaming_engine
+from repro.machines.library import (
+    coin_flip_machine,
+    copy_machine,
+    copy_reverse_machine,
+    equality_machine,
+    guess_bit_machine,
+    majority_machine,
+    parity_machine,
+)
+from repro.machines.random_machines import random_terminating_tm
+
+from tests.settings_profiles import DIFFERENTIAL_SETTINGS, QUICK_SETTINGS
+
+DETERMINISTIC_LIBRARY = (
+    copy_machine,
+    parity_machine,
+    copy_reverse_machine,
+    majority_machine,
+    equality_machine,
+)
+RANDOMIZED_LIBRARY = (coin_flip_machine, guess_bit_machine)
+
+tm_words = st.text(alphabet="01#", max_size=12)
+
+
+class TestTuringEnginePair:
+    @pytest.mark.parametrize(
+        "factory", DETERMINISTIC_LIBRARY, ids=lambda f: f.__name__
+    )
+    @given(word=tm_words)
+    @DIFFERENTIAL_SETTINGS
+    def test_library_runs_identical(self, factory, word):
+        machine = factory()
+        if "#" in word and factory is not equality_machine:
+            word = word.replace("#", "0")  # '#' only in equality's alphabet
+        ref = reference_engine.run_deterministic(machine, word)
+        fast = streaming_engine.run_deterministic(machine, word)
+        assert fast.final == ref.final
+        assert fast.statistics == ref.statistics
+        # trace mode reproduces the reference Run object exactly
+        assert (
+            streaming_engine.run_deterministic(machine, word, trace=True) == ref
+        )
+
+    @given(
+        seed=st.integers(0, 2**20),
+        tapes=st.integers(1, 3),
+        word=st.text(alphabet="01", max_size=8),
+    )
+    @DIFFERENTIAL_SETTINGS
+    def test_random_machine_runs_identical(self, seed, tapes, word):
+        machine = random_terminating_tm(
+            seed, external_tapes=tapes, length=6
+        )
+        try:
+            ref = reference_engine.run_deterministic(machine, word)
+        except MachineError:
+            with pytest.raises(MachineError):
+                streaming_engine.run_deterministic(machine, word)
+            return
+        fast = streaming_engine.run_deterministic(machine, word)
+        assert fast.final == ref.final
+        assert fast.statistics == ref.statistics
+
+    @pytest.mark.parametrize(
+        "factory", RANDOMIZED_LIBRARY, ids=lambda f: f.__name__
+    )
+    @given(word=st.text(alphabet="01", max_size=8))
+    @QUICK_SETTINGS
+    def test_acceptance_probabilities_identical(self, factory, word):
+        machine = factory()
+        reference = reference_engine.acceptance_probability(machine, word)
+        fast = streaming_engine.acceptance_probability(machine, word)
+        assert fast == reference
+        assert (fast.numerator, fast.denominator) == (
+            reference.numerator,
+            reference.denominator,
+        )
+
+    @given(
+        word=st.text(alphabet="01", max_size=6),
+        choices=st.lists(st.integers(1, 12), min_size=10, max_size=14),
+    )
+    @QUICK_SETTINGS
+    def test_choice_runs_identical(self, word, choices):
+        for factory in RANDOMIZED_LIBRARY:
+            machine = factory()
+            ref = reference_engine.run_with_choices(machine, word, choices)
+            fast = streaming_engine.run_with_choices(machine, word, choices)
+            assert fast.final == ref.final
+            assert fast.statistics == ref.statistics

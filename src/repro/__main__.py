@@ -1,19 +1,30 @@
-"""``python -m repro``: re-verify every registered result of the paper.
+"""``python -m repro``: re-verify the paper; ``python -m repro audit``: contracts.
 
-Runs the theorem registry at small scale and prints a one-line verdict per
-numbered result — a thirty-second smoke test of the whole reproduction.
-Exit status is nonzero if any check fails.
+With no arguments, runs the theorem registry at small scale and prints a
+one-line verdict per numbered result — a thirty-second smoke test of the
+whole reproduction.  Exit status is nonzero if any check fails.
+
+``python -m repro audit [--quick] [--output PATH] [-v]`` runs the
+contract-audit harness instead: every upper-bound algorithm is swept across
+decades of N under an instrumented tracker, and the measured
+``(scans, peak_internal_bits, tapes_used)`` is checked against the claimed
+(r, s, t) envelope at every size.  The full record is written as JSON
+(default ``AUDIT_contracts.json``); exit status is nonzero if any measured
+envelope escapes its claim, the event stream disagrees with the counters,
+or enforcement denied a charge.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from ._version import __version__
-from .core import verify_all
 
 
-def main() -> int:
+def _cmd_verify() -> int:
+    from .core import verify_all
+
     print(
         f"repro {__version__} — Grohe/Hernich/Schweikardt PODS'06, "
         "executable reproduction"
@@ -31,6 +42,66 @@ def main() -> int:
         + ("" if failures == 0 else f" — {failures} FAILED")
     )
     return 1 if failures else 0
+
+
+def _cmd_audit(quick: bool, output: str, verbose: bool) -> int:
+    from .observability.audit import run_contract_audit, write_audit_json
+
+    mode = "quick" if quick else "full"
+    print(
+        f"repro {__version__} — contract audit ({mode} sweep): measured "
+        "(scans, bits, tapes) vs. claimed envelopes\n"
+    )
+    run = run_contract_audit(quick=quick)
+    for line in run.summary_lines():
+        print(line)
+    if verbose:
+        print()
+        for contract in run.contracts:
+            for check in contract.checks:
+                flag = "ok " if check.ok else "FAIL"
+                print(
+                    f"  [{flag}] {contract.name:<22} N={check.input_size:<7} "
+                    f"scans {check.report.scans}/{check.claimed.max_scans}  "
+                    f"bits {check.report.peak_internal_bits}"
+                    f"/{check.claimed.max_internal_bits}  "
+                    f"tapes {check.report.tapes_used}/{check.claimed.max_tapes}"
+                    f"  events={check.events}"
+                )
+    write_audit_json(run, output)
+    total = sum(len(c.checks) for c in run.contracts)
+    print(
+        f"\n{total} contract checks across {len(run.contracts)} algorithms "
+        f"-> {output}: " + ("ALL WITHIN CLAIMED ENVELOPES" if run.ok else "VIOLATIONS FOUND")
+    )
+    return 0 if run.ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command")
+    audit = sub.add_parser(
+        "audit", help="sweep the paper's algorithms vs. claimed envelopes"
+    )
+    audit.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep only (CI smoke; seconds instead of minutes)",
+    )
+    audit.add_argument(
+        "--output",
+        default="AUDIT_contracts.json",
+        help="where to write the JSON record (default: AUDIT_contracts.json)",
+    )
+    audit.add_argument(
+        "-v", "--verbose", action="store_true", help="print every sweep cell"
+    )
+    args = parser.parse_args(argv)
+    if args.command == "audit":
+        return _cmd_audit(args.quick, args.output, args.verbose)
+    return _cmd_verify()
 
 
 if __name__ == "__main__":

@@ -27,17 +27,26 @@ def check_sort_deterministic(
     instance: InstanceLike,
     *,
     budget: Optional[ResourceBudget] = None,
+    sink=None,
 ) -> DeterministicResult:
-    """Decide CHECK-SORT on tapes: sort first half, compare with second."""
+    """Decide CHECK-SORT on tapes: sort first half, compare with second.
+
+    ``sink`` (any :class:`~repro.observability.sinks.EventSink`) receives
+    the accounting event stream, with phase marks ``sort`` / ``compare``.
+    """
     inst = as_instance(instance)
     tracker = ResourceTracker(budget)
+    if sink is not None:
+        tracker.attach_sink(sink)
 
     first_tape = RecordTape(list(inst.first), tracker=tracker, name="first")
     second_tape = RecordTape(list(inst.second), tracker=tracker, name="second")
 
+    tracker.mark_phase("sort")
     sorted_tape = tape_merge_sort(first_tape, tracker)
     sorted_tape.rewind()
 
+    tracker.mark_phase("compare")
     accepted = True
     for expected in sorted_tape.scan():
         actual = second_tape.step_read()

@@ -125,13 +125,17 @@ def multiset_equality_fingerprint(
     rng: random.Random,
     *,
     budget: Optional[ResourceBudget] = None,
+    sink=None,
 ) -> FingerprintResult:
     """Run the Theorem 8(a) machine on an instance.
 
     The default budget is ``(2 scans, fingerprint_space_budget(N) bits,
     1 tape)`` — the co-RST(2, O(log N), 1) envelope.  Pass ``budget=None``
     explicitly via a permissive :class:`ResourceBudget` to experiment with
-    other envelopes.
+    other envelopes.  ``sink`` (any
+    :class:`~repro.observability.sinks.EventSink`) receives the run's full
+    accounting event stream, with phase marks ``scan1`` / ``params`` /
+    ``scan2``.
     """
     inst = as_instance(instance)
     size = inst.size
@@ -142,12 +146,15 @@ def multiset_equality_fingerprint(
             max_tapes=1,
         )
     tracker = ResourceTracker(budget)
+    if sink is not None:
+        tracker.attach_sink(sink)
     mem = InternalMemory(tracker)
     tape = RecordTape(
         list(inst.first) + list(inst.second), tracker=tracker, name="input"
     )
 
     # ---- Scan 1 (forward): determine m, n, N -----------------------------
+    tracker.mark_phase("scan1")
     mem["count"] = 0
     mem["n_max"] = 0
     for value in tape.scan():
@@ -169,6 +176,7 @@ def multiset_equality_fingerprint(
         )
 
     # ---- Steps 2–4: choose p1, p2, x in internal memory -------------------
+    tracker.mark_phase("params")
     params = FingerprintParameters.for_shape(m, mem["n_max"])
     mem["p1"] = random_prime_at_most(params.k, rng)
     mem["p2"] = params.p2
@@ -177,6 +185,7 @@ def multiset_equality_fingerprint(
     # ---- Scan 2 (backward): accumulate Σ x^{e'_i} then Σ x^{e_i} ----------
     # After scan 1 the head sits just past the last record; walking left is
     # the single head reversal of the whole computation.
+    tracker.mark_phase("scan2")
     mem["sum_first"] = 0
     mem["sum_second"] = 0
     mem["idx"] = 0  # number of records consumed from the right
@@ -247,6 +256,10 @@ def fingerprint_trial_with_range(
     sums = [0, 0]
     for half, values in enumerate((inst.first, inst.second)):
         for v in values:
+            # validate like the tape path does, so malformed values raise
+            # EncodingError here too instead of a bare ValueError
+            if any(ch not in "01" for ch in v):
+                raise EncodingError(f"non-binary value {v!r} in instance")
             e = int("1" + v, 2) % p1
             sums[half] = (sums[half] + pow(x, e, p2)) % p2
     return sums[0] == sums[1]

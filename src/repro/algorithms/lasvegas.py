@@ -64,10 +64,19 @@ class LasVegasSorter:
         self.failure_probability = failure_probability
 
     def sort(
-        self, values: Sequence[str], rng: Optional[random.Random] = None
+        self,
+        values: Sequence[str],
+        rng: Optional[random.Random] = None,
+        *,
+        sink=None,
     ) -> LasVegasResult:
-        """Return the sorted sequence, or "I don't know"."""
+        """Return the sorted sequence, or "I don't know".
+
+        ``sink`` receives the tape runtime's accounting event stream.
+        """
         tracker = ResourceTracker()
+        if sink is not None:
+            tracker.attach_sink(sink)
         if self.failure_probability > 0.0:
             rng = rng or random.Random()
             if rng.random() < self.failure_probability:

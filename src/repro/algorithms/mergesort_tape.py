@@ -155,6 +155,22 @@ def tape_merge_sort(
     return output
 
 
+def mergesort_scan_budget(m: int, slack: int = 20) -> int:
+    """An explicit O(log N) scan budget :func:`tape_merge_sort` satisfies.
+
+    Each round costs at most 12 reversals (three rewinds before the
+    distribute, three before the merge, at two reversals each) and there
+    are ⌈log2 m⌉ + 1 rounds; 14 per round plus ``slack`` covers the
+    singleton-run setup scan and the final separator-stripping scan.  Same
+    shape as :func:`~repro.algorithms.checksort.checksort_reversal_budget`,
+    minus that solver's comparison scan.
+    """
+    from .._util import ceil_log2
+
+    rounds = max(1, ceil_log2(max(2, m))) + 1
+    return 14 * rounds + slack
+
+
 def sort_instance_strings(
     values: List[str],
     *,

@@ -64,14 +64,18 @@ def one_pass_multiset_test(
     *,
     sketch: str = "xor+sum",
     modulus_width: int = 32,
+    sink=None,
 ) -> OnePassResult:
     """Compare the two halves with commutative sketches in ONE forward scan.
 
     ``sketch`` ∈ {"xor", "sum", "xor+sum"}.  Never rejects equal multisets;
     accepts some unequal multisets — deterministically, hence unfixably.
+    ``sink`` receives the accounting event stream.
     """
     inst = as_instance(instance)
     tracker = ResourceTracker()
+    if sink is not None:
+        tracker.attach_sink(sink)
     tape = RecordTape(
         list(inst.first) + list(inst.second), tracker=tracker, name="input"
     )

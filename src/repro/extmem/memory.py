@@ -55,10 +55,19 @@ class InternalMemory:
         self._charges: Dict[str, int] = {}
 
     def store(self, name: str, value: Any) -> None:
-        """Store ``value`` under ``name``, re-charging space as needed."""
-        new_cost = bit_cost(value)
+        """Store ``value`` under ``name``, re-charging space as needed.
+
+        The store is atomic with respect to budget enforcement: the tracker
+        charge is the only fallible step and is check-then-commit, so a
+        caught :class:`~repro.errors.SpaceBudgetExceeded` leaves the
+        register table, ``used_bits`` *and* the tracker's
+        ``current_internal_bits`` all in their pre-store state — the two
+        views can never desynchronize.
+        """
+        new_cost = bit_cost(value)  # may raise; nothing charged yet
         old_cost = self._charges.get(name, 0)
         self.tracker.charge_internal(new_cost - old_cost)
+        # -- commit point: nothing below can fail --
         self._registers[name] = value
         self._charges[name] = new_cost
 

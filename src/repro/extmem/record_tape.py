@@ -32,7 +32,7 @@ class RecordTape:
         name: str = "tape",
     ):
         self.tracker = tracker or ResourceTracker()
-        self.tape_id = self.tracker.register_tape()
+        self.tape_id = self.tracker.register_tape(name)
         self.name = name
         self._cells: List[Any] = list(records)
         self._head = 0
@@ -80,14 +80,29 @@ class RecordTape:
             raise ReproError("head beyond end+1")
 
     def move(self, direction: int) -> None:
-        """Move one cell; flipping direction charges one reversal."""
+        """Move one cell; flipping direction charges one reversal.
+
+        Left-wall semantics are explicit: a ``move(-1)`` at cell 0 that
+        flips the direction charges the reversal and *bounces* (the head
+        stays at cell 0, now facing left) — matching Definition 24(c)'s
+        "don't fall off" rule.  A *second* consecutive ``move(-1)`` at cell
+        0 is a programming error (the head is already facing left, so no
+        reversal would ever be charged and a loop on ``move(-1)`` would
+        spin forever with no accounting): it raises :class:`ReproError`
+        instead of silently doing nothing.
+        """
         if direction not in (+1, -1):
             raise ReproError(f"direction must be +1 or -1, got {direction}")
+        if direction == -1 and self._head == 0 and self._direction == -1:
+            raise ReproError(
+                "head is at cell 0 already facing left; another move(-1) "
+                "would spin without charges — rewind() or move(+1) instead"
+            )
         if direction != self._direction:
             self.tracker.charge_reversal(self.tape_id)
             self._direction = direction
         if direction == -1 and self._head == 0:
-            return
+            return  # the charged bounce: direction flipped, head stays put
         self._head += direction
 
     # -- derived operations (built only from primitives) ---------------------

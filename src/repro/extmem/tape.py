@@ -45,7 +45,7 @@ class SymbolTape:
         name: str = "tape",
     ):
         self.tracker = tracker or ResourceTracker()
-        self.tape_id = self.tracker.register_tape()
+        self.tape_id = self.tracker.register_tape(name)
         self.name = name
         self._cells: List[str] = list(contents)
         self._head = 0

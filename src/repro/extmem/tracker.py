@@ -12,6 +12,19 @@ rather than direction changes.  :class:`ResourceTracker` implements exactly
 this accounting; every tape and internal-memory object registers with one
 tracker, and a :class:`ResourceBudget` (if attached) turns accounting into
 enforcement.
+
+Two invariants the rest of the repo leans on:
+
+* **Check-then-commit.**  Every charge validates the budget *before*
+  mutating any counter.  A caught ``*BudgetExceeded`` therefore leaves the
+  tracker exactly as it was before the offending charge — ``report()`` after
+  a denied charge equals the report of a budget-free twin that performed the
+  same successful charges.
+* **Optional event stream.**  A sink (see :mod:`repro.observability`) may be
+  attached with :meth:`attach_sink`; every registration, charge, denial and
+  phase mark is then emitted as a :class:`~repro.observability.events.ResourceEvent`
+  with a monotone sequence number.  With no sink attached (the default) the
+  only overhead per charge is one ``is None`` test.
 """
 
 from __future__ import annotations
@@ -23,6 +36,15 @@ from ..errors import (
     ReversalBudgetExceeded,
     SpaceBudgetExceeded,
     TapeBudgetExceeded,
+)
+from ..observability.events import (
+    KIND_DENIED,
+    KIND_INTERNAL,
+    KIND_PHASE,
+    KIND_REVERSAL,
+    KIND_STEP,
+    KIND_TAPE,
+    ResourceEvent,
 )
 
 
@@ -77,65 +99,156 @@ class ResourceTracker:
 
     Tapes call :meth:`charge_reversal`, internal memory calls
     :meth:`charge_internal`, and anything that wants a step count calls
-    :meth:`charge_step`.  All charges are monotone; ``report()`` can be taken
-    at any point.
+    :meth:`charge_step`.  All charges are monotone and atomic: a charge that
+    would exceed the budget raises *without* changing any counter, so
+    ``report()`` can be taken at any point — including inside an ``except``
+    block around a denied charge.
     """
 
     def __init__(self, budget: Optional[ResourceBudget] = None):
         self.budget = budget
         self._reversals_per_tape: Dict[int, int] = {}
+        self._tape_names: Dict[int, str] = {}
         self._tape_count = 0
         self._current_internal_bits = 0
         self._peak_internal_bits = 0
         self._steps = 0
+        self._sink = None
+        self._seq = 0
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def sink(self):
+        """The attached event sink, or ``None`` (accounting-only mode)."""
+        return self._sink
+
+    def attach_sink(self, sink) -> None:
+        """Stream every subsequent registration/charge/denial to ``sink``.
+
+        ``sink`` needs a single method ``emit(event)``; see
+        :mod:`repro.observability.sinks`.  Attaching replaces any previous
+        sink; sequence numbers keep increasing across replacements.
+        """
+        self._sink = sink
+
+    def detach_sink(self) -> None:
+        """Return to accounting-only mode (events stop; counters continue)."""
+        self._sink = None
+
+    def _emit(
+        self,
+        kind: str,
+        *,
+        tape_id: Optional[int] = None,
+        delta: int = 0,
+        label: Optional[str] = None,
+    ) -> None:
+        self._seq += 1
+        self._sink.emit(
+            ResourceEvent(
+                seq=self._seq,
+                kind=kind,
+                tape_id=tape_id,
+                tape_name=self._tape_names.get(tape_id) if tape_id else None,
+                delta=delta,
+                scans=self.scans,
+                current_internal_bits=self._current_internal_bits,
+                peak_internal_bits=self._peak_internal_bits,
+                tapes_used=self._tape_count,
+                steps=self._steps,
+                label=label,
+            )
+        )
+
+    def mark_phase(self, name: str) -> None:
+        """Emit a phase boundary (no-op without a sink; never charges).
+
+        :class:`~repro.observability.profile.RunProfile` groups the events
+        between consecutive marks into per-phase scan/space timelines.
+        """
+        if self._sink is not None:
+            self._emit(KIND_PHASE, label=name)
 
     # -- registration -----------------------------------------------------
 
-    def register_tape(self) -> int:
-        """Register a new external tape; returns its 1-based tape id."""
-        self._tape_count += 1
-        tape_id = self._tape_count
-        self._reversals_per_tape[tape_id] = 0
+    def register_tape(self, name: Optional[str] = None) -> int:
+        """Register a new external tape; returns its 1-based tape id.
+
+        Check-then-commit: if the tape budget is already full, the tracker
+        raises and ``tapes_used`` stays unchanged.
+        """
+        prospective = self._tape_count + 1
         if (
             self.budget is not None
             and self.budget.max_tapes is not None
-            and self._tape_count > self.budget.max_tapes
+            and prospective > self.budget.max_tapes
         ):
-            raise TapeBudgetExceeded(self._tape_count, self.budget.max_tapes)
+            if self._sink is not None:
+                self._emit(KIND_DENIED, delta=1, label="tape")
+            raise TapeBudgetExceeded(prospective, self.budget.max_tapes)
+        self._tape_count = prospective
+        tape_id = self._tape_count
+        self._reversals_per_tape[tape_id] = 0
+        if name is not None:
+            self._tape_names[tape_id] = name
+        if self._sink is not None:
+            self._emit(KIND_TAPE, tape_id=tape_id, delta=1, label=name)
         return tape_id
 
     # -- charging ---------------------------------------------------------
 
     def charge_reversal(self, tape_id: int) -> None:
-        """Record one head-direction change on ``tape_id``."""
+        """Record one head-direction change on ``tape_id``.
+
+        Check-then-commit: a reversal that would push ``scans`` past the
+        budget raises and leaves all counters unchanged.
+        """
         if tape_id not in self._reversals_per_tape:
             raise ValueError(f"unknown tape id {tape_id}")
-        self._reversals_per_tape[tape_id] += 1
         if self.budget is not None and self.budget.max_scans is not None:
-            if self.scans > self.budget.max_scans:
+            if self.scans + 1 > self.budget.max_scans:
+                if self._sink is not None:
+                    self._emit(
+                        KIND_DENIED, tape_id=tape_id, delta=1, label="reversal"
+                    )
                 raise ReversalBudgetExceeded(
-                    self.scans, self.budget.max_scans, tape=tape_id
+                    self.scans + 1, self.budget.max_scans, tape=tape_id
                 )
+        self._reversals_per_tape[tape_id] += 1
+        if self._sink is not None:
+            self._emit(KIND_REVERSAL, tape_id=tape_id, delta=1)
 
     def charge_internal(self, delta_bits: int) -> None:
-        """Adjust current internal-memory usage by ``delta_bits`` (may free)."""
-        self._current_internal_bits += delta_bits
-        if self._current_internal_bits < 0:
+        """Adjust current internal-memory usage by ``delta_bits`` (may free).
+
+        Check-then-commit: a charge that would go negative (a bug in the
+        caller) or exceed the space budget raises and leaves both the
+        current and the peak counter unchanged.
+        """
+        prospective = self._current_internal_bits + delta_bits
+        if prospective < 0:
             raise ValueError("internal memory usage went negative")
-        if self._current_internal_bits > self._peak_internal_bits:
-            self._peak_internal_bits = self._current_internal_bits
-            if (
-                self.budget is not None
-                and self.budget.max_internal_bits is not None
-                and self._peak_internal_bits > self.budget.max_internal_bits
-            ):
-                raise SpaceBudgetExceeded(
-                    self._peak_internal_bits, self.budget.max_internal_bits
-                )
+        if (
+            prospective > self._peak_internal_bits
+            and self.budget is not None
+            and self.budget.max_internal_bits is not None
+            and prospective > self.budget.max_internal_bits
+        ):
+            if self._sink is not None:
+                self._emit(KIND_DENIED, delta=delta_bits, label="internal")
+            raise SpaceBudgetExceeded(prospective, self.budget.max_internal_bits)
+        self._current_internal_bits = prospective
+        if prospective > self._peak_internal_bits:
+            self._peak_internal_bits = prospective
+        if self._sink is not None:
+            self._emit(KIND_INTERNAL, delta=delta_bits)
 
     def charge_step(self, count: int = 1) -> None:
         """Record machine steps (not budgeted; used for Lemma 3 analytics)."""
         self._steps += count
+        if self._sink is not None:
+            self._emit(KIND_STEP, delta=count)
 
     # -- queries ----------------------------------------------------------
 
@@ -148,6 +261,10 @@ class ResourceTracker:
         """Reversals charged to one tape — an O(1) counter read, unlike
         ``report()`` which materializes a full snapshot."""
         return self._reversals_per_tape.get(tape_id, 0)
+
+    def tape_name(self, tape_id: int) -> Optional[str]:
+        """The name a tape registered under, if it provided one."""
+        return self._tape_names.get(tape_id)
 
     @property
     def scans(self) -> int:

@@ -107,8 +107,6 @@ def next_prime(n: int) -> int:
     """Smallest prime strictly greater than ``n``."""
     candidate = max(n + 1, 2)
     if candidate > 2 and candidate % 2 == 0:
-        if candidate == 2:
-            return 2
         candidate += 1
     while not is_prime(candidate):
         candidate += 1 if candidate == 2 else 2
@@ -145,7 +143,10 @@ def random_prime_at_most(
     attempts = max_attempts if max_attempts is not None else 64 * max(1, k.bit_length())
     for _ in range(attempts):
         candidate = rng.randint(2, k)
-        if is_prime(candidate):
+        # forward the caller's rng: above the deterministic Miller-Rabin
+        # range the witnesses must come from *this* sampler's randomness,
+        # not a fixed-seed generator shared across all callers
+        if is_prime(candidate, rng=rng):
             return candidate
     raise ReproError(f"failed to sample a prime <= {k} in {attempts} attempts")
 

@@ -1,0 +1,81 @@
+"""Observability for the (r, s, t) runtime: events, sinks, profiles, audits.
+
+Layered bottom-up:
+
+* :mod:`~repro.observability.events` — the :class:`ResourceEvent` record a
+  :class:`~repro.extmem.ResourceTracker` emits for every registration,
+  charge, denial and phase mark (monotone ``seq``, per-tape attribution,
+  post-event totals inlined);
+* :mod:`~repro.observability.sinks` — where events go: :class:`NullSink`,
+  :class:`RingBufferSink`, :class:`JsonlFileSink`.  With no sink attached
+  (the default everywhere) the tracker pays one ``is None`` test per
+  charge and allocates nothing;
+* :mod:`~repro.observability.profile` — :class:`RunProfile` turns an event
+  stream into per-phase scan/space timelines;
+* :mod:`~repro.observability.audit` — the contract-audit harness behind
+  ``python -m repro audit``: sweeps the paper's algorithms across decades
+  of N and checks every measured envelope against its claimed one.  (This
+  submodule imports the algorithm packages, so it is loaded lazily — the
+  tracker itself only needs :mod:`events`.)
+"""
+
+from .events import (
+    EVENT_KINDS,
+    KIND_DENIED,
+    KIND_INTERNAL,
+    KIND_PHASE,
+    KIND_REVERSAL,
+    KIND_STEP,
+    KIND_TAPE,
+    ResourceEvent,
+)
+from .profile import SETUP_PHASE, PhaseProfile, RunProfile
+from .sinks import (
+    EventSink,
+    JsonlFileSink,
+    NullSink,
+    RingBufferSink,
+    replay_jsonl,
+)
+
+#: Audit names resolved lazily via __getattr__ (the audit module imports
+#: repro.algorithms / repro.queries, which import repro.extmem — eager
+#: loading here would cycle through the tracker's events import).
+_AUDIT_EXPORTS = {
+    "AuditRun",
+    "CONTRACTS",
+    "ContractCheck",
+    "ContractOutcome",
+    "ContractSpec",
+    "FULL_SWEEP",
+    "QUICK_SWEEP",
+    "run_contract_audit",
+    "write_audit_json",
+}
+
+__all__ = [
+    "ResourceEvent",
+    "EVENT_KINDS",
+    "KIND_TAPE",
+    "KIND_REVERSAL",
+    "KIND_INTERNAL",
+    "KIND_STEP",
+    "KIND_PHASE",
+    "KIND_DENIED",
+    "EventSink",
+    "NullSink",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "replay_jsonl",
+    "RunProfile",
+    "PhaseProfile",
+    "SETUP_PHASE",
+] + sorted(_AUDIT_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _AUDIT_EXPORTS:
+        from . import audit
+
+        return getattr(audit, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,429 @@
+"""ContractAudit: continuously check measured envelopes against claimed ones.
+
+Every headline result of the reproduction is a *contract*: an algorithm
+plus the (r, s, t) envelope the paper claims for it — Theorem 8(a)'s
+``co-RST(2, O(log N), 1)`` for the fingerprinting machine, Corollary 7's
+``ST(O(log N), O(1) records, O(1))`` for tape merge sort and CHECK-SORT,
+Theorem 11(a)'s ``O(c_Q · log N)`` for the relational evaluator, the
+Section 4 bound for the streaming XML queries.
+
+:func:`run_contract_audit` sweeps each contract across decades of input
+size N, runs the algorithm under an *unenforced* tracker with a
+:class:`~repro.observability.sinks.RingBufferSink` attached, and checks
+
+1. the measured ``(scans, peak_internal_bits, tapes_used)`` is ``within``
+   the claimed :class:`~repro.extmem.ResourceBudget` at every N,
+2. the event stream's final totals agree with ``report()`` (the stream and
+   the counters are two independent views of the same charges), and
+3. enforcement never fired (no ``denied`` events).
+
+``python -m repro audit`` wraps this and writes ``AUDIT_contracts.json``;
+all randomness is seeded per sweep cell, so the artifact is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..extmem import ResourceBudget, ResourceReport, ResourceTracker
+from .profile import RunProfile
+from .sinks import RingBufferSink
+
+#: (m, n) sweep cells: m values per half, n bits per value.  N = m·(2n + 2).
+QUICK_SWEEP: Tuple[Tuple[int, int], ...] = ((4, 12), (16, 12), (64, 12))
+FULL_SWEEP: Tuple[Tuple[int, int], ...] = QUICK_SWEEP + ((256, 12), (1024, 12))
+
+#: Ring capacity for audit runs; final totals stay exact even if the buffer
+#: wraps, because every event snapshots the running totals.
+_RING_CAPACITY = 1 << 16
+
+Runner = Callable[[int, int, random.Random, RingBufferSink], Tuple[ResourceReport, ResourceBudget]]
+
+
+@dataclass(frozen=True)
+class ContractSpec:
+    """One algorithm + its claimed envelope, as a sweepable runner."""
+
+    name: str
+    description: str
+    run: Runner
+
+
+@dataclass(frozen=True)
+class ContractCheck:
+    """The outcome of one contract at one sweep cell."""
+
+    contract: str
+    m: int
+    n: int
+    input_size: int
+    report: ResourceReport
+    claimed: ResourceBudget
+    events: int
+    denied: int
+    event_stream_consistent: bool
+
+    @property
+    def within(self) -> bool:
+        return self.report.within(self.claimed)
+
+    @property
+    def ok(self) -> bool:
+        return self.within and self.event_stream_consistent and self.denied == 0
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "m": self.m,
+            "n": self.n,
+            "input_size": self.input_size,
+            "measured": {
+                "scans": self.report.scans,
+                "reversals": self.report.reversals,
+                "peak_internal_bits": self.report.peak_internal_bits,
+                "tapes_used": self.report.tapes_used,
+            },
+            "claimed": {
+                "max_scans": self.claimed.max_scans,
+                "max_internal_bits": self.claimed.max_internal_bits,
+                "max_tapes": self.claimed.max_tapes,
+            },
+            "within": self.within,
+            "events": self.events,
+            "denied": self.denied,
+            "event_stream_consistent": self.event_stream_consistent,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class ContractOutcome:
+    """One contract across the whole sweep."""
+
+    name: str
+    description: str
+    checks: Tuple[ContractCheck, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "ok": self.ok,
+            "checks": [check.to_json_dict() for check in self.checks],
+        }
+
+
+@dataclass(frozen=True)
+class AuditRun:
+    """A full audit: every contract, every sweep cell."""
+
+    mode: str
+    contracts: Tuple[ContractOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(contract.ok for contract in self.contracts)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "tool": "python -m repro audit",
+            "mode": self.mode,
+            "ok": self.ok,
+            "contracts": [c.to_json_dict() for c in self.contracts],
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        for contract in self.contracts:
+            flag = "ok " if contract.ok else "FAIL"
+            worst = max(
+                (c.report.scans / c.claimed.max_scans)
+                for c in contract.checks
+                if c.claimed.max_scans
+            )
+            sizes = f"N={contract.checks[0].input_size}..{contract.checks[-1].input_size}"
+            lines.append(
+                f"  [{flag}] {contract.name:<22} {sizes:<16} "
+                f"max scan-headroom used: {worst:.0%}"
+            )
+        return lines
+
+
+# -- instance helpers ------------------------------------------------------
+
+
+def _random_words(m: int, n: int, rng: random.Random) -> List[str]:
+    return ["".join(rng.choice("01") for _ in range(n)) for _ in range(m)]
+
+
+def _equal_instance(m: int, n: int, rng: random.Random):
+    from ..problems.encoding import Instance
+
+    first = _random_words(m, n, rng)
+    second = list(first)
+    rng.shuffle(second)
+    return Instance(tuple(first), tuple(second))
+
+
+def _sorted_instance(m: int, n: int, rng: random.Random):
+    from ..problems.encoding import Instance
+
+    first = _random_words(m, n, rng)
+    return Instance(tuple(first), tuple(sorted(first)))
+
+
+#: A fully permissive budget: audit runs measure, they do not enforce.
+_UNENFORCED = ResourceBudget()
+
+
+# -- contract runners ------------------------------------------------------
+
+
+def _run_fingerprint(m, n, rng, sink):
+    from ..algorithms.fingerprint import (
+        fingerprint_space_budget,
+        multiset_equality_fingerprint,
+    )
+
+    inst = _equal_instance(m, n, rng)
+    result = multiset_equality_fingerprint(
+        inst, rng, budget=_UNENFORCED, sink=sink
+    )
+    claimed = ResourceBudget(
+        max_scans=2,
+        max_internal_bits=fingerprint_space_budget(inst.size),
+        max_tapes=1,
+    )
+    return result.report, claimed
+
+
+def _run_mergesort(m, n, rng, sink):
+    from ..algorithms.mergesort_tape import (
+        mergesort_scan_budget,
+        sort_instance_strings,
+    )
+
+    tracker = ResourceTracker()
+    tracker.attach_sink(sink)
+    ordered, tracker = sort_instance_strings(
+        _random_words(m, n, rng), tracker=tracker
+    )
+    assert ordered == sorted(ordered)
+    # tapes: input + three work tapes + the sorted output
+    claimed = ResourceBudget(
+        max_scans=mergesort_scan_budget(m), max_internal_bits=0, max_tapes=5
+    )
+    return tracker.report(), claimed
+
+
+def _run_checksort(m, n, rng, sink):
+    from ..algorithms.checksort import (
+        check_sort_deterministic,
+        checksort_reversal_budget,
+    )
+
+    inst = _sorted_instance(m, n, rng)
+    result = check_sort_deterministic(inst, sink=sink)
+    # tapes: first + second + three work tapes + the sorted output
+    claimed = ResourceBudget(
+        max_scans=checksort_reversal_budget(m),
+        max_internal_bits=0,
+        max_tapes=6,
+    )
+    return result.report, claimed
+
+
+def _run_onepass(m, n, rng, sink):
+    from ..algorithms.onepass import one_pass_multiset_test
+
+    inst = _equal_instance(m, n, rng)
+    result = one_pass_multiset_test(inst, sink=sink)
+    claimed = ResourceBudget(max_scans=1, max_internal_bits=0, max_tapes=1)
+    return result.report, claimed
+
+
+def _run_lasvegas(m, n, rng, sink):
+    from ..algorithms.lasvegas import LasVegasSorter
+    from ..algorithms.mergesort_tape import mergesort_scan_budget
+
+    sorter = LasVegasSorter(failure_probability=0.0)
+    result = sorter.sort(_random_words(m, n, rng), rng, sink=sink)
+    assert result.answered
+    claimed = ResourceBudget(
+        max_scans=mergesort_scan_budget(m), max_internal_bits=0, max_tapes=5
+    )
+    return result.report, claimed
+
+
+def _run_relational(m, n, rng, sink):
+    from ..queries.relational.algebra import symmetric_difference_query
+    from ..queries.relational.streaming import (
+        StreamingEvaluator,
+        set_equality_database,
+        streaming_scan_budget,
+    )
+
+    inst = _equal_instance(m, n, rng)
+    db = set_equality_database(inst)
+    query = symmetric_difference_query()
+    evaluator = StreamingEvaluator(db)
+    evaluator.tracker.attach_sink(sink)
+    result = evaluator.evaluate(query)
+    assert result.is_empty  # equal halves ⇒ empty symmetric difference
+    claimed = ResourceBudget(
+        max_scans=streaming_scan_budget(query, db.total_size()),
+        max_internal_bits=0,
+    )
+    return evaluator.report(), claimed
+
+
+def _xml_claimed(inst) -> ResourceBudget:
+    from ..queries.xml.streaming import xml_streaming_scan_budget
+
+    # tapes: tokens + set1/set2 + 2 × (three sort tapes + sorted + dedup)
+    return ResourceBudget(
+        max_scans=xml_streaming_scan_budget(inst.size),
+        max_internal_bits=0,
+        max_tapes=13,
+    )
+
+
+def _run_xml_figure1(m, n, rng, sink):
+    from ..queries.xml.streaming import (
+        figure1_filter_streaming,
+        instance_to_token_tape,
+    )
+
+    inst = _equal_instance(m, n, rng)
+    tracker = ResourceTracker()
+    tracker.attach_sink(sink)
+    token_tape, tracker = instance_to_token_tape(inst, tracker)
+    answer = figure1_filter_streaming(token_tape, tracker)
+    assert answer.answer is False  # equal halves ⇒ set1 ⊆ set2
+    return answer.report, _xml_claimed(inst)
+
+
+def _run_xml_theorem12(m, n, rng, sink):
+    from ..queries.xml.streaming import (
+        instance_to_token_tape,
+        theorem12_query_streaming,
+    )
+
+    inst = _equal_instance(m, n, rng)
+    tracker = ResourceTracker()
+    tracker.attach_sink(sink)
+    token_tape, tracker = instance_to_token_tape(inst, tracker)
+    answer = theorem12_query_streaming(token_tape, tracker)
+    assert answer.answer is True  # equal halves ⇒ equal sets
+    return answer.report, _xml_claimed(inst)
+
+
+CONTRACTS: Tuple[ContractSpec, ...] = (
+    ContractSpec(
+        "fingerprint",
+        "Theorem 8(a): multiset equality in co-RST(2, O(log N), 1)",
+        _run_fingerprint,
+    ),
+    ContractSpec(
+        "mergesort",
+        "Chen-Yap / Corollary 7: tape merge sort in O(log N) scans, 5 tapes",
+        _run_mergesort,
+    ),
+    ContractSpec(
+        "checksort",
+        "Corollary 10: deterministic CHECK-SORT in ST(O(log N), ., O(1))",
+        _run_checksort,
+    ),
+    ContractSpec(
+        "onepass",
+        "Theorem 6 foil: the one-pass sketch baseline uses exactly 1 scan",
+        _run_onepass,
+    ),
+    ContractSpec(
+        "lasvegas-sorter",
+        "Corollary 10: the Las Vegas sorter stays in the merge-sort envelope",
+        _run_lasvegas,
+    ),
+    ContractSpec(
+        "relational-streaming",
+        "Theorem 11(a): symmetric-difference query in O(c_Q . log N) scans",
+        _run_relational,
+    ),
+    ContractSpec(
+        "xml-figure1",
+        "Section 4: the Figure 1 filter on a token stream in O(log N) scans",
+        _run_xml_figure1,
+    ),
+    ContractSpec(
+        "xml-theorem12",
+        "Theorem 12: set equality on a token stream in O(log N) scans",
+        _run_xml_theorem12,
+    ),
+)
+
+
+def _instance_size(m: int, n: int) -> int:
+    return m * (2 * n + 2)  # N = 2m + Σ|v| + Σ|v'|
+
+
+def run_contract_audit(
+    *,
+    quick: bool = False,
+    contracts: Optional[Sequence[ContractSpec]] = None,
+    sweep: Optional[Sequence[Tuple[int, int]]] = None,
+) -> AuditRun:
+    """Sweep every contract; returns the full measured-vs-claimed record."""
+    cells = tuple(sweep) if sweep is not None else (
+        QUICK_SWEEP if quick else FULL_SWEEP
+    )
+    outcomes = []
+    for spec in contracts if contracts is not None else CONTRACTS:
+        checks = []
+        for m, n in cells:
+            rng = random.Random(f"audit:{spec.name}:{m}:{n}")
+            sink = RingBufferSink(_RING_CAPACITY)
+            report, claimed = spec.run(m, n, rng, sink)
+            profile = RunProfile.from_events(sink.events())
+            consistent = (
+                profile.final_scans == report.scans
+                and profile.final_peak_internal_bits
+                == report.peak_internal_bits
+                and profile.final_tapes_used == report.tapes_used
+            )
+            checks.append(
+                ContractCheck(
+                    contract=spec.name,
+                    m=m,
+                    n=n,
+                    input_size=_instance_size(m, n),
+                    report=report,
+                    claimed=claimed,
+                    events=len(sink) + sink.dropped,
+                    denied=profile.denied_total,
+                    event_stream_consistent=consistent,
+                )
+            )
+        outcomes.append(
+            ContractOutcome(
+                name=spec.name,
+                description=spec.description,
+                checks=tuple(checks),
+            )
+        )
+    return AuditRun(
+        mode="quick" if quick else "full", contracts=tuple(outcomes)
+    )
+
+
+def write_audit_json(run: AuditRun, path: str) -> None:
+    """Write the checked-in ``AUDIT_contracts.json`` artifact."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(run.to_json_dict(), handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,170 @@
+"""Aggregate an event stream into per-phase scan/space timelines.
+
+:class:`RunProfile` consumes the events one tracker emitted (from any sink —
+a ring buffer, a replayed JSONL file, a plain list) and answers the
+questions the contract audit and the experiments keep asking:
+
+* how many scans/reversals did each *phase* of the algorithm cost, and on
+  which tapes? (phases are the ``mark_phase`` boundaries — e.g. the
+  fingerprinting machine's "scan1" / "params" / "scan2");
+* what did internal memory look like over time (the space *timeline*, whose
+  maximum is the paper's ``space(ρ)``);
+* did enforcement ever deny a charge, and in which phase?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .events import (
+    KIND_DENIED,
+    KIND_INTERNAL,
+    KIND_PHASE,
+    KIND_REVERSAL,
+    KIND_STEP,
+    KIND_TAPE,
+    ResourceEvent,
+)
+
+#: Name given to activity before the first ``mark_phase`` call.
+SETUP_PHASE = "(setup)"
+
+
+@dataclass
+class PhaseProfile:
+    """Everything one phase of a run consumed."""
+
+    name: str
+    start_seq: int
+    end_seq: int
+    reversals: int = 0
+    reversals_per_tape: Dict[str, int] = field(default_factory=dict)
+    tapes_registered: int = 0
+    steps: int = 0
+    denied: int = 0
+    entry_internal_bits: int = 0
+    exit_internal_bits: int = 0
+    peak_internal_bits: int = 0  # max *current* bits observed in this phase
+
+    @property
+    def internal_delta(self) -> int:
+        """Net internal-memory change over the phase (bits)."""
+        return self.exit_internal_bits - self.entry_internal_bits
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """A full run, sliced at phase boundaries.
+
+    ``phases`` is ordered; ``final_*`` are the totals from the last event
+    seen (exact if the stream is complete, a lower bound on a suffix).
+    """
+
+    phases: Tuple[PhaseProfile, ...]
+    scan_timeline: Tuple[Tuple[int, int], ...]  # (seq, scans) at reversals
+    space_timeline: Tuple[Tuple[int, int], ...]  # (seq, current bits)
+    final_scans: int
+    final_peak_internal_bits: int
+    final_tapes_used: int
+    final_steps: int
+    denied_total: int
+
+    @classmethod
+    def from_events(cls, events: Iterable[ResourceEvent]) -> "RunProfile":
+        phases: List[PhaseProfile] = []
+        current: Optional[PhaseProfile] = None
+        scan_points: List[Tuple[int, int]] = []
+        space_points: List[Tuple[int, int]] = []
+        last: Optional[ResourceEvent] = None
+        denied_total = 0
+
+        def open_phase(name: str, event: ResourceEvent) -> PhaseProfile:
+            phase = PhaseProfile(
+                name=name,
+                start_seq=event.seq,
+                end_seq=event.seq,
+                entry_internal_bits=(
+                    last.current_internal_bits if last is not None else 0
+                ),
+            )
+            phase.exit_internal_bits = phase.entry_internal_bits
+            phase.peak_internal_bits = phase.entry_internal_bits
+            phases.append(phase)
+            return phase
+
+        for event in events:
+            if current is None:
+                current = open_phase(
+                    event.label if event.kind == KIND_PHASE else SETUP_PHASE,
+                    event,
+                )
+                if event.kind == KIND_PHASE:
+                    last = event
+                    continue
+            elif event.kind == KIND_PHASE:
+                last = event
+                current = open_phase(event.label or "?", event)
+                continue
+
+            current.end_seq = event.seq
+            current.exit_internal_bits = event.current_internal_bits
+            if event.current_internal_bits > current.peak_internal_bits:
+                current.peak_internal_bits = event.current_internal_bits
+            if event.kind == KIND_REVERSAL:
+                current.reversals += 1
+                tape = event.tape_name or f"tape-{event.tape_id}"
+                current.reversals_per_tape[tape] = (
+                    current.reversals_per_tape.get(tape, 0) + 1
+                )
+                scan_points.append((event.seq, event.scans))
+            elif event.kind == KIND_INTERNAL:
+                space_points.append((event.seq, event.current_internal_bits))
+            elif event.kind == KIND_TAPE:
+                current.tapes_registered += 1
+            elif event.kind == KIND_STEP:
+                current.steps += event.delta
+            elif event.kind == KIND_DENIED:
+                current.denied += 1
+                denied_total += 1
+            last = event
+
+        return cls(
+            phases=tuple(phases),
+            scan_timeline=tuple(scan_points),
+            space_timeline=tuple(space_points),
+            final_scans=last.scans if last is not None else 1,
+            final_peak_internal_bits=(
+                last.peak_internal_bits if last is not None else 0
+            ),
+            final_tapes_used=last.tapes_used if last is not None else 0,
+            final_steps=last.steps if last is not None else 0,
+            denied_total=denied_total,
+        )
+
+    def phase(self, name: str) -> PhaseProfile:
+        """The first phase with this name (KeyError if absent)."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(name)
+
+    def phase_names(self) -> List[str]:
+        return [p.name for p in self.phases]
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-phase table (used by ``python -m repro audit -v``)."""
+        lines = []
+        for p in self.phases:
+            per_tape = ", ".join(
+                f"{tape}:{count}"
+                for tape, count in sorted(p.reversals_per_tape.items())
+            )
+            lines.append(
+                f"{p.name:<12} reversals={p.reversals:<5} "
+                f"bits {p.entry_internal_bits}->{p.exit_internal_bits} "
+                f"(peak {p.peak_internal_bits})"
+                + (f" [{per_tape}]" if per_tape else "")
+                + (f" DENIED×{p.denied}" if p.denied else "")
+            )
+        return lines

@@ -1,0 +1,142 @@
+"""Pluggable event sinks for the tracker's observability stream.
+
+A sink is anything with an ``emit(event)`` method; these three cover the
+common cases:
+
+* :class:`NullSink` — accepts and discards.  Useful to measure the pure
+  emission overhead, or as an explicit "observed but unrecorded" marker.
+* :class:`RingBufferSink` — keeps the last ``capacity`` events in memory;
+  the default harness sink (bounded memory on arbitrarily long runs).
+* :class:`JsonlFileSink` — appends one JSON object per line; the durable
+  form consumed by external tooling and checked by the CI audit job.
+
+With **no** sink attached the tracker skips event construction entirely —
+the hot path pays one ``is None`` test per charge, which keeps the
+``BENCH_engine.json`` gate unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterable, Iterator, List, Optional, Union
+
+from .events import ResourceEvent
+
+
+class EventSink:
+    """Interface: override :meth:`emit`; :meth:`close` is optional."""
+
+    def emit(self, event: ResourceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (default: nothing to release)."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """Discards every event (but still counts them)."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+
+    def emit(self, event: ResourceEvent) -> None:
+        self.emitted += 1
+
+
+class RingBufferSink(EventSink):
+    """Keeps the most recent ``capacity`` events; older ones are dropped.
+
+    ``dropped`` counts evictions, so consumers can tell a complete stream
+    (``dropped == 0``) from a suffix.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: "deque[ResourceEvent]" = deque(maxlen=capacity)
+
+    def emit(self, event: ResourceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def events(self) -> List[ResourceEvent]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[ResourceEvent]:
+        return iter(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0
+
+
+class JsonlFileSink(EventSink):
+    """Writes one JSON object per event to ``path`` (or an open stream).
+
+    Events are written eagerly but the stream is flushed only on
+    :meth:`close` (or context-manager exit) unless ``flush_every`` is set.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, IO[str]],
+        *,
+        flush_every: Optional[int] = None,
+    ) -> None:
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.flush_every = flush_every
+        self.emitted = 0
+
+    def emit(self, event: ResourceEvent) -> None:
+        self._stream.write(json.dumps(event.to_json_dict()) + "\n")
+        self.emitted += 1
+        if self.flush_every is not None and self.emitted % self.flush_every == 0:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+def replay_jsonl(lines: Iterable[str]) -> Iterator[ResourceEvent]:
+    """Parse a JSONL stream (as written by :class:`JsonlFileSink`) back into
+    :class:`ResourceEvent` objects — the inverse of ``to_json_dict``."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        raw = json.loads(line)
+        yield ResourceEvent(
+            seq=raw["seq"],
+            kind=raw["kind"],
+            tape_id=raw.get("tape_id"),
+            tape_name=raw.get("tape_name"),
+            delta=raw["delta"],
+            scans=raw["scans"],
+            current_internal_bits=raw["current_internal_bits"],
+            peak_internal_bits=raw["peak_internal_bits"],
+            tapes_used=raw["tapes_used"],
+            steps=raw["steps"],
+            label=raw.get("label"),
+        )

@@ -19,6 +19,36 @@ from repro.extmem import (
 )
 from repro.extmem.memory import bit_cost
 from repro.extmem.record_tape import fresh_tapes
+from tests.settings_profiles import STANDARD_SETTINGS
+
+#: A random charge script: tapes, reversals, allocations, full frees.
+CHARGE_OPS = st.lists(
+    st.one_of(
+        st.just(("tape",)),
+        st.just(("rev",)),
+        st.integers(min_value=1, max_value=16).map(lambda b: ("alloc", b)),
+        st.just(("free",)),
+    ),
+    max_size=40,
+)
+
+
+def _replay(tracker, script):
+    """Run a charge script on ``tracker`` (no enforcement expected to fire)."""
+    tape_ids = []
+    allocated = 0
+    for op in script:
+        if op[0] == "tape":
+            tape_ids.append(tracker.register_tape())
+        elif op[0] == "rev":
+            if tape_ids:
+                tracker.charge_reversal(tape_ids[-1])
+        elif op[0] == "alloc":
+            tracker.charge_internal(op[1])
+            allocated += op[1]
+        elif op[0] == "free" and allocated:
+            tracker.charge_internal(-allocated)
+            allocated = 0
 
 
 class TestTracker:
@@ -96,6 +126,155 @@ class TestTracker:
             ResourceBudget(max_scans=-1)
 
 
+class TestTrackerAtomicity:
+    """A caught *BudgetExceeded leaves the tracker exactly as before the
+    offending charge — bit-identical to a budget-free twin that performed
+    the same successful charges (the check-then-commit contract)."""
+
+    def test_reversal_denial_leaves_state_unchanged(self):
+        enforced = ResourceTracker(ResourceBudget(max_scans=3))
+        twin = ResourceTracker()
+        tid_e = enforced.register_tape()
+        tid_t = twin.register_tape()
+        for _ in range(2):  # scans -> 3, exactly at budget
+            enforced.charge_reversal(tid_e)
+            twin.charge_reversal(tid_t)
+        with pytest.raises(ReversalBudgetExceeded):
+            enforced.charge_reversal(tid_e)
+        assert enforced.report() == twin.report()
+        assert enforced.scans == 3  # not overstated by the denied charge
+        assert enforced.report().within(ResourceBudget(max_scans=3))
+
+    def test_space_denial_leaves_state_unchanged(self):
+        enforced = ResourceTracker(ResourceBudget(max_internal_bits=10))
+        twin = ResourceTracker()
+        for tr in (enforced, twin):
+            tr.charge_internal(7)
+            tr.charge_internal(-2)
+        with pytest.raises(SpaceBudgetExceeded):
+            enforced.charge_internal(6)  # 5 + 6 = 11 > 10
+        assert enforced.report() == twin.report()
+        assert enforced.current_internal_bits == 5
+        assert enforced.peak_internal_bits == 7
+
+    def test_negative_space_denial_leaves_state_unchanged(self):
+        tr = ResourceTracker()
+        tr.charge_internal(3)
+        with pytest.raises(ValueError):
+            tr.charge_internal(-4)
+        assert tr.current_internal_bits == 3
+        assert tr.peak_internal_bits == 3
+
+    def test_tape_denial_leaves_state_unchanged(self):
+        enforced = ResourceTracker(ResourceBudget(max_tapes=1))
+        twin = ResourceTracker()
+        enforced.register_tape()
+        twin.register_tape()
+        with pytest.raises(TapeBudgetExceeded):
+            enforced.register_tape()
+        assert enforced.report() == twin.report()
+        assert enforced.tapes_used == 1
+        # the denied registration must not leave a phantom reversal slot
+        with pytest.raises(ValueError):
+            enforced.charge_reversal(2)
+
+    def test_denied_charge_can_be_retried_after_budget_lift(self):
+        tr = ResourceTracker(ResourceBudget(max_internal_bits=4))
+        tr.charge_internal(4)
+        with pytest.raises(SpaceBudgetExceeded):
+            tr.charge_internal(1)
+        tr.charge_internal(-4)  # free, then the same charge fits
+        tr.charge_internal(4)
+        assert tr.peak_internal_bits == 4
+
+    @STANDARD_SETTINGS
+    @given(
+        CHARGE_OPS,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_enforced_tracker_always_matches_budget_free_twin(
+        self, script, max_scans, max_bits, max_tapes
+    ):
+        """Replay a random charge script under enforcement: at every step
+        the enforced tracker's state equals the twin that only performed
+        the successful charges."""
+        budget = ResourceBudget(
+            max_scans=max_scans,
+            max_internal_bits=max_bits,
+            max_tapes=max_tapes,
+        )
+        enforced = ResourceTracker(budget)
+        twin = ResourceTracker()
+        tape_ids = []
+        allocated = 0
+        for op in script:
+            try:
+                if op[0] == "tape":
+                    enforced.register_tape()
+                    twin.register_tape()
+                    tape_ids.append(len(tape_ids) + 1)
+                elif op[0] == "rev":
+                    if not tape_ids:
+                        continue
+                    enforced.charge_reversal(tape_ids[-1])
+                    twin.charge_reversal(tape_ids[-1])
+                elif op[0] == "alloc":
+                    enforced.charge_internal(op[1])
+                    twin.charge_internal(op[1])
+                    allocated += op[1]
+                elif op[0] == "free" and allocated:
+                    enforced.charge_internal(-allocated)
+                    twin.charge_internal(-allocated)
+                    allocated = 0
+            except (
+                ReversalBudgetExceeded,
+                SpaceBudgetExceeded,
+                TapeBudgetExceeded,
+            ):
+                pass  # denied: the twin never attempted this charge
+            assert enforced.report() == twin.report()
+            assert enforced.report().within(budget)
+
+    @STANDARD_SETTINGS
+    @given(
+        CHARGE_OPS,
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=24),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_within_agrees_with_live_enforcement(
+        self, script, max_scans, max_bits, max_tapes
+    ):
+        """``ResourceReport.within(budget)`` ⟺ the same run completes under
+        an enforcing tracker: a run that finishes under enforcement yields
+        a report that is ``within``, and a budget-free run whose report is
+        ``within`` replays under enforcement without a denial."""
+        budget = ResourceBudget(
+            max_scans=max_scans,
+            max_internal_bits=max_bits,
+            max_tapes=max_tapes,
+        )
+        free = ResourceTracker()
+        _replay(free, script)
+        report = free.report()
+
+        enforced = ResourceTracker(budget)
+        try:
+            _replay(enforced, script)
+            completed = True
+        except (
+            ReversalBudgetExceeded,
+            SpaceBudgetExceeded,
+            TapeBudgetExceeded,
+        ):
+            completed = False
+        assert completed == report.within(budget)
+        if completed:
+            assert enforced.report() == report
+
+
 class TestInternalMemory:
     def test_bit_cost_int(self):
         assert bit_cost(0) == 1
@@ -152,6 +331,28 @@ class TestInternalMemory:
         mem["x"] = 255  # 8 bits, exactly at budget
         with pytest.raises(SpaceBudgetExceeded):
             mem["y"] = 1
+
+    def test_failed_store_keeps_memory_and_tracker_consistent(self):
+        tr = ResourceTracker(ResourceBudget(max_internal_bits=8))
+        mem = InternalMemory(tr)
+        mem["x"] = 255
+        with pytest.raises(SpaceBudgetExceeded):
+            mem["y"] = 1
+        # the failed store must be invisible in *both* views
+        assert "y" not in mem
+        assert mem.used_bits == 8
+        assert tr.current_internal_bits == 8
+        assert mem.used_bits == tr.current_internal_bits
+
+    def test_failed_restore_keeps_old_value_and_charge(self):
+        tr = ResourceTracker(ResourceBudget(max_internal_bits=8))
+        mem = InternalMemory(tr)
+        mem["x"] = 3  # 2 bits
+        with pytest.raises(SpaceBudgetExceeded):
+            mem["x"] = 2**10  # would need 11 bits total
+        assert mem["x"] == 3
+        assert mem.used_bits == 2
+        assert tr.current_internal_bits == 2
 
 
 class TestSymbolTape:
@@ -275,6 +476,35 @@ class TestRecordTape:
         t = RecordTape(["a"])
         t.move(-1)
         assert t.head == 0
+
+    def test_left_wall_bounce_charges_once_then_raises(self):
+        tr = ResourceTracker()
+        t = RecordTape(["a"], tracker=tr)
+        t.move(-1)  # the bounce: direction flip charged, head stays
+        assert t.head == 0 and t.direction == -1
+        assert tr.reversals == 1
+        with pytest.raises(ReproError):
+            t.move(-1)  # a second left move at the wall would spin forever
+        assert tr.reversals == 1  # and it charges nothing
+        t.move(+1)  # recovering with a right move works (one reversal)
+        assert t.head == 1 and tr.reversals == 2
+
+    def test_seek_scan_rewind_accounting_unchanged_by_bounce_guard(self):
+        # the exact accounting the seed pinned for the derived operations
+        tr = ResourceTracker()
+        t = RecordTape(["a", "b", "c"], tracker=tr)
+        t.seek_end()
+        assert tr.reversals == 0
+        t.seek_start()
+        assert tr.reversals == 1
+        t.rewind()  # at start facing left: just the flip back to +1
+        assert tr.reversals == 2
+        t.seek_end()
+        t.move(-1)  # onto "c"
+        assert list(t.scan_backward()) == ["c", "b", "a"]
+        assert tr.reversals == 3  # one reversal for the whole backward scan
+        t.rewind()
+        assert tr.reversals == 4  # only the flip: head already at cell 0
 
     def test_move_validation(self):
         t = RecordTape()

@@ -115,6 +115,27 @@ class TestErrorBound:
             amplified_multiset_equality("0#0#", random.Random(0), rounds=0)
 
 
+class TestTrialWithRange:
+    def test_non_binary_value_raises_encoding_error(self):
+        # Instance.__post_init__ normally rejects this, so forge a corrupt
+        # one the way a buggy caller could: the trial must still fail with
+        # the domain error, not a bare ValueError from int(..., 2)
+        from repro.algorithms.fingerprint import fingerprint_trial_with_range
+        from repro.problems.encoding import Instance
+
+        inst = Instance.__new__(Instance)
+        object.__setattr__(inst, "first", ("01", "2x"))
+        object.__setattr__(inst, "second", ("01", "2x"))
+        with pytest.raises(EncodingError):
+            fingerprint_trial_with_range(inst, random.Random(0), k=64)
+
+    def test_valid_equal_instance_accepts(self):
+        from repro.algorithms.fingerprint import fingerprint_trial_with_range
+
+        inst = random_equal_instance(4, 4, random.Random(7))
+        assert fingerprint_trial_with_range(inst, random.Random(7), k=64)
+
+
 class TestResourceEnvelope:
     """co-RST(2, O(log N), 1): the budget is enforced, not just measured."""
 

@@ -94,6 +94,17 @@ class TestSampling:
         with pytest.raises(ReproError):
             nt.random_prime_at_most(1, random.Random(0))
 
+    def test_random_prime_is_deterministic_given_seed(self):
+        # above the deterministic Miller–Rabin bound is_prime consumes the
+        # caller's rng for witnesses; the sample must still be reproducible
+        # from the seed alone (the rng is forwarded, not replaced by a
+        # fresh global source)
+        k = 10**26
+        a = nt.random_prime_at_most(k, random.Random(42))
+        b = nt.random_prime_at_most(k, random.Random(42))
+        assert a == b
+        assert nt.is_prime(a, rng=random.Random(0))
+
     def test_bertrand_prime_in_interval(self):
         for k in [1, 2, 3, 10, 100, 12345, 10**6]:
             p = nt.bertrand_prime(k)

@@ -1,0 +1,274 @@
+"""Tests for repro.observability: events, sinks, profiles, contract audit."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.errors import SpaceBudgetExceeded
+from repro.extmem import (
+    InternalMemory,
+    RecordTape,
+    ResourceBudget,
+    ResourceTracker,
+)
+from repro.observability import (
+    KIND_DENIED,
+    KIND_PHASE,
+    KIND_REVERSAL,
+    KIND_TAPE,
+    JsonlFileSink,
+    NullSink,
+    RingBufferSink,
+    RunProfile,
+    replay_jsonl,
+)
+from repro.observability.audit import (
+    CONTRACTS,
+    run_contract_audit,
+    write_audit_json,
+)
+
+
+def _tracked_run(sink):
+    """A tiny scripted run: one tape, two phases, a few charges."""
+    tracker = ResourceTracker()
+    tracker.attach_sink(sink)
+    tape = RecordTape(["a", "b"], tracker=tracker, name="input")
+    tracker.mark_phase("forward")
+    list(tape.scan())
+    tracker.mark_phase("backward")
+    tape.move(-1)
+    tracker.charge_internal(5)
+    tracker.charge_internal(-5)
+    tracker.charge_step(3)
+    return tracker
+
+
+class TestEventStream:
+    def test_sequence_numbers_are_monotone_and_dense(self):
+        sink = RingBufferSink()
+        _tracked_run(sink)
+        seqs = [e.seq for e in sink.events()]
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_events_carry_tape_attribution(self):
+        sink = RingBufferSink()
+        _tracked_run(sink)
+        (tape_event,) = [e for e in sink if e.kind == KIND_TAPE]
+        assert tape_event.tape_id == 1
+        assert tape_event.label == "input"
+        (reversal,) = [e for e in sink if e.kind == KIND_REVERSAL]
+        assert reversal.tape_name == "input"
+        assert reversal.scans == 2
+
+    def test_no_sink_means_no_events_and_identical_accounting(self):
+        sink = RingBufferSink()
+        observed = _tracked_run(sink)
+        silent = _tracked_run(NullSink())
+        assert observed.report() == silent.report()
+
+    def test_detach_sink_stops_the_stream(self):
+        sink = RingBufferSink()
+        tracker = ResourceTracker()
+        tracker.attach_sink(sink)
+        tid = tracker.register_tape("t")
+        tracker.detach_sink()
+        tracker.charge_reversal(tid)
+        assert len(sink) == 1  # only the registration was observed
+        assert tracker.reversals == 1  # accounting continued regardless
+
+    def test_denied_event_shows_prechange_totals(self):
+        sink = RingBufferSink()
+        tracker = ResourceTracker(ResourceBudget(max_internal_bits=4))
+        tracker.attach_sink(sink)
+        tracker.charge_internal(4)
+        with pytest.raises(SpaceBudgetExceeded):
+            tracker.charge_internal(2)
+        denied = [e for e in sink if e.kind == KIND_DENIED]
+        assert len(denied) == 1
+        assert denied[0].current_internal_bits == 4  # unchanged by denial
+        assert denied[0].delta == 2
+
+
+class TestSinks:
+    def test_ring_buffer_caps_and_counts_drops(self):
+        sink = RingBufferSink(capacity=3)
+        tracker = ResourceTracker()
+        tracker.attach_sink(sink)
+        for _ in range(5):
+            tracker.charge_step()
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [e.seq for e in sink.events()] == [3, 4, 5]
+        assert sink.events()[-1].steps == 5  # suffix totals stay exact
+
+    def test_ring_buffer_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_jsonl_roundtrip(self):
+        stream = io.StringIO()
+        with JsonlFileSink(stream) as sink:
+            _tracked_run(sink)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == sink.emitted
+        events = list(replay_jsonl(lines))
+        assert events[0].kind == KIND_TAPE
+        assert events[0].tape_name == "input"
+        kinds = {e.kind for e in events}
+        assert KIND_PHASE in kinds and KIND_REVERSAL in kinds
+        # every line is valid standalone JSON
+        for line in lines:
+            json.loads(line)
+
+    def test_jsonl_file_sink_writes_to_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlFileSink(str(path)) as sink:
+            _tracked_run(sink)
+        events = list(replay_jsonl(path.read_text().splitlines()))
+        assert events and events[-1].seq == len(events)
+
+
+class TestRunProfile:
+    def test_phases_slice_the_run(self):
+        sink = RingBufferSink()
+        _tracked_run(sink)
+        profile = RunProfile.from_events(sink.events())
+        assert profile.phase_names() == ["(setup)", "forward", "backward"]
+        assert profile.phase("forward").reversals == 0
+        assert profile.phase("backward").reversals == 1
+        assert profile.phase("backward").reversals_per_tape == {"input": 1}
+        assert profile.phase("backward").steps == 3
+        assert profile.final_scans == 2
+
+    def test_space_timeline_and_internal_delta(self):
+        sink = RingBufferSink()
+        _tracked_run(sink)
+        profile = RunProfile.from_events(sink.events())
+        backward = profile.phase("backward")
+        assert backward.peak_internal_bits == 5
+        assert backward.internal_delta == 0  # alloc then full free
+        assert (profile.space_timeline[-2][1], profile.space_timeline[-1][1]) == (5, 0)
+
+    def test_fingerprint_phases_match_the_paper_structure(self):
+        from repro.algorithms.fingerprint import multiset_equality_fingerprint
+        from repro.problems.encoding import Instance
+
+        words = ("0110", "1010", "0001")
+        inst = Instance(words, tuple(reversed(words)))
+        sink = RingBufferSink()
+        result = multiset_equality_fingerprint(
+            inst, random.Random(0), sink=sink
+        )
+        assert result.accepted
+        profile = RunProfile.from_events(sink.events())
+        assert profile.phase_names() == ["(setup)", "scan1", "params", "scan2"]
+        # all the run's reversal happens in scan2 (the single backward walk)
+        assert profile.phase("scan1").reversals == 0
+        assert profile.phase("scan2").reversals == 1
+        assert profile.final_scans == result.report.scans == 2
+        assert (
+            profile.final_peak_internal_bits == result.report.peak_internal_bits
+        )
+        assert profile.denied_total == 0
+
+    def test_summary_lines_render(self):
+        sink = RingBufferSink()
+        _tracked_run(sink)
+        lines = RunProfile.from_events(sink.events()).summary_lines()
+        assert any("backward" in line for line in lines)
+
+    def test_empty_stream(self):
+        profile = RunProfile.from_events([])
+        assert profile.phases == ()
+        assert profile.final_scans == 1
+        assert profile.denied_total == 0
+
+
+class TestContractAudit:
+    def test_quick_audit_all_within_envelopes(self):
+        run = run_contract_audit(quick=True, sweep=[(4, 8), (16, 8)])
+        assert run.ok
+        assert len(run.contracts) == len(CONTRACTS)
+        for contract in run.contracts:
+            for check in contract.checks:
+                assert check.within, (contract.name, check.m)
+                assert check.event_stream_consistent, contract.name
+                assert check.denied == 0
+
+    def test_audit_detects_a_broken_envelope(self):
+        # shrink one claim below reality: the harness must flag it
+        from repro.observability.audit import ContractSpec
+
+        def overtight(m, n, rng, sink):
+            tracker = ResourceTracker()
+            tracker.attach_sink(sink)
+            tape = RecordTape(list(range(m)), tracker=tracker, name="t")
+            tape.rewind()  # costs nothing at start... but then:
+            tape.seek_end()
+            tape.seek_start()  # one real reversal
+            return tracker.report(), ResourceBudget(max_scans=1)
+
+        spec = ContractSpec("overtight", "claims 1 scan, uses 2", overtight)
+        run = run_contract_audit(contracts=[spec], sweep=[(4, 4)])
+        assert not run.ok
+        assert not run.contracts[0].checks[0].within
+
+    def test_audit_json_artifact_shape(self, tmp_path):
+        run = run_contract_audit(quick=True, sweep=[(4, 8)])
+        path = tmp_path / "audit.json"
+        write_audit_json(run, str(path))
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert {c["name"] for c in data["contracts"]} == {
+            s.name for s in CONTRACTS
+        }
+        check = data["contracts"][0]["checks"][0]
+        assert set(check["measured"]) == {
+            "scans",
+            "reversals",
+            "peak_internal_bits",
+            "tapes_used",
+        }
+        assert set(check["claimed"]) == {
+            "max_scans",
+            "max_internal_bits",
+            "max_tapes",
+        }
+
+    def test_audit_is_deterministic(self):
+        one = run_contract_audit(quick=True, sweep=[(4, 8)])
+        two = run_contract_audit(quick=True, sweep=[(4, 8)])
+        assert one.to_json_dict() == two.to_json_dict()
+
+
+class TestCliAudit:
+    def test_main_audit_quick(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "AUDIT_contracts.json"
+        code = main(["audit", "--quick", "--output", str(out)])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["mode"] == "quick"
+        assert data["ok"] is True
+        captured = capsys.readouterr().out
+        assert "ALL WITHIN CLAIMED ENVELOPES" in captured
+
+
+class TestMemoryEventConsistency:
+    def test_memory_and_tracker_agree_under_observation(self):
+        sink = RingBufferSink()
+        tracker = ResourceTracker(ResourceBudget(max_internal_bits=16))
+        tracker.attach_sink(sink)
+        mem = InternalMemory(tracker)
+        mem["a"] = 255  # 8 bits
+        with pytest.raises(SpaceBudgetExceeded):
+            mem["b"] = 2**15  # 16 more bits: denied
+        mem["c"] = 7  # 3 bits: still fits
+        assert mem.used_bits == tracker.current_internal_bits == 11
+        profile = RunProfile.from_events(sink.events())
+        assert profile.denied_total == 1
+        assert profile.final_peak_internal_bits == tracker.peak_internal_bits

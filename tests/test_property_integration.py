@@ -5,6 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.errors import ReproError
 from repro.extmem import RecordTape, ResourceTracker, SymbolTape
 from repro.listmachine import initial_configuration, successor
 from repro.listmachine.examples import single_scan_parity_nlm, tandem_compare_nlm
@@ -173,6 +174,11 @@ class TestTapeRandomWalks:
         direction = +1
         expected = 0
         for mv in moves:
+            if mv == -1 and tape.head == 0 and tape.direction == -1:
+                # the explicit spin guard: no silent no-op, no charge
+                with pytest.raises(ReproError):
+                    tape.move(mv)
+                continue
             if mv != direction:
                 expected += 1
                 direction = mv
@@ -187,14 +193,26 @@ class TestTapeRandomWalks:
         sym = SymbolTape("0" * 100, tracker=t1)
         rec = RecordTape(["0"] * 100, tracker=t2)
         for mv in moves:
-            sym.move(mv)
-            rec.move(mv)
-        assert t1.reversals == t2.reversals
-        assert sym.head == rec.head
+            # a repeated left move at the wall: the symbol tape no-ops
+            # (Definition 24(c)), the record tape raises — both charge
+            # nothing and leave the head in place, so accounting agrees
+            if mv == -1 and rec.head == 0 and rec.direction == -1:
+                sym.move(mv)
+                with pytest.raises(ReproError):
+                    rec.move(mv)
+            else:
+                sym.move(mv)
+                rec.move(mv)
+            assert t1.reversals == t2.reversals
+            assert sym.head == rec.head
 
     @given(st.lists(st.sampled_from([+1, -1]), min_size=1, max_size=60))
     def test_head_never_negative(self, moves):
         tape = RecordTape(["a", "b"])
         for mv in moves:
+            if mv == -1 and tape.head == 0 and tape.direction == -1:
+                with pytest.raises(ReproError):
+                    tape.move(mv)
+                continue
             tape.move(mv)
             assert tape.head >= 0

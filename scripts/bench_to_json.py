@@ -9,6 +9,13 @@ so the speedup claimed in the repo is reproducible with one command:
     python scripts/bench_to_json.py --quick         # CI smoke (small n)
     python scripts/bench_to_json.py -o out.json
 
+Bench-regression mode: ``--compare BENCH_engine.json`` additionally checks
+this run's top-N speedup against the checked-in baseline and reports a
+regression when it falls below ``tolerance × baseline`` (default 0.8 —
+timing noise on shared runners makes a tighter bound flaky).  The verdict
+rides in the JSON payload under ``comparison`` and in the exit status, so
+CI can surface it non-gatingly as an artifact.
+
 No third-party dependencies; stdlib + the repo only.
 """
 
@@ -52,9 +59,24 @@ def main(argv=None):
         default=5,
         help="timing repetitions per cell (best-of; default 5)",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE_JSON",
+        help="compare this run's top-N speedup against a previous payload "
+        "(e.g. the checked-in BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.8,
+        help="regression threshold: fail if speedup < tolerance x baseline "
+        "(default 0.8)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if not 0.0 < args.tolerance <= 1.0:
+        parser.error("--tolerance must be in (0, 1]")
 
     sizes = QUICK_SIZES if args.quick else SIZES
     rows = run_engine_benchmark(sizes=sizes, repeats=args.repeats)
@@ -82,8 +104,33 @@ def main(argv=None):
             ),
         },
     }
+    regressed = False
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text())
+        base_speedup = baseline["summary"]["top_n_speedup"]
+        floor = args.tolerance * base_speedup
+        regressed = gate < floor
+        payload["comparison"] = {
+            "baseline": args.compare,
+            "baseline_top_n_speedup": base_speedup,
+            "tolerance": args.tolerance,
+            "floor": round(floor, 2),
+            "measured_top_n_speedup": round(gate, 2),
+            "regressed": regressed,
+        }
+
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}: top-N speedup {gate:.1f}x on {GATE_MACHINE}")
+    if args.compare:
+        verdict = "REGRESSION" if regressed else "ok"
+        print(
+            f"compare vs {args.compare}: baseline "
+            f"{payload['comparison']['baseline_top_n_speedup']:.1f}x, floor "
+            f"{payload['comparison']['floor']:.1f}x "
+            f"(tolerance {args.tolerance}) -> {verdict}"
+        )
+    if regressed:
+        return 1
     if not args.quick and gate < GATE_SPEEDUP:
         print(
             f"WARNING: speedup below the {GATE_SPEEDUP}x gate", file=sys.stderr

@@ -1,4 +1,4 @@
-"""``python -m repro``: re-verify the paper; ``python -m repro audit``: contracts.
+"""``python -m repro``: re-verify the paper; ``audit``/``trace``: observability.
 
 With no arguments, runs the theorem registry at small scale and prints a
 one-line verdict per numbered result — a thirty-second smoke test of the
@@ -12,6 +12,18 @@ decades of N under an instrumented tracker, and the measured
 (default ``AUDIT_contracts.json``); exit status is nonzero if any measured
 envelope escapes its claim, the event stream disagrees with the counters,
 or enforcement denied a charge.
+
+``python -m repro trace <algorithm|machine> [--n N] [--chrome out.json]
+[--jsonl out.jsonl] [--metrics]`` runs one target under an
+:class:`~repro.observability.trace.EngineProbe` and prints the span
+timeline plus the per-phase profile.  ``--chrome`` writes Chrome
+trace-event JSON (open in Perfetto or chrome://tracing), ``--jsonl``
+writes a single file holding both the resource-event stream and the span
+records, ``--metrics`` prints the metrics-registry snapshot.  Targets are
+the audit contract names (``fingerprint``, ``onepass``, ...) and the
+machine-library machines (``equality``, ``coin-flip``, ...); randomized
+machines are traced through ``acceptance_probability``'s branch
+exploration instead of a single run.
 """
 
 from __future__ import annotations
@@ -77,6 +89,143 @@ def _cmd_audit(quick: bool, output: str, verbose: bool) -> int:
     return 0 if run.ok else 1
 
 
+#: Machine trace targets: library factory + the bench_engine word builder.
+#: The final flag marks randomized machines, which are traced through
+#: ``acceptance_probability``'s branch exploration instead of a single run.
+def _machine_targets():
+    from .machines import library
+
+    return {
+        "copy": (library.copy_machine, lambda n: ("01" * n)[:n], False),
+        "parity": (library.parity_machine, lambda n: ("110" * n)[:n], False),
+        "majority": (library.majority_machine, lambda n: ("10" * n)[:n], False),
+        "copy-reverse": (
+            library.copy_reverse_machine,
+            lambda n: ("0110" * n)[:n],
+            False,
+        ),
+        "equality": (
+            library.equality_machine,
+            lambda n: ("01" * n)[:n] + "#" + ("01" * n)[:n],
+            False,
+        ),
+        "coin-flip": (library.coin_flip_machine, lambda n: ("01" * n)[:n], True),
+        "guess-bit": (library.guess_bit_machine, lambda n: ("01" * n)[:n], True),
+    }
+
+
+def _budget_str(budget) -> str:
+    parts = []
+    for label, value in (
+        ("scans", budget.max_scans),
+        ("bits", budget.max_internal_bits),
+        ("tapes", budget.max_tapes),
+    ):
+        if value is not None:
+            parts.append(f"{label}<={value}")
+    return " ".join(parts) if parts else "(unbounded)"
+
+
+def _cmd_trace(
+    target: str,
+    n: int,
+    chrome: "str | None",
+    jsonl: "str | None",
+    metrics: bool,
+    seed: int,
+) -> int:
+    import random
+
+    from .observability.audit import CONTRACTS
+    from .observability.metrics import MetricsRegistry
+    from .observability.profile import RunProfile
+    from .observability.sinks import JsonlFileSink, RingBufferSink
+    from .observability.trace import EngineProbe, Tracer
+
+    contracts = {spec.name: spec for spec in CONTRACTS}
+    machines = _machine_targets()
+    if target not in contracts and target not in machines:
+        print(f"unknown trace target {target!r}; known targets:", file=sys.stderr)
+        print(
+            "  algorithms: " + ", ".join(sorted(contracts)), file=sys.stderr
+        )
+        print("  machines:   " + ", ".join(sorted(machines)), file=sys.stderr)
+        return 2
+
+    registry = MetricsRegistry()
+    ring = RingBufferSink(1 << 16)
+    ring.bind_metrics(registry)
+    probe = EngineProbe(tracer=Tracer(), registry=registry, sink=ring)
+
+    print(f"repro {__version__} — tracing {target!r} (n={n})\n")
+    if target in contracts:
+        spec = contracts[target]
+        rng = random.Random(f"trace:{target}:{n}:{seed}")
+        report, claimed = spec.run(n, 12, rng, probe)
+        probe.finish()
+        print(spec.description)
+        print(
+            f"measured: scans={report.scans} reversals={report.reversals} "
+            f"peak_internal_bits={report.peak_internal_bits} "
+            f"tapes={report.tapes_used}"
+        )
+        print(f"claimed envelope: {_budget_str(claimed)}")
+    else:
+        factory, word_of, randomized = machines[target]
+        machine = factory()
+        word = word_of(n)
+        if randomized:
+            from .machines.fast_engine import acceptance_probability
+
+            p = acceptance_probability(machine, word, probe=probe)
+            probe.finish()
+            print(
+                f"{machine.name}: acceptance probability on |w|={len(word)} "
+                f"is {p}"
+            )
+        else:
+            from .machines.fast_engine import run_deterministic
+
+            result = run_deterministic(machine, word, probe=probe)
+            probe.finish()
+            stats = result.statistics
+            print(
+                f"{machine.name} on |w|={len(word)}: "
+                f"accepted={result.accepts(machine)} steps={stats.length - 1} "
+                f"reversals={sum(stats.reversals_per_tape)} "
+                f"space={sum(stats.space_per_tape)}"
+            )
+
+    print("\nspan timeline:")
+    for line in probe.tracer.render_timeline():
+        print("  " + line)
+
+    events = ring.events()
+    if events:
+        profile = RunProfile.from_events(events)
+        print("\nper-phase profile (from the resource-event stream):")
+        for line in profile.summary_lines():
+            print("  " + line)
+
+    if metrics:
+        print("\nmetrics registry:")
+        for line in registry.summary_lines():
+            print("  " + line)
+
+    if chrome:
+        probe.tracer.write_chrome_trace(chrome)
+        print(f"\nChrome trace -> {chrome}  (open in Perfetto / chrome://tracing)")
+    if jsonl:
+        # one file, both layers: resource events first, span records after
+        with JsonlFileSink(jsonl) as file_sink:
+            for event in events:
+                file_sink.emit(event)
+            for span in probe.tracer.spans():
+                file_sink.emit(span)
+        print(f"combined JSONL (events + spans) -> {jsonl}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro", description=__doc__
@@ -98,9 +247,47 @@ def main(argv=None) -> int:
     audit.add_argument(
         "-v", "--verbose", action="store_true", help="print every sweep cell"
     )
+    trace = sub.add_parser(
+        "trace",
+        help="run one algorithm/machine under an EngineProbe and export spans",
+    )
+    trace.add_argument(
+        "target",
+        help="an audit contract name (fingerprint, onepass, ...) or a "
+        "library machine (equality, coin-flip, ...)",
+    )
+    trace.add_argument(
+        "--n",
+        type=int,
+        default=64,
+        help="problem size: strings per half for algorithms, input length "
+        "for machines (default: 64)",
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="write Chrome trace-event JSON here (Perfetto-loadable)",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        help="write one JSONL file holding both resource events and spans",
+    )
+    trace.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry snapshot after the run",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0, help="seed for randomized algorithms"
+    )
     args = parser.parse_args(argv)
     if args.command == "audit":
         return _cmd_audit(args.quick, args.output, args.verbose)
+    if args.command == "trace":
+        return _cmd_trace(
+            args.target, args.n, args.chrome, args.jsonl, args.metrics, args.seed
+        )
     return _cmd_verify()
 
 

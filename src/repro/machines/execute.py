@@ -122,12 +122,20 @@ def run_deterministic(
     word: str,
     *,
     step_limit: int = DEFAULT_STEP_LIMIT,
+    probe=None,
 ) -> Run:
-    """Execute a deterministic machine to its final configuration."""
+    """Execute a deterministic machine to its final configuration.
+
+    ``probe`` (an :class:`~repro.observability.trace.EngineProbe`) gets the
+    same run-span/step callbacks as the streaming engine, so differential
+    tests can compare the two engines *under observation* too.
+    """
     if not machine.is_deterministic:
         raise MachineError(f"{machine.name} is not deterministic")
     engine = _Engine(machine)
     configs = [initial_configuration(machine, word)]
+    if probe is not None:
+        probe.on_run_start(machine, word)
     while not configs[-1].is_final(machine):
         if len(configs) > step_limit:
             raise StepBudgetExceeded(step_limit)
@@ -138,7 +146,12 @@ def run_deterministic(
                 f"reading {configs[-1].read_tuple()}"
             )
         configs.append(apply_transition(configs[-1], options[0]))
-    return Run(tuple(configs), engine.statistics(configs))
+        if probe is not None:
+            probe.on_step(configs[-1].state, len(configs) - 1)
+    run = Run(tuple(configs), engine.statistics(configs))
+    if probe is not None:
+        probe.on_run_end(run.statistics)
+    return run
 
 
 def enumerate_runs(

@@ -163,6 +163,50 @@ class StepState:
         self.steps += 1
 
 
+def _step_guard_limit(choices: Optional[Sequence[int]], step_limit: int) -> int:
+    """The step count at which the next step *must* fail a control check.
+
+    Folding the choice-exhaustion and step-budget thresholds into one
+    number lets the hot loops test a single ``steps >= limit`` per step;
+    :func:`_raise_step_violation` then diagnoses the precise failure.
+    """
+    return step_limit if choices is None else min(step_limit, len(choices))
+
+
+def _raise_step_violation(
+    machine: TuringMachine,
+    state: str,
+    reads: Tuple[str, ...],
+    choices: Optional[Sequence[int]],
+    steps: int,
+    step_limit: int,
+    options,
+) -> None:
+    """Diagnose and raise the stuck/choice-exhausted/step-limit condition.
+
+    The single source of truth for both run modes' control-flow errors
+    (streaming and traced use exactly this, so they cannot drift), in the
+    canonical priority order: choice exhaustion, then the step budget,
+    then stuckness.
+    """
+    if choices is not None and steps >= len(choices):
+        raise MachineError(
+            f"choice sequence of length {len(choices)} exhausted after "
+            f"{steps} steps without reaching a final state"
+        )
+    if steps + 1 > step_limit:
+        raise StepBudgetExceeded(step_limit)
+    if not options:
+        if choices is not None:
+            raise MachineError(f"{machine.name} is stuck")
+        raise MachineError(
+            f"{machine.name} is stuck in state {state!r} reading {reads}"
+        )
+    raise AssertionError(
+        "step guard invoked without a violated condition"
+    )  # pragma: no cover
+
+
 #: compiled step record: (new_state, changed-cell writes, moving tape, delta).
 #: ``changes`` lists only the tapes whose write symbol differs from the read
 #: symbol — writing the symbol already under the head is a no-op, the case
@@ -210,12 +254,15 @@ def _run_streaming(
     word: str,
     choices: Optional[Sequence[int]],
     step_limit: int,
+    probe=None,
 ) -> FastRun:
     """The O(1)-per-step hot loop shared by both run modes (no trace).
 
     Works directly on the :class:`StepState` buffers through local
     bindings; the read tuple is maintained incrementally — only cells a
-    step writes or a head moves onto are touched.
+    step writes or a head moves onto are touched.  ``probe`` (an
+    :class:`~repro.observability.trace.EngineProbe`) is hoisted out of the
+    loop: with no probe the per-step cost is one extra ``is None`` test.
     """
     compiled = _compiled_index(machine)
     st = StepState(machine, word)
@@ -224,22 +271,16 @@ def _run_streaming(
     directions, reversals, space = st.directions, st.reversals, st.space
     reads = list(st.read_tuple())
     final_states = machine.final_states
+    guard = _step_guard_limit(choices, step_limit)
+    on_step = probe.on_step if probe is not None else None
+    if probe is not None:
+        probe.on_run_start(machine, word)
     steps = 0
     while state not in final_states:
-        if choices is not None and steps >= len(choices):
-            raise MachineError(
-                f"choice sequence of length {len(choices)} exhausted after "
-                f"{steps} steps without reaching a final state"
-            )
-        if steps + 1 > step_limit:
-            raise StepBudgetExceeded(step_limit)
         recs = compiled.get((state, tuple(reads)))
-        if not recs:
-            if choices is not None:
-                raise MachineError(f"{machine.name} is stuck")
-            raise MachineError(
-                f"{machine.name} is stuck in state {state!r} "
-                f"reading {tuple(reads)}"
+        if steps >= guard or not recs:
+            _raise_step_violation(
+                machine, state, tuple(reads), choices, steps, step_limit, recs
             )
         if choices is None:
             new_state, changes, mover, delta = recs[0]
@@ -281,9 +322,14 @@ def _run_streaming(
             reads[mover] = buf[pos] if pos < len(buf) else BLANK
         state = new_state
         steps += 1
+        if on_step is not None:
+            on_step(state, steps)
     st.state = state
     st.steps = steps
-    return FastRun(st.snapshot(), st.statistics())
+    result = FastRun(st.snapshot(), st.statistics())
+    if probe is not None:
+        probe.on_run_end(result.statistics)
+    return result
 
 
 def _run_traced(
@@ -291,34 +337,44 @@ def _run_traced(
     word: str,
     choices: Optional[Sequence[int]],
     step_limit: int,
+    probe=None,
 ) -> Run:
-    """Trace mode: same stepping, but every configuration is snapshotted."""
+    """Trace mode: same stepping, but every configuration is snapshotted.
+
+    Control flow (choice exhaustion / step budget / stuckness) goes through
+    the same :func:`_raise_step_violation` guard as the streaming loop, so
+    the two modes raise identical errors under identical conditions.
+    """
     index = machine.transition_index()
     state = StepState(machine, word)
     configs: List[Configuration] = [state.snapshot()]
+    guard = _step_guard_limit(choices, step_limit)
+    if probe is not None:
+        probe.on_run_start(machine, word)
     while not state.is_final():
         step = state.steps
-        if choices is not None and step >= len(choices):
-            raise MachineError(
-                f"choice sequence of length {len(choices)} exhausted after "
-                f"{step} steps without reaching a final state"
-            )
-        if step + 1 > step_limit:
-            raise StepBudgetExceeded(step_limit)
         options = index.get((state.state, state.read_tuple()), [])
-        if not options:
-            if choices is not None:
-                raise MachineError(f"{machine.name} is stuck")
-            raise MachineError(
-                f"{machine.name} is stuck in state {state.state!r} "
-                f"reading {state.read_tuple()}"
+        if step >= guard or not options:
+            _raise_step_violation(
+                machine,
+                state.state,
+                state.read_tuple(),
+                choices,
+                step,
+                step_limit,
+                options,
             )
         if choices is None:
             state.apply(options[0])
         else:
             state.apply(options[choices[step] % len(options)])
         configs.append(state.snapshot())
-    return Run(tuple(configs), state.statistics())
+        if probe is not None:
+            probe.on_step(state.state, state.steps)
+    run = Run(tuple(configs), state.statistics())
+    if probe is not None:
+        probe.on_run_end(run.statistics)
+    return run
 
 
 def run_deterministic(
@@ -327,18 +383,21 @@ def run_deterministic(
     *,
     step_limit: int = DEFAULT_STEP_LIMIT,
     trace: bool = False,
+    probe=None,
 ) -> Union[Run, FastRun]:
     """Execute a deterministic machine in streaming mode.
 
     Returns a :class:`FastRun` (final configuration + statistics only);
     with ``trace=True`` the full history is kept and a reference-style
-    :class:`~repro.machines.execute.Run` is returned instead.
+    :class:`~repro.machines.execute.Run` is returned instead.  ``probe``
+    (an :class:`~repro.observability.trace.EngineProbe`, default ``None``)
+    observes the run as a span plus per-step callbacks.
     """
     if not machine.is_deterministic:
         raise MachineError(f"{machine.name} is not deterministic")
     if trace:
-        return _run_traced(machine, word, None, step_limit)
-    return _run_streaming(machine, word, None, step_limit)
+        return _run_traced(machine, word, None, step_limit, probe)
+    return _run_streaming(machine, word, None, step_limit, probe)
 
 
 def run_with_choices(
@@ -348,6 +407,7 @@ def run_with_choices(
     *,
     step_limit: int = DEFAULT_STEP_LIMIT,
     trace: bool = False,
+    probe=None,
 ) -> Union[Run, FastRun]:
     """ρ_T(w, c) in streaming mode (Definition 17 semantics).
 
@@ -355,8 +415,8 @@ def run_with_choices(
     sequence must drive the run to a final state.
     """
     if trace:
-        return _run_traced(machine, word, choices, step_limit)
-    return _run_streaming(machine, word, choices, step_limit)
+        return _run_traced(machine, word, choices, step_limit, probe)
+    return _run_streaming(machine, word, choices, step_limit, probe)
 
 
 def acceptance_probability(
@@ -364,6 +424,7 @@ def acceptance_probability(
     word: str,
     *,
     step_limit: int = DEFAULT_STEP_LIMIT,
+    probe=None,
 ) -> Fraction:
     """Exact Pr(T accepts w): iterative DP over the configuration DAG.
 
@@ -373,6 +434,11 @@ def acceptance_probability(
     ``sys.getrecursionlimit()`` are fine.  Configurations are interned:
     equal configurations reached along different branches collapse to one
     object, shrinking the memo's working set.
+
+    With a ``probe`` attached, every frame the DP opens becomes a span
+    (``branch:<state>``) nested along the exploration path, and the frame
+    depths feed the probe's ``branch_depth`` histogram — the shape of the
+    configuration DAG, made visible.
     """
     index = machine.transition_index()
     final_states = machine.final_states
@@ -401,8 +467,13 @@ def acceptance_probability(
                 f"{machine.name} is stuck in state {config.state!r}"
             )
         on_stack.add(config)
-        # frame: [config, options, next_child, partial_sum, depth]
-        stack.append([config, options, 0, Fraction(0), depth])
+        span = (
+            probe.on_branch_enter(depth, len(options), config.state)
+            if probe is not None
+            else None
+        )
+        # frame: [config, options, next_child, partial_sum, depth, span]
+        stack.append([config, options, 0, Fraction(0), depth, span])
         return None
 
     start = initial_configuration(machine, word)
@@ -414,7 +485,7 @@ def acceptance_probability(
     result = Fraction(0)
     while stack:
         frame = stack[-1]
-        config, options, child, total, depth = frame
+        config, options, child, total, depth, span = frame
         if child < len(options):
             frame[2] = child + 1
             succ = apply_transition(config, options[child])
@@ -427,6 +498,8 @@ def acceptance_probability(
         on_stack.discard(config)
         result = total / len(options)
         memo[config] = result
+        if span is not None:
+            probe.on_branch_exit(span, probability=str(result))
         if stack:
             stack[-1][3] += result
     return result

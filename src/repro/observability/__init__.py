@@ -12,6 +12,15 @@ Layered bottom-up:
   charge and allocates nothing;
 * :mod:`~repro.observability.profile` — :class:`RunProfile` turns an event
   stream into per-phase scan/space timelines;
+* :mod:`~repro.observability.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments with label sets, handed out by a
+  :class:`MetricsRegistry` whose snapshot is deterministic JSON;
+* :mod:`~repro.observability.trace` — :class:`Span` records with monotone
+  ids and parent links, a :class:`Tracer` exporting Chrome trace-event
+  JSON (Perfetto-loadable) and text timelines, and the
+  :class:`EngineProbe` hook the execution engines, the block tracer and
+  the streaming query evaluators accept (``probe=None`` everywhere by
+  default — the hot paths pay at most one ``is None`` test);
 * :mod:`~repro.observability.audit` — the contract-audit harness behind
   ``python -m repro audit``: sweeps the paper's algorithms across decades
   of N and checks every measured envelope against its claimed one.  (This
@@ -29,6 +38,13 @@ from .events import (
     KIND_TAPE,
     ResourceEvent,
 )
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .profile import SETUP_PHASE, PhaseProfile, RunProfile
 from .sinks import (
     EventSink,
@@ -37,6 +53,7 @@ from .sinks import (
     RingBufferSink,
     replay_jsonl,
 )
+from .trace import EngineProbe, Span, Tracer
 
 #: Audit names resolved lazily via __getattr__ (the audit module imports
 #: repro.algorithms / repro.queries, which import repro.extmem — eager
@@ -70,6 +87,14 @@ __all__ = [
     "RunProfile",
     "PhaseProfile",
     "SETUP_PHASE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "EngineProbe",
 ] + sorted(_AUDIT_EXPORTS)
 
 

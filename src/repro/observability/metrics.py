@@ -1,0 +1,272 @@
+"""Process-local metrics: counters, gauges and histograms with label sets.
+
+The event stream (:mod:`~repro.observability.events`) answers "what
+happened, in order"; this module answers "how much, in aggregate".  A
+:class:`MetricsRegistry` hands out named :class:`Counter` / :class:`Gauge`
+/ :class:`Histogram` instruments, each of which keeps one cell per label
+set, and renders everything into a deterministic JSON-ready snapshot —
+the shape ``python -m repro trace --metrics`` prints and tests assert on.
+
+Design constraints, in the spirit of the tracker's one-``is None``-test
+hot path:
+
+* instruments are plain dict updates — no locks, no background threads,
+  no wall-clock reads; snapshots are pure functions of the recorded
+  values, so two identical runs produce byte-identical JSON;
+* labels are passed as keyword arguments (``counter.inc(kind="reversal")``)
+  and keyed internally by the sorted ``(key, value)`` tuple, so label
+  order never matters;
+* a registry can also *track* externally-owned values through callback
+  gauges (:meth:`MetricsRegistry.track`) — that is how a
+  :class:`~repro.observability.sinks.RingBufferSink` surfaces its
+  ``dropped`` count without the sink importing this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Power-of-two buckets: right for step counts, branch depths and scan
+#: totals alike, all of which the paper bounds by polylog/poly expressions.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(1 << i) for i in range(17))
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared shell: a name, a help string, and one cell per label set."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._cells: Dict[LabelKey, Any] = {}
+
+    def labelsets(self) -> List[Dict[str, str]]:
+        return [dict(key) for key in sorted(self._cells)]
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": self._cells[key]}
+            for key in sorted(self._cells)
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "samples": self._samples(),
+        }
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        key = _label_key(labels)
+        self._cells[key] = self._cells.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> int:
+        return self._cells.get(_label_key(labels), 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._cells.values())
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._cells[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._cells[key] = self._cells.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._cells.get(_label_key(labels), 0)
+
+
+class Histogram(_Instrument):
+    """Bucketed observations per label set (cumulative counts on export).
+
+    ``buckets`` are the inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the rest, so ``observe`` never loses a sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        cell = self._cells.get(key)
+        if cell is None:
+            # per-bucket (non-cumulative) counts + the +Inf overflow slot
+            cell = {"counts": [0] * (len(self.buckets) + 1), "sum": 0, "n": 0}
+            self._cells[key] = cell
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                cell["counts"][i] += 1
+                break
+        else:
+            cell["counts"][-1] += 1
+        cell["sum"] += value
+        cell["n"] += 1
+
+    def count(self, **labels: Any) -> int:
+        cell = self._cells.get(_label_key(labels))
+        return cell["n"] if cell else 0
+
+    def sum(self, **labels: Any) -> float:
+        cell = self._cells.get(_label_key(labels))
+        return cell["sum"] if cell else 0
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        samples = []
+        for key in sorted(self._cells):
+            cell = self._cells[key]
+            cumulative: List[Tuple[str, int]] = []
+            running = 0
+            for bound, count in zip(self.buckets, cell["counts"]):
+                running += count
+                cumulative.append((_format_bound(bound), running))
+            running += cell["counts"][-1]
+            cumulative.append(("+Inf", running))
+            samples.append(
+                {
+                    "labels": dict(key),
+                    "count": cell["n"],
+                    "sum": cell["sum"],
+                    "buckets": {le: c for le, c in cumulative},
+                }
+            )
+        return samples
+
+
+def _format_bound(bound: float) -> str:
+    return str(int(bound)) if float(bound).is_integer() else str(bound)
+
+
+class MetricsRegistry:
+    """Creates-or-returns named instruments and snapshots them all.
+
+    ``get-or-create`` semantics make call sites self-contained: the engine
+    probe, the sinks and the CLI can all ask for ``events_total`` and end
+    up sharing one counter.  Asking for an existing name with a different
+    instrument kind is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self._tracked: Dict[str, Tuple[Callable[[], float], str]] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        if name in self._tracked:
+            raise ValueError(f"metric {name!r} already tracked as a callback")
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def track(
+        self, name: str, callback: Callable[[], float], help: str = ""
+    ) -> None:
+        """Register a callback gauge, read at snapshot time.
+
+        This is how externally-owned values (a ring buffer's ``dropped``
+        count, a tracer's span total) appear in the registry without the
+        owner holding a reference back to it.
+        """
+        if name in self._instruments or name in self._tracked:
+            raise ValueError(f"metric {name!r} already registered")
+        self._tracked[name] = (callback, help)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every instrument's current state, keyed by name (sorted)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(set(self._instruments) | set(self._tracked)):
+            if name in self._instruments:
+                out[name] = self._instruments[name].snapshot()
+            else:
+                callback, help = self._tracked[name]
+                out[name] = {
+                    "kind": "gauge",
+                    "help": help,
+                    "samples": [{"labels": {}, "value": callback()}],
+                }
+        return out
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"metrics": self.snapshot()}
+
+    def summary_lines(self) -> List[str]:
+        """Compact human-readable rendering (``repro trace --metrics``)."""
+        lines: List[str] = []
+        for name, snap in self.snapshot().items():
+            for sample in snap["samples"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(sample["labels"].items())
+                )
+                tag = f"{name}{{{labels}}}" if labels else name
+                if snap["kind"] == "histogram":
+                    lines.append(
+                        f"{tag:<40} count={sample['count']} sum={sample['sum']}"
+                    )
+                else:
+                    lines.append(f"{tag:<40} {sample['value']}")
+        return lines

@@ -73,6 +73,26 @@ class RingBufferSink(EventSink):
         """The retained events, oldest first."""
         return list(self._buffer)
 
+    def bind_metrics(self, registry, name: str = "ring_buffer") -> None:
+        """Surface this sink's state in a metrics registry snapshot.
+
+        Registers callback gauges (``<name>_dropped``, ``<name>_buffered``)
+        on ``registry`` (a
+        :class:`~repro.observability.metrics.MetricsRegistry`), read at
+        snapshot time — overflow is no longer silent: the drop count shows
+        up in every ``registry.snapshot()`` / ``repro trace --metrics``.
+        """
+        registry.track(
+            f"{name}_dropped",
+            lambda: self.dropped,
+            "events evicted from the ring buffer (0 = complete stream)",
+        )
+        registry.track(
+            f"{name}_buffered",
+            lambda: len(self._buffer),
+            "events currently retained in the ring buffer",
+        )
+
     def __len__(self) -> int:
         return len(self._buffer)
 
@@ -89,6 +109,11 @@ class JsonlFileSink(EventSink):
 
     Events are written eagerly but the stream is flushed only on
     :meth:`close` (or context-manager exit) unless ``flush_every`` is set.
+
+    Close semantics are explicit: :meth:`close` **always flushes**, and
+    closes the underlying handle only when this sink opened it (a ``path``
+    target).  A caller-owned stream is flushed but left open — the caller
+    opened it, the caller closes it.
     """
 
     def __init__(
@@ -113,20 +138,30 @@ class JsonlFileSink(EventSink):
             self._stream.flush()
 
     def close(self) -> None:
+        """Flush always; close the handle only if this sink opened it."""
+        self._stream.flush()
         if self._owns_stream:
             self._stream.close()
-        else:
-            self._stream.flush()
 
 
 def replay_jsonl(lines: Iterable[str]) -> Iterator[ResourceEvent]:
     """Parse a JSONL stream (as written by :class:`JsonlFileSink`) back into
-    :class:`ResourceEvent` objects — the inverse of ``to_json_dict``."""
+    :class:`ResourceEvent` objects — the inverse of ``to_json_dict``.
+
+    Lines whose ``kind`` is not a tracker event kind (e.g. the ``span``
+    records an :class:`~repro.observability.trace.EngineProbe` writes when
+    both layers share one JSONL sink) are skipped, so a mixed capture
+    still replays its resource-event layer losslessly.
+    """
+    from .events import EVENT_KINDS
+
     for line in lines:
         line = line.strip()
         if not line:
             continue
         raw = json.loads(line)
+        if raw.get("kind") not in EVENT_KINDS:
+            continue
         yield ResourceEvent(
             seq=raw["seq"],
             kind=raw["kind"],

@@ -272,3 +272,415 @@ class TestMemoryEventConsistency:
         profile = RunProfile.from_events(sink.events())
         assert profile.denied_total == 1
         assert profile.final_peak_internal_bits == tracker.peak_internal_bits
+
+
+class TestMetrics:
+    def test_counter_labels_and_total(self):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        c = reg.counter("requests", "test counter")
+        c.inc(kind="a")
+        c.inc(2, kind="b")
+        c.inc(kind="a")
+        assert c.value(kind="a") == 2
+        assert c.value(kind="b") == 2
+        assert c.total == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "test gauge")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value() == 4
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        from repro.observability import Histogram
+
+        h = Histogram("sizes", "test histogram", buckets=(1.0, 4.0))
+        for v in (0, 1, 3, 100):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 104
+        (sample,) = h.snapshot()["samples"]
+        # cumulative: <=1 holds {0,1}, <=4 adds {3}, +Inf holds everything
+        assert sample["buckets"] == {"1": 2, "4": 3, "+Inf": 4}
+
+    def test_registry_get_or_create_and_kind_mismatch(self):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        c1 = reg.counter("x", "first")
+        assert reg.counter("x") is c1
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_callback_gauge_reads_at_snapshot_time(self):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        state = {"n": 1}
+        reg.track("live", lambda: state["n"], "callback gauge")
+        assert reg.snapshot()["live"]["samples"][0]["value"] == 1
+        state["n"] = 7
+        assert reg.snapshot()["live"]["samples"][0]["value"] == 7
+        with pytest.raises(ValueError):
+            reg.track("live", lambda: 0)  # name already taken
+
+    def test_snapshot_is_deterministic_json(self):
+        from repro.observability import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("zeta", "z").inc()
+        reg.counter("alpha", "a").inc(kind="x")
+        one = json.dumps(reg.to_json_dict())
+        two = json.dumps(reg.to_json_dict())
+        assert one == two
+        names = list(reg.snapshot())
+        assert names == sorted(names)
+        assert any("alpha" in line for line in reg.summary_lines())
+
+
+class TestTracer:
+    def test_nesting_follows_call_order(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.end(inner, cost=3)
+        tracer.end(outer)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.args["cost"] == 3
+        assert outer.duration_us >= inner.duration_us
+
+    def test_double_end_raises(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        span = tracer.begin("s")
+        tracer.end(span)
+        with pytest.raises(ValueError):
+            tracer.end(span)
+
+    def test_capacity_drops_are_counted(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer(capacity=2)
+        spans = [tracer.begin(f"s{i}") for i in range(5)]
+        for span in reversed(spans):
+            if span.end_us is None:
+                tracer.end(span)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert any("3 spans dropped" in l for l in tracer.render_timeline())
+
+    def test_chrome_trace_export_shape(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        with tracer.span("work", "engine", n=4):
+            tracer.begin("open-child")  # left open deliberately
+        doc = tracer.to_chrome_trace(process_name="test")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"work", "open-child"}
+        for e in xs:
+            assert e["dur"] > 0 and "pid" in e and "tid" in e
+        (child,) = [e for e in xs if e["name"] == "open-child"]
+        assert child["args"]["unfinished"] is True
+        json.dumps(doc)  # serializable
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        with tracer.span("w"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestEngineProbe:
+    def test_fingerprint_spans_cover_every_phase_exactly(self, tmp_path):
+        """The PR's acceptance criterion: a probed Theorem 8(a) run yields
+        Chrome-trace JSON whose spans cover every ``mark_phase`` phase, with
+        per-phase reversal totals equal to the RunProfile aggregates."""
+        from repro.algorithms.fingerprint import multiset_equality_fingerprint
+        from repro.observability import EngineProbe, MetricsRegistry, Tracer
+        from repro.problems.encoding import Instance
+
+        words = ("0110", "1010", "0001")
+        inst = Instance(words, tuple(reversed(words)))
+        ring = RingBufferSink()
+        probe = EngineProbe(
+            tracer=Tracer(), registry=MetricsRegistry(), sink=ring
+        )
+        result = multiset_equality_fingerprint(
+            inst, random.Random(0), sink=probe
+        )
+        assert result.accepted
+        probe.finish()
+
+        profile = RunProfile.from_events(ring.events())
+        phase_spans = {
+            s.name: s for s in probe.tracer.spans() if s.category == "phase"
+        }
+        assert list(phase_spans) == profile.phase_names()
+        for phase in profile.phases:
+            span = phase_spans[phase.name]
+            assert span.finished
+            assert span.args["reversals"] == phase.reversals
+            assert span.args["steps"] == phase.steps
+            assert span.args["peak_internal_bits"] == phase.peak_internal_bits
+            assert span.args["entry_internal_bits"] == phase.entry_internal_bits
+            assert span.args["exit_internal_bits"] == phase.exit_internal_bits
+            assert span.args["denied"] == phase.denied
+
+        path = tmp_path / "fingerprint-trace.json"
+        probe.tracer.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        chrome_names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert set(profile.phase_names()) <= chrome_names
+
+    def test_probe_observes_both_engines_identically(self):
+        from repro.machines import equality_machine
+        from repro.machines import execute, fast_engine
+        from repro.observability import EngineProbe
+
+        machine = equality_machine()
+        word = "0101#0101"
+        probes = []
+        for engine in (execute, fast_engine):
+            probe = EngineProbe()
+            result = engine.run_deterministic(machine, word, probe=probe)
+            probe.finish()
+            probes.append((probe, result))
+        (p_ref, r_ref), (p_fast, r_fast) = probes
+        assert p_ref.steps_observed == p_fast.steps_observed
+        assert p_ref.steps_observed == r_ref.statistics.length - 1
+        ref_run = p_ref.tracer.find(f"run:{machine.name}")[0]
+        fast_run = p_fast.tracer.find(f"run:{machine.name}")[0]
+        assert ref_run.args == fast_run.args
+        assert ref_run.args["steps"] == r_fast.statistics.length - 1
+
+    def test_branch_spans_and_depth_histogram(self):
+        from fractions import Fraction
+
+        from repro.machines import coin_flip_machine
+        from repro.machines.fast_engine import acceptance_probability
+        from repro.observability import EngineProbe, MetricsRegistry
+
+        registry = MetricsRegistry()
+        probe = EngineProbe(registry=registry)
+        p = acceptance_probability(coin_flip_machine(), "01", probe=probe)
+        assert p == Fraction(1, 2)
+        branch_spans = [
+            s for s in probe.tracer.spans() if s.category == "branch"
+        ]
+        assert branch_spans and all(s.finished for s in branch_spans)
+        assert registry.histogram("branch_depth").count() == len(branch_spans)
+
+    def test_close_exports_both_layers_into_one_jsonl(self, tmp_path):
+        from repro.observability import EngineProbe
+
+        path = tmp_path / "combined.jsonl"
+        file_sink = JsonlFileSink(str(path))
+        probe = EngineProbe(sink=file_sink)
+        _tracked_run(probe)
+        probe.close()  # finish + export spans + close the wrapped sink
+        lines = path.read_text().splitlines()
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "span" in kinds and "phase" in kinds
+        # the resource-event layer replays losslessly despite the span
+        # lines: a second identical scripted run must produce equal events
+        reference = RingBufferSink()
+        _tracked_run(reference)
+        assert list(replay_jsonl(lines)) == reference.events()
+
+
+class TestSharedStepGuard:
+    """Satellite: both engines share stuck/step-limit/choice-exhausted
+    control flow — pinned by differential tests on the failure paths."""
+
+    def _stuck_machine(self):
+        from repro.machines import MachineBuilder, R
+
+        b = MachineBuilder("stuck").start("q").accept("a")
+        b.on("q", ("0",), "q", ("0",), (R,))
+        return b.build()
+
+    def test_stuck_machine_same_error_both_engines(self):
+        from repro.errors import MachineError
+        from repro.machines import execute, fast_engine
+
+        machine = self._stuck_machine()
+        messages = []
+        for engine in (execute, fast_engine):
+            with pytest.raises(MachineError) as exc:
+                engine.run_deterministic(machine, "00")
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+        assert "stuck" in messages[0]
+
+    def test_step_budget_same_error_both_engines(self):
+        from repro.errors import StepBudgetExceeded
+        from repro.extmem.tape import BLANK
+        from repro.machines import MachineBuilder, R
+        from repro.machines import execute, fast_engine
+
+        b = MachineBuilder("long").start("q").accept("a")
+        b.on("q", (BLANK,), "q", ("0",), (R,))
+        machine = b.build()
+        messages = []
+        for engine in (execute, fast_engine):
+            with pytest.raises(StepBudgetExceeded) as exc:
+                engine.run_deterministic(machine, "", step_limit=50)
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+
+    def test_streaming_and_traced_agree_on_stuckness(self):
+        from repro.errors import MachineError
+        from repro.machines import fast_engine
+
+        machine = self._stuck_machine()
+        with pytest.raises(MachineError) as streaming:
+            fast_engine.run_deterministic(machine, "00", trace=False)
+        with pytest.raises(MachineError) as traced:
+            fast_engine.run_deterministic(machine, "00", trace=True)
+        assert str(streaming.value) == str(traced.value)
+
+    def test_choice_exhaustion_diagnosed_before_stuckness(self):
+        from repro.errors import MachineError
+        from repro.machines import coin_flip_machine
+        from repro.machines.fast_engine import run_with_choices
+
+        with pytest.raises(MachineError) as exc:
+            run_with_choices(coin_flip_machine(), "0", choices="")
+        assert "exhausted" in str(exc.value)
+
+
+class TestSinkCloseSemantics:
+    """Satellite: JsonlFileSink close semantics + lossless replay."""
+
+    def test_close_flushes_but_does_not_close_caller_stream(self):
+        stream = io.StringIO()
+        sink = JsonlFileSink(stream)
+        _tracked_run(sink)
+        sink.close()
+        assert not stream.closed  # caller owns it
+        assert stream.getvalue().count("\n") == sink.emitted
+        sink.close()  # idempotent on caller-owned streams
+
+    def test_close_closes_owned_path_handle(self, tmp_path):
+        path = tmp_path / "owned.jsonl"
+        sink = JsonlFileSink(str(path))
+        _tracked_run(sink)
+        sink.close()
+        assert sink._stream.closed
+        assert path.read_text().count("\n") == sink.emitted
+
+    def test_replay_roundtrips_denied_and_phase_events_losslessly(self):
+        def scripted(sink):
+            tracker = ResourceTracker(ResourceBudget(max_internal_bits=4))
+            tracker.attach_sink(sink)
+            tracker.mark_phase("alpha")
+            tracker.charge_internal(4)
+            with pytest.raises(SpaceBudgetExceeded):
+                tracker.charge_internal(9)
+            tracker.mark_phase("omega")
+
+        stream = io.StringIO()
+        file_sink = JsonlFileSink(stream)
+        scripted(file_sink)
+        file_sink.close()
+        ring = RingBufferSink()
+        scripted(ring)  # an identical run recorded in memory
+
+        replayed = list(replay_jsonl(stream.getvalue().splitlines()))
+        assert replayed == ring.events()
+        kinds = [e.kind for e in replayed]
+        assert KIND_DENIED in kinds and kinds.count(KIND_PHASE) == 2
+        denied = next(e for e in replayed if e.kind == KIND_DENIED)
+        assert denied.delta == 9 and denied.current_internal_bits == 4
+
+
+class TestRingBufferMetrics:
+    """Satellite: the ring's ``dropped`` count reaches registry snapshots."""
+
+    def test_dropped_count_surfaces_in_snapshot(self):
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sink = RingBufferSink(capacity=3)
+        sink.bind_metrics(registry)
+        tracker = ResourceTracker()
+        tracker.attach_sink(sink)
+        for _ in range(8):
+            tracker.charge_step()
+        snap = registry.snapshot()
+        assert snap["ring_buffer_dropped"]["samples"][0]["value"] == 5
+        assert snap["ring_buffer_buffered"]["samples"][0]["value"] == 3
+        sink.clear()
+        snap = registry.snapshot()
+        assert snap["ring_buffer_dropped"]["samples"][0]["value"] == 0
+
+
+class TestCliTrace:
+    def test_trace_algorithm_writes_all_artifacts(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "fingerprint",
+                "--n",
+                "4",
+                "--chrome",
+                str(chrome),
+                "--jsonl",
+                str(jsonl),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span timeline" in out and "metrics registry" in out
+        doc = json.loads(chrome.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"scan1", "params", "scan2"} <= names
+        lines = jsonl.read_text().splitlines()
+        kinds = {json.loads(line)["kind"] for line in lines}
+        assert "span" in kinds  # both layers in one file
+        assert list(replay_jsonl(lines))  # event layer still replays
+
+    def test_trace_machine_target(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "equality", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "run:equality" in out and "accepted=True" in out
+
+    def test_trace_randomized_machine_target(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "coin-flip", "--n", "2"]) == 0
+        assert "acceptance probability" in capsys.readouterr().out
+
+    def test_trace_unknown_target_fails(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "no-such-target"]) == 2
+        assert "known targets" in capsys.readouterr().err

@@ -37,6 +37,8 @@ CASES = (
     ("equality", equality_machine, lambda n: ("01" * n)[:n] + "#" + ("01" * n)[:n]),
 )
 
+CASE_MAP = {name: (factory, build_word) for name, factory, build_word in CASES}
+
 SIZES = (64, 256, 1024)
 GATE_MACHINE = "equality"  # largest library machine
 GATE_SPEEDUP = 5.0
@@ -53,51 +55,67 @@ def _best_of(fn, repeats):
     return best
 
 
-def run_engine_benchmark(sizes=SIZES, repeats=3):
+def bench_cell(name, n, repeats):
+    """One sweep cell: cross-check both engines, then time each (best-of).
+
+    A module-level batch task so the sweep can fan out over worker
+    processes — the cell is looked up by name and the machine rebuilt
+    locally (word-builder lambdas never cross the process boundary), and
+    all timing happens inside whichever process runs the cell.
+    """
+    factory, build_word = CASE_MAP[name]
+    machine = factory()
+    word = build_word(n)
+    ref = execute.run_deterministic(machine, word, step_limit=STEP_LIMIT)
+    fast = fast_engine.run_deterministic(machine, word, step_limit=STEP_LIMIT)
+    if fast.final != ref.final or fast.statistics != ref.statistics:
+        raise AssertionError(
+            f"engine mismatch on {name} at n={n}: "
+            f"{fast.statistics} != {ref.statistics}"
+        )
+    ref_seconds = _best_of(
+        lambda: execute.run_deterministic(machine, word, step_limit=STEP_LIMIT),
+        repeats,
+    )
+    fast_seconds = _best_of(
+        lambda: fast_engine.run_deterministic(
+            machine, word, step_limit=STEP_LIMIT
+        ),
+        repeats,
+    )
+    return {
+        "machine": name,
+        "n": n,
+        "input_length": len(word),
+        "run_length": ref.statistics.length,
+        "ref_seconds": ref_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": ref_seconds / fast_seconds,
+        "verified_identical": True,
+    }
+
+
+def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None):
     """Time both engines over the library sweep; returns a list of rows.
 
     Every row is cross-checked: the streaming engine's final configuration
     and statistics must be bit-identical to the reference engine's.
+    ``jobs > 1`` dispatches cells over worker processes — rows come back
+    in sweep order either way, and each cell's timing is measured inside
+    the worker that runs it, so parallelism changes wall-clock, not the
+    measurements' meaning (though co-scheduled cells do contend for
+    cores; serial timings are the low-noise ones).
     """
-    rows = []
-    for name, factory, build_word in CASES:
-        machine = factory()
-        for n in sizes:
-            word = build_word(n)
-            ref = execute.run_deterministic(machine, word, step_limit=STEP_LIMIT)
-            fast = fast_engine.run_deterministic(
-                machine, word, step_limit=STEP_LIMIT
-            )
-            if fast.final != ref.final or fast.statistics != ref.statistics:
-                raise AssertionError(
-                    f"engine mismatch on {name} at n={n}: "
-                    f"{fast.statistics} != {ref.statistics}"
-                )
-            ref_seconds = _best_of(
-                lambda: execute.run_deterministic(
-                    machine, word, step_limit=STEP_LIMIT
-                ),
-                repeats,
-            )
-            fast_seconds = _best_of(
-                lambda: fast_engine.run_deterministic(
-                    machine, word, step_limit=STEP_LIMIT
-                ),
-                repeats,
-            )
-            rows.append(
-                {
-                    "machine": name,
-                    "n": n,
-                    "input_length": len(word),
-                    "run_length": ref.statistics.length,
-                    "ref_seconds": ref_seconds,
-                    "fast_seconds": fast_seconds,
-                    "speedup": ref_seconds / fast_seconds,
-                    "verified_identical": True,
-                }
-            )
-    return rows
+    from repro.parallel import BatchTask, run_batch
+
+    tasks = [
+        BatchTask.call(bench_cell, name, n, repeats)
+        for name, _factory, _build_word in CASES
+        for n in sizes
+    ]
+    return run_batch(
+        tasks, jobs=jobs, label="engine-bench", registry=registry
+    ).values()
 
 
 def top_speedup(rows, machine=GATE_MACHINE):

@@ -16,13 +16,22 @@ timing noise on shared runners makes a tighter bound flaky).  The verdict
 rides in the JSON payload under ``comparison`` and in the exit status, so
 CI can surface it non-gatingly as an artifact.
 
+Parallel mode: ``--jobs N`` dispatches the engine sweep over N worker
+processes (cell timings are still taken inside the worker running the
+cell) and additionally writes ``BENCH_parallel.json`` — serial vs.
+parallel wall-clock for the contract-audit sweep and the engine sweep,
+with the host core count.  Purely informational, never gating: speedup
+depends on the runner's cores.
+
 No third-party dependencies; stdlib + the repo only.
 """
 
 import argparse
 import json
+import os
 import platform
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -38,6 +47,63 @@ from bench_engine import (  # noqa: E402  (path setup must come first)
 )
 
 QUICK_SIZES = (16, 64)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def parallel_payload(jobs, quick, repeats, sizes):
+    """Serial-vs-parallel wall-clock for the audit and engine sweeps.
+
+    The work is identical on both sides (the parallel audit JSON is
+    byte-identical to the serial one by construction), so the ratio is a
+    pure scheduling measurement.  Recorded, never gated: the speedup is
+    a property of the host's core count, not of the code.
+    """
+    from repro.observability.audit import run_contract_audit
+
+    audit_serial = _timed(lambda: run_contract_audit(quick=quick))
+    audit_parallel = _timed(lambda: run_contract_audit(quick=quick, jobs=jobs))
+    engine_serial = _timed(
+        lambda: run_engine_benchmark(sizes=sizes, repeats=repeats)
+    )
+    engine_parallel = _timed(
+        lambda: run_engine_benchmark(sizes=sizes, repeats=repeats, jobs=jobs)
+    )
+    return {
+        "benchmark": "parallel",
+        "description": (
+            "wall-clock of the contract-audit sweep and the engine sweep, "
+            "serial vs. repro.parallel multiprocess dispatch; results are "
+            "bit-identical on both sides, only scheduling differs"
+        ),
+        "command": f"python scripts/bench_to_json.py --jobs {jobs}"
+        + (" --quick" if quick else ""),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "quick": quick,
+        "unit": "seconds",
+        "sweeps": {
+            "audit": {
+                "mode": "quick" if quick else "full",
+                "serial_seconds": round(audit_serial, 4),
+                "parallel_seconds": round(audit_parallel, 4),
+                "speedup": round(audit_serial / audit_parallel, 2),
+            },
+            "engine": {
+                "sizes": list(sizes),
+                "repeats": repeats,
+                "serial_seconds": round(engine_serial, 4),
+                "parallel_seconds": round(engine_parallel, 4),
+                "speedup": round(engine_serial / engine_parallel, 2),
+            },
+        },
+        "gating": False,
+    }
 
 
 def main(argv=None):
@@ -72,14 +138,31 @@ def main(argv=None):
         help="regression threshold: fail if speedup < tolerance x baseline "
         "(default 0.8)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweeps (default 1 = serial); with "
+        "--jobs > 1 also writes the serial-vs-parallel wall-clock record",
+    )
+    parser.add_argument(
+        "--parallel-output",
+        default=str(REPO_ROOT / "BENCH_parallel.json"),
+        help="where --jobs > 1 writes the wall-clock record "
+        "(default: BENCH_parallel.json at the repo root)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
     if not 0.0 < args.tolerance <= 1.0:
         parser.error("--tolerance must be in (0, 1]")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     sizes = QUICK_SIZES if args.quick else SIZES
-    rows = run_engine_benchmark(sizes=sizes, repeats=args.repeats)
+    rows = run_engine_benchmark(
+        sizes=sizes, repeats=args.repeats, jobs=args.jobs
+    )
     gate = top_speedup(rows)
     payload = {
         "benchmark": "engine",
@@ -121,6 +204,18 @@ def main(argv=None):
 
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}: top-N speedup {gate:.1f}x on {GATE_MACHINE}")
+    if args.jobs > 1:
+        record = parallel_payload(args.jobs, args.quick, args.repeats, sizes)
+        Path(args.parallel_output).write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
+        sweeps = record["sweeps"]
+        print(
+            f"wrote {args.parallel_output}: audit "
+            f"{sweeps['audit']['speedup']:.2f}x, engine "
+            f"{sweeps['engine']['speedup']:.2f}x at --jobs {args.jobs} "
+            f"({record['cpu_count']} cores; informational, non-gating)"
+        )
     if args.compare:
         verdict = "REGRESSION" if regressed else "ok"
         print(

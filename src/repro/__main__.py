@@ -56,15 +56,16 @@ def _cmd_verify() -> int:
     return 1 if failures else 0
 
 
-def _cmd_audit(quick: bool, output: str, verbose: bool) -> int:
+def _cmd_audit(quick: bool, output: str, verbose: bool, jobs: int) -> int:
     from .observability.audit import run_contract_audit, write_audit_json
 
     mode = "quick" if quick else "full"
+    workers = f", {jobs} worker processes" if jobs != 1 else ""
     print(
-        f"repro {__version__} — contract audit ({mode} sweep): measured "
-        "(scans, bits, tapes) vs. claimed envelopes\n"
+        f"repro {__version__} — contract audit ({mode} sweep{workers}): "
+        "measured (scans, bits, tapes) vs. claimed envelopes\n"
     )
-    run = run_contract_audit(quick=quick)
+    run = run_contract_audit(quick=quick, jobs=jobs)
     for line in run.summary_lines():
         print(line)
     if verbose:
@@ -133,6 +134,8 @@ def _cmd_trace(
     jsonl: "str | None",
     metrics: bool,
     seed: int,
+    trials: int = 0,
+    jobs: int = 1,
 ) -> int:
     import random
 
@@ -183,6 +186,23 @@ def _cmd_trace(
                 f"{machine.name}: acceptance probability on |w|={len(word)} "
                 f"is {p}"
             )
+            if trials > 0:
+                from .machines.randomized import estimate_acceptance_probability
+
+                estimate = estimate_acceptance_probability(
+                    machine,
+                    word,
+                    trials,
+                    seed=seed,
+                    jobs=jobs,
+                    registry=registry,
+                )
+                print(
+                    f"Monte Carlo estimate over {estimate.trials} trials "
+                    f"({jobs} job{'s' if jobs != 1 else ''}): "
+                    f"{estimate.accepted}/{estimate.trials} "
+                    f"= {float(estimate.estimate):.4f}  (exact: {float(p):.4f})"
+                )
         else:
             from .machines.fast_engine import run_deterministic
 
@@ -247,6 +267,13 @@ def main(argv=None) -> int:
     audit.add_argument(
         "-v", "--verbose", action="store_true", help="print every sweep cell"
     )
+    audit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial; results "
+        "and the JSON artifact are byte-identical at any value)",
+    )
     trace = sub.add_parser(
         "trace",
         help="run one algorithm/machine under an EngineProbe and export spans",
@@ -281,12 +308,36 @@ def main(argv=None) -> int:
     trace.add_argument(
         "--seed", type=int, default=0, help="seed for randomized algorithms"
     )
+    trace.add_argument(
+        "--trials",
+        type=int,
+        default=0,
+        help="for randomized machines: also run this many Monte Carlo "
+        "trials (deterministically seeded) next to the exact DP",
+    )
+    trace.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the --trials sweep (default 1 = serial)",
+    )
     args = parser.parse_args(argv)
     if args.command == "audit":
-        return _cmd_audit(args.quick, args.output, args.verbose)
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        return _cmd_audit(args.quick, args.output, args.verbose, args.jobs)
     if args.command == "trace":
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
         return _cmd_trace(
-            args.target, args.n, args.chrome, args.jsonl, args.metrics, args.seed
+            args.target,
+            args.n,
+            args.chrome,
+            args.jsonl,
+            args.metrics,
+            args.seed,
+            args.trials,
+            args.jobs,
         )
     return _cmd_verify()
 

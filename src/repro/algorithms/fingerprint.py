@@ -265,6 +265,111 @@ def fingerprint_trial_with_range(
     return sums[0] == sums[1]
 
 
+# -- Monte Carlo trial sweeps ----------------------------------------------
+
+
+def fingerprint_mc_block(
+    m: int,
+    n: int,
+    count: int,
+    kind: str,
+    k: Optional[int],
+    rng: random.Random,
+) -> int:
+    """Batch task body: ``count`` independent trials, returns acceptances.
+
+    ``kind`` selects the instance population — ``"equal"`` (completeness:
+    every trial must accept) or ``"near-miss"`` (soundness: acceptances
+    are false positives).  ``k=None`` runs the full Theorem 8(a) tape
+    machine under its claimed budget; an explicit ``k`` runs the
+    E16-style ablation trial with that prime range.
+    """
+    from ..problems import near_miss_instance, random_equal_instance
+
+    if kind == "equal":
+        make = random_equal_instance
+    elif kind == "near-miss":
+        make = near_miss_instance
+    else:
+        raise EncodingError(f"unknown trial kind {kind!r}")
+    accepted = 0
+    for _ in range(count):
+        inst = make(m, n, rng)
+        if k is None:
+            accepted += multiset_equality_fingerprint(inst, rng).accepted
+        else:
+            accepted += fingerprint_trial_with_range(inst, rng, k)
+    return accepted
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate outcome of a Monte Carlo fingerprint sweep."""
+
+    m: int
+    n: int
+    kind: str
+    trials: int
+    accepted: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.trials
+
+
+def monte_carlo_fingerprint_trials(
+    m: int,
+    n: int,
+    trials: int,
+    *,
+    kind: str = "near-miss",
+    k: Optional[int] = None,
+    seed: object = 0,
+    jobs: int = 1,
+    trials_per_task: int = 16,
+    registry=None,
+    tracer=None,
+) -> TrialSummary:
+    """The Theorem 8(a) error-rate experiment as a deterministic batch.
+
+    Instances and primes are drawn from per-task rngs derived from
+    ``(seed, task index)`` by :mod:`repro.parallel`, so the trial count
+    and acceptance total are bit-identical for any ``jobs`` — the
+    parallel sweep *is* the serial experiment, just faster.
+    """
+    if trials < 1:
+        raise EncodingError(f"trials must be >= 1, got {trials}")
+    if trials_per_task < 1:
+        raise EncodingError(
+            f"trials_per_task must be >= 1, got {trials_per_task}"
+        )
+    from ..parallel import BatchTask, run_batch
+
+    tasks = [
+        BatchTask.call(
+            fingerprint_mc_block,
+            m,
+            n,
+            min(trials_per_task, trials - start),
+            kind,
+            k,
+            seeded=True,
+        )
+        for start in range(0, trials, trials_per_task)
+    ]
+    counts = run_batch(
+        tasks,
+        jobs=jobs,
+        seed=seed,
+        label="fingerprint-trials",
+        registry=registry,
+        tracer=tracer,
+    ).values()
+    return TrialSummary(
+        m=m, n=n, kind=kind, trials=trials, accepted=sum(counts)
+    )
+
+
 def fingerprint_parameters(instance: InstanceLike) -> FingerprintParameters:
     """Expose the (m, n, k, p2) a run on this instance would use."""
     inst = as_instance(instance)

@@ -25,7 +25,13 @@ from ..errors import MachineError
 
 
 class _Bracket:
-    """Angle-bracket singletons ⟨ and ⟩."""
+    """Angle-bracket singletons ⟨ and ⟩.
+
+    Equality is identity, so pickling must resolve back to the module
+    singletons: without :meth:`__reduce__`, a skeleton shipped home from
+    a census worker would carry private bracket copies and never compare
+    equal to one computed in-process.
+    """
 
     __slots__ = ("_label",)
 
@@ -35,9 +41,17 @@ class _Bracket:
     def __repr__(self) -> str:
         return self._label
 
+    def __reduce__(self):
+        return (_bracket, (self._label,))
+
 
 LA = _Bracket("⟨")
 RA = _Bracket("⟩")
+
+
+def _bracket(label: str) -> _Bracket:
+    """Unpickling hook: map a bracket label back to its singleton."""
+    return LA if label == "⟨" else RA
 
 
 class Inp:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..errors import MachineError
 from ..listmachine.bounds import lemma32_skeleton_bound_log2
@@ -43,16 +43,63 @@ class SkeletonCensus:
         return math.log2(self.distinct_skeletons) <= self.bound_log2
 
 
+def decode_input(
+    alphabet: Sequence[object], m: int, index: int
+) -> Tuple[object, ...]:
+    """The ``index``-th input in ``itertools.product(alphabet, repeat=m)``
+    order — mixed-radix decoding, so any subrange of the input space can
+    be enumerated without materializing its prefix."""
+    base = len(alphabet)
+    values = [alphabet[0]] * m
+    for slot in range(m - 1, -1, -1):
+        index, digit = divmod(index, base)
+        values[slot] = alphabet[digit]
+    return tuple(values)
+
+
+def census_range(
+    machine_factory: Callable[[], NLM],
+    alphabet: Sequence[object],
+    start: int,
+    stop: int,
+) -> FrozenSet[object]:
+    """Batch task body: distinct skeletons over inputs ``[start, stop)``.
+
+    Workers rebuild the machine from ``machine_factory`` (NLM transition
+    functions are closures and cannot cross a process boundary) and ship
+    home only the skeleton set; bracket tokens unpickle to the module
+    singletons, so sets from different workers merge exactly.
+    """
+    nlm = machine_factory()
+    skeletons = set()
+    for index in range(start, stop):
+        run = run_deterministic(nlm, list(decode_input(alphabet, nlm.m, index)))
+        skeletons.add(skeleton_of_run(run))
+    return frozenset(skeletons)
+
+
 def enumerate_skeletons(
     nlm: NLM,
     alphabet: Sequence[object],
     *,
     r: int,
     max_inputs: int = 100_000,
+    jobs: int = 1,
+    machine_factory: Optional[Callable[[], NLM]] = None,
+    chunk_size: Optional[int] = None,
+    registry=None,
+    tracer=None,
 ) -> SkeletonCensus:
     """Run a deterministic NLM on *every* input over ``alphabet``.
 
     Collects the distinct skeletons and compares against Lemma 32.
+
+    ``jobs > 1`` partitions the ``|alphabet|^m`` input space into
+    contiguous index ranges and fans them out over worker processes via
+    :mod:`repro.parallel`.  Because ``alpha`` is a closure, the parallel
+    path needs a picklable ``machine_factory`` (a module-level callable
+    or ``functools.partial`` rebuilding the machine); the census is
+    identical to the serial one — set union is order-blind.
     """
     if not nlm.is_deterministic:
         raise MachineError("exhaustive enumeration expects a deterministic NLM")
@@ -62,17 +109,45 @@ def enumerate_skeletons(
             f"|alphabet|^m = {total} exceeds max_inputs = {max_inputs}"
         )
     skeletons: set = set()
-    count = 0
-    for values in itertools.product(alphabet, repeat=nlm.m):
-        run = run_deterministic(nlm, list(values))
-        skeletons.add(skeleton_of_run(run))
-        count += 1
+    if jobs == 1 or total == 0:
+        for values in itertools.product(alphabet, repeat=nlm.m):
+            run = run_deterministic(nlm, list(values))
+            skeletons.add(skeleton_of_run(run))
+    else:
+        if machine_factory is None:
+            raise MachineError(
+                "parallel enumeration needs a picklable machine_factory "
+                "(NLM transition functions are closures and do not pickle)"
+            )
+        from ..parallel import BatchTask, run_batch
+
+        if chunk_size is None:
+            chunk_size = max(1, -(-total // (jobs * 4)))
+        alphabet = tuple(alphabet)
+        tasks = [
+            BatchTask.call(
+                census_range,
+                machine_factory,
+                alphabet,
+                start,
+                min(start + chunk_size, total),
+            )
+            for start in range(0, total, chunk_size)
+        ]
+        for part in run_batch(
+            tasks,
+            jobs=jobs,
+            label="skeleton-census",
+            registry=registry,
+            tracer=tracer,
+        ).values():
+            skeletons |= part
     return SkeletonCensus(
         machine_m=nlm.m,
         machine_k=nlm.k,
         machine_t=nlm.t,
         reversal_bound=r,
-        inputs_enumerated=count,
+        inputs_enumerated=total,
         distinct_skeletons=len(skeletons),
         bound_log2=lemma32_skeleton_bound_log2(nlm.m, nlm.k, nlm.t, r),
     )

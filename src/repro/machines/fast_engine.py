@@ -436,9 +436,11 @@ def acceptance_probability(
     object, shrinking the memo's working set.
 
     With a ``probe`` attached, every frame the DP opens becomes a span
-    (``branch:<state>``) nested along the exploration path, and the frame
-    depths feed the probe's ``branch_depth`` histogram — the shape of the
-    configuration DAG, made visible.
+    (``branch:<state>``) nested along the exploration path, the frame
+    depths feed the probe's ``branch_depth`` histogram, and the final
+    configuration-DAG size — interned configurations, memo hits, frames
+    opened — lands in the probe's registry (``dag_*`` counters), so
+    sweeps can report aggregate DAG statistics, not just the depth shape.
     """
     index = machine.transition_index()
     final_states = machine.final_states
@@ -446,10 +448,14 @@ def acceptance_probability(
     intern: Dict[Configuration, Configuration] = {}
     memo: Dict[Configuration, Fraction] = {}
     on_stack: Set[Configuration] = set()
+    memo_hits = 0
+    frames_opened = 0
 
     def resolve(config: Configuration, depth: int) -> Optional[Fraction]:
         """Return Pr(config) if it is immediate; otherwise open a frame."""
+        nonlocal memo_hits, frames_opened
         if config in memo:
+            memo_hits += 1
             return memo[config]
         if config in on_stack:
             raise MachineError(
@@ -474,13 +480,24 @@ def acceptance_probability(
         )
         # frame: [config, options, next_child, partial_sum, depth, span]
         stack.append([config, options, 0, Fraction(0), depth, span])
+        frames_opened += 1
         return None
+
+    def report_dag() -> None:
+        if probe is not None:
+            probe.on_dag_stats(
+                interned=len(intern),
+                memoized=len(memo),
+                memo_hits=memo_hits,
+                frames=frames_opened,
+            )
 
     start = initial_configuration(machine, word)
     root = intern.setdefault(start, start)
     stack: List[list] = []
     immediate = resolve(root, 0)
     if immediate is not None:
+        report_dag()
         return immediate
     result = Fraction(0)
     while stack:
@@ -502,4 +519,5 @@ def acceptance_probability(
             probe.on_branch_exit(span, probability=str(result))
         if stack:
             stack[-1][3] += result
+    report_dag()
     return result

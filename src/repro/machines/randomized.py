@@ -7,16 +7,37 @@ machine over finite word samples, using the exact acceptance probabilities
 of :func:`repro.machines.fast_engine.acceptance_probability` (the
 streaming engine's iterative DP — same Fractions as the reference
 oracle, no recursion-depth ceiling) — no sampling noise.
+
+Both checkers accept ``jobs=``: the per-word DPs are independent, so the
+word sample fans out over worker processes through
+:mod:`repro.parallel`, and each worker ships its configuration-DAG size
+(interned configs, memo hits, frames) home so a ``registry`` passed by
+the caller still aggregates DAG statistics across the whole sweep.
+
+:func:`estimate_acceptance_probability` is the Monte Carlo twin of the
+exact DP: it samples whole runs under uniformly random choice sequences
+(Definition 17 semantics) with the batch runtime's per-task seeding, so
+the estimate is bit-identical at any ``jobs``.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .fast_engine import acceptance_probability
+from ..errors import MachineError
+from .fast_engine import acceptance_probability, run_with_choices
 from .tm import TuringMachine
+
+#: The checkers' default per-word step ceiling.
+DEFAULT_CHECK_STEP_LIMIT = 100_000
+
+#: Random choice values are drawn below this bound; it is divisible by
+#: every branching factor up to 16, so ``c mod |options|`` stays exactly
+#: uniform for any realistic machine (Definition 17 applies ``mod``).
+_CHOICE_BOUND = 720_720
 
 
 @dataclass(frozen=True)
@@ -40,27 +61,111 @@ class RTMReport:
         return not self.violations
 
 
+class _DagProbe:
+    """Minimal acceptance-DP probe: collects DAG stats, ignores spans.
+
+    ``on_branch_enter`` returns ``None``, which the DP treats as "no span
+    opened", so this costs nothing beyond the final stats callback.
+    """
+
+    __slots__ = ("stats",)
+
+    def __init__(self) -> None:
+        self.stats: Optional[Dict[str, int]] = None
+
+    def on_branch_enter(self, depth: int, options: int, state: str) -> None:
+        return None
+
+    def on_dag_stats(self, **stats: int) -> None:
+        self.stats = stats
+
+
+def word_acceptance(
+    machine: TuringMachine, word: str, step_limit: int
+) -> Tuple[Fraction, Dict[str, int]]:
+    """One exact DP, packaged as a batch task: (probability, DAG stats)."""
+    probe = _DagProbe()
+    p = acceptance_probability(
+        machine, word, step_limit=step_limit, probe=probe
+    )
+    return p, probe.stats or {}
+
+
+def _aggregate_dag_stats(registry, stats_list: Sequence[Dict[str, int]]) -> None:
+    """Fold worker-side DAG stats into the same counters an in-process
+    :class:`~repro.observability.trace.EngineProbe` would maintain."""
+    if registry is None:
+        return
+    names = {
+        "interned": "dag_configs_interned_total",
+        "memoized": "dag_configs_memoized_total",
+        "memo_hits": "dag_memo_hits_total",
+        "frames": "dag_frames_total",
+    }
+    for stats in stats_list:
+        for key, metric in names.items():
+            if key in stats:
+                registry.counter(metric).inc(stats[key])
+
+
+def _check_rtm_words(
+    machine: TuringMachine,
+    yes_words: Sequence[str],
+    no_words: Sequence[str],
+    yes_violated,
+    no_violated,
+    step_limit: int,
+    jobs: int,
+    registry,
+    tracer,
+) -> RTMReport:
+    from ..parallel import BatchTask, run_batch
+
+    words = [(word, "yes") for word in yes_words]
+    words += [(word, "no") for word in no_words]
+    tasks = [
+        BatchTask.call(word_acceptance, machine, word, step_limit)
+        for word, _side in words
+    ]
+    values = run_batch(
+        tasks, jobs=jobs, label="rtm-check", registry=registry, tracer=tracer
+    ).values()
+    _aggregate_dag_stats(registry, [stats for _p, stats in values])
+    violations = []
+    for (word, side), (p, _stats) in zip(words, values):
+        violated = yes_violated(p) if side == "yes" else no_violated(p)
+        if violated:
+            violations.append(RTMViolation(word, side, p))
+    return RTMReport(tuple(violations), len(words))
+
+
 def check_half_zero_rtm(
     machine: TuringMachine,
     yes_words: Sequence[str],
     no_words: Sequence[str],
     *,
-    step_limit: int = 100_000,
+    step_limit: int = DEFAULT_CHECK_STEP_LIMIT,
+    jobs: int = 1,
+    registry=None,
+    tracer=None,
 ) -> RTMReport:
     """Exactly verify the (1/2, 0)-RTM contract on the given samples.
 
     Yes-words need Pr(accept) ≥ 1/2; no-words need Pr(accept) = 0.
+    ``jobs`` distributes the per-word DPs over worker processes; the
+    report is identical for any value.
     """
-    violations = []
-    for word in yes_words:
-        p = acceptance_probability(machine, word, step_limit=step_limit)
-        if p < Fraction(1, 2):
-            violations.append(RTMViolation(word, "yes", p))
-    for word in no_words:
-        p = acceptance_probability(machine, word, step_limit=step_limit)
-        if p != 0:
-            violations.append(RTMViolation(word, "no", p))
-    return RTMReport(tuple(violations), len(yes_words) + len(no_words))
+    return _check_rtm_words(
+        machine,
+        yes_words,
+        no_words,
+        lambda p: p < Fraction(1, 2),
+        lambda p: p != 0,
+        step_limit,
+        jobs,
+        registry,
+        tracer,
+    )
 
 
 def check_co_half_zero_rtm(
@@ -68,17 +173,136 @@ def check_co_half_zero_rtm(
     yes_words: Sequence[str],
     no_words: Sequence[str],
     *,
-    step_limit: int = 100_000,
+    step_limit: int = DEFAULT_CHECK_STEP_LIMIT,
+    jobs: int = 1,
+    registry=None,
+    tracer=None,
 ) -> RTMReport:
     """The complementary contract (co-RST side): yes-words accepted with
     probability 1, no-words accepted with probability ≤ 1/2."""
-    violations = []
-    for word in yes_words:
-        p = acceptance_probability(machine, word, step_limit=step_limit)
-        if p != 1:
-            violations.append(RTMViolation(word, "yes", p))
-    for word in no_words:
-        p = acceptance_probability(machine, word, step_limit=step_limit)
-        if p > Fraction(1, 2):
-            violations.append(RTMViolation(word, "no", p))
-    return RTMReport(tuple(violations), len(yes_words) + len(no_words))
+    return _check_rtm_words(
+        machine,
+        yes_words,
+        no_words,
+        lambda p: p != 1,
+        lambda p: p > Fraction(1, 2),
+        step_limit,
+        jobs,
+        registry,
+        tracer,
+    )
+
+
+# -- Monte Carlo estimation ------------------------------------------------
+
+
+class _RandomChoices:
+    """A lazy random choice sequence for :func:`run_with_choices`.
+
+    Presents ``len() == limit`` so the engine's step guard still fires,
+    but draws each choice on demand — sampling a short run never
+    materializes ``step_limit`` integers.
+    """
+
+    __slots__ = ("_rng", "_limit")
+
+    def __init__(self, rng: random.Random, limit: int):
+        self._rng = rng
+        self._limit = limit
+
+    def __len__(self) -> int:
+        return self._limit
+
+    def __getitem__(self, index: int) -> int:
+        return self._rng.randrange(_CHOICE_BOUND)
+
+
+def sample_run_accepts(
+    machine: TuringMachine,
+    word: str,
+    rng: random.Random,
+    *,
+    step_limit: int = DEFAULT_CHECK_STEP_LIMIT,
+) -> bool:
+    """One Monte Carlo sample: run under uniformly random choices."""
+    run = run_with_choices(
+        machine, word, _RandomChoices(rng, step_limit), step_limit=step_limit
+    )
+    return run.accepts(machine)
+
+
+def mc_trial_block(
+    machine: TuringMachine,
+    word: str,
+    count: int,
+    step_limit: int,
+    rng: random.Random,
+) -> int:
+    """Batch task body: ``count`` samples, returns how many accepted."""
+    accepted = 0
+    for _ in range(count):
+        accepted += sample_run_accepts(
+            machine, word, rng, step_limit=step_limit
+        )
+    return accepted
+
+
+@dataclass(frozen=True)
+class MonteCarloAcceptance:
+    """A sampled acceptance probability with its trial transcript."""
+
+    trials: int
+    accepted: int
+
+    @property
+    def estimate(self) -> Fraction:
+        return Fraction(self.accepted, self.trials)
+
+
+def estimate_acceptance_probability(
+    machine: TuringMachine,
+    word: str,
+    trials: int,
+    *,
+    seed: Any = 0,
+    jobs: int = 1,
+    trials_per_task: int = 32,
+    step_limit: int = DEFAULT_CHECK_STEP_LIMIT,
+    registry=None,
+    tracer=None,
+) -> MonteCarloAcceptance:
+    """Sample Pr(T accepts w) over ``trials`` independent random runs.
+
+    The sample is partitioned into fixed-size blocks, one batch task per
+    block, each drawing from its own task-index-derived rng — so the
+    estimate depends only on ``(seed, trials, trials_per_task)``, never
+    on ``jobs`` or scheduling.  The exact-DP answer is the oracle this
+    estimator is tested against.
+    """
+    if trials < 1:
+        raise MachineError(f"trials must be >= 1, got {trials}")
+    if trials_per_task < 1:
+        raise MachineError(
+            f"trials_per_task must be >= 1, got {trials_per_task}"
+        )
+    from ..parallel import BatchTask, run_batch
+
+    blocks = [
+        min(trials_per_task, trials - start)
+        for start in range(0, trials, trials_per_task)
+    ]
+    tasks = [
+        BatchTask.call(
+            mc_trial_block, machine, word, count, step_limit, seeded=True
+        )
+        for count in blocks
+    ]
+    counts = run_batch(
+        tasks,
+        jobs=jobs,
+        seed=seed,
+        label="mc-acceptance",
+        registry=registry,
+        tracer=tracer,
+    ).values()
+    return MonteCarloAcceptance(trials=trials, accepted=sum(counts))

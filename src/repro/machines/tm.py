@@ -94,6 +94,29 @@ class TuringMachine:
                     "machine not normalized: more than one head moves in a step"
                 )
 
+    #: Memoized derived structures, rebuilt lazily after unpickling.
+    _CACHE_ATTRS = ("_transition_index", "_compiled_steps")
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the definition only, never the memoized caches.
+
+        ``transition_index()`` and the engine's ``_compiled_steps`` are
+        stashed on the instance ``__dict__``; shipping them to worker
+        processes would bloat every task payload with data the worker can
+        rebuild in one pass over the (small) transition table.  Workers
+        therefore receive a bare machine and warm their own caches
+        locally on first use.
+        """
+        state = dict(self.__dict__)
+        for attr in self._CACHE_ATTRS:
+            state.pop(attr, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # bypass the frozen-dataclass setattr guard; __post_init__ already
+        # validated this definition in the originating process
+        self.__dict__.update(state)
+
     @property
     def tape_count(self) -> int:
         return self.external_tapes + self.internal_tapes

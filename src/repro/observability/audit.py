@@ -371,48 +371,81 @@ def _instance_size(m: int, n: int) -> int:
     return m * (2 * n + 2)  # N = 2m + Σ|v| + Σ|v'|
 
 
+def run_audit_cell(spec: ContractSpec, m: int, n: int) -> ContractCheck:
+    """One sweep cell: run the contract at (m, n) under an instrumented
+    tracker and check measured-vs-claimed plus stream consistency.
+
+    Module-level and self-seeding (the rng is derived from the cell
+    coordinates alone), so cells are independent batch tasks: the audit
+    dispatches them through :func:`repro.parallel.run_batch` and the JSON
+    record is byte-identical at any ``jobs``.
+    """
+    rng = random.Random(f"audit:{spec.name}:{m}:{n}")
+    sink = RingBufferSink(_RING_CAPACITY)
+    report, claimed = spec.run(m, n, rng, sink)
+    profile = RunProfile.from_events(sink.events())
+    consistent = (
+        profile.final_scans == report.scans
+        and profile.final_peak_internal_bits == report.peak_internal_bits
+        and profile.final_tapes_used == report.tapes_used
+    )
+    return ContractCheck(
+        contract=spec.name,
+        m=m,
+        n=n,
+        input_size=_instance_size(m, n),
+        report=report,
+        claimed=claimed,
+        events=len(sink) + sink.dropped,
+        denied=profile.denied_total,
+        event_stream_consistent=consistent,
+    )
+
+
 def run_contract_audit(
     *,
     quick: bool = False,
     contracts: Optional[Sequence[ContractSpec]] = None,
     sweep: Optional[Sequence[Tuple[int, int]]] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    registry=None,
+    tracer=None,
 ) -> AuditRun:
-    """Sweep every contract; returns the full measured-vs-claimed record."""
+    """Sweep every contract; returns the full measured-vs-claimed record.
+
+    ``jobs`` fans the (contract × cell) grid out over worker processes
+    via :mod:`repro.parallel`; every cell seeds its own rng from its
+    coordinates, so the result — and the JSON artifact written from it —
+    is byte-identical to the serial sweep for any ``jobs``.
+    """
     cells = tuple(sweep) if sweep is not None else (
         QUICK_SWEEP if quick else FULL_SWEEP
     )
+    specs = tuple(contracts if contracts is not None else CONTRACTS)
+
+    from ..parallel import BatchTask, run_batch
+
+    tasks = [
+        BatchTask.call(run_audit_cell, spec, m, n)
+        for spec in specs
+        for m, n in cells
+    ]
+    checks = run_batch(
+        tasks,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        label="audit",
+        registry=registry,
+        tracer=tracer,
+    ).values()
     outcomes = []
-    for spec in contracts if contracts is not None else CONTRACTS:
-        checks = []
-        for m, n in cells:
-            rng = random.Random(f"audit:{spec.name}:{m}:{n}")
-            sink = RingBufferSink(_RING_CAPACITY)
-            report, claimed = spec.run(m, n, rng, sink)
-            profile = RunProfile.from_events(sink.events())
-            consistent = (
-                profile.final_scans == report.scans
-                and profile.final_peak_internal_bits
-                == report.peak_internal_bits
-                and profile.final_tapes_used == report.tapes_used
-            )
-            checks.append(
-                ContractCheck(
-                    contract=spec.name,
-                    m=m,
-                    n=n,
-                    input_size=_instance_size(m, n),
-                    report=report,
-                    claimed=claimed,
-                    events=len(sink) + sink.dropped,
-                    denied=profile.denied_total,
-                    event_stream_consistent=consistent,
-                )
-            )
+    for i, spec in enumerate(specs):
         outcomes.append(
             ContractOutcome(
                 name=spec.name,
                 description=spec.description,
-                checks=tuple(checks),
+                checks=tuple(checks[i * len(cells) : (i + 1) * len(cells)]),
             )
         )
     return AuditRun(

@@ -301,6 +301,21 @@ class EngineProbe:
                 "branch_depth",
                 "depth of each probabilistic branch frame opened",
             )
+            self._dag_interned = registry.counter(
+                "dag_configs_interned_total",
+                "distinct configurations interned per acceptance DP",
+            )
+            self._dag_memoized = registry.counter(
+                "dag_configs_memoized_total",
+                "configurations with a memoized probability per acceptance DP",
+            )
+            self._dag_memo_hits = registry.counter(
+                "dag_memo_hits_total",
+                "memo lookups that hit (branches sharing a configuration)",
+            )
+            self._dag_frames = registry.counter(
+                "dag_frames_total", "DP frames opened per acceptance DP"
+            )
             registry.track(
                 "spans_dropped",
                 lambda: self.tracer.dropped,
@@ -439,3 +454,18 @@ class EngineProbe:
 
     def on_branch_exit(self, span: Span, **args: Any) -> None:
         self.tracer.end(span, **args)
+
+    def on_dag_stats(
+        self, *, interned: int, memoized: int, memo_hits: int, frames: int
+    ) -> None:
+        """Configuration-DAG size at the end of one ``acceptance_probability``.
+
+        Counters (not gauges) so a sweep of many DPs under one probe
+        reports *aggregate* DAG statistics; per-run numbers are the
+        per-call increments.
+        """
+        if self.registry is not None:
+            self._dag_interned.inc(interned)
+            self._dag_memoized.inc(memoized)
+            self._dag_memo_hits.inc(memo_hits)
+            self._dag_frames.inc(frames)

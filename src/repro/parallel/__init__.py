@@ -1,0 +1,48 @@
+"""Deterministic parallel batch runtime for sweeps, trials and censuses.
+
+One API — :func:`run_batch` — two executors:
+
+* :class:`SerialExecutor` — in-process, the default everywhere and the
+  oracle the parallel path is differentially tested against;
+* :class:`ParallelExecutor` — ``ProcessPoolExecutor``-backed fan-out with
+  worker-crash containment (quarantine retries, structured
+  ``worker-crash`` errors) and per-worker warm-up.
+
+The determinism contract — per-task ``random.Random`` streams derived
+from ``(batch seed, task index)``, outcomes ordered by task index,
+chunking invisible in results — makes ``jobs=K`` a pure wall-clock knob:
+``python -m repro audit --jobs 4`` writes the same bytes as the serial
+run.  See DESIGN.md §6 ("The parallel runtime").
+"""
+
+from .batch import (
+    ERROR_DISPATCH,
+    ERROR_EXCEPTION,
+    ERROR_WORKER_CRASH,
+    BatchResult,
+    BatchTask,
+    TaskError,
+    TaskOutcome,
+    derive_task_rng,
+)
+from .executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    run_batch,
+)
+
+__all__ = [
+    "BatchTask",
+    "TaskError",
+    "TaskOutcome",
+    "BatchResult",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "run_batch",
+    "derive_task_rng",
+    "default_jobs",
+    "ERROR_EXCEPTION",
+    "ERROR_WORKER_CRASH",
+    "ERROR_DISPATCH",
+]

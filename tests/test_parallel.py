@@ -1,0 +1,350 @@
+"""The parallel batch runtime: determinism, containment, observability.
+
+The load-bearing property is the oracle relation: for any task list,
+``ParallelExecutor(jobs=k)`` must produce outcomes *equal* to
+``SerialExecutor`` — same values, same structured errors, same order —
+for every k and every chunking.  Everything else (crash containment,
+pickling hygiene, metrics) protects that property or observes it.
+"""
+
+import os
+import pickle
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.settings_profiles import QUICK_SETTINGS
+from repro.errors import MachineError, ReproError
+from repro.machines.library import coin_flip_machine, equality_machine
+from repro.machines.random_machines import random_terminating_tm
+from repro.parallel import (
+    ERROR_EXCEPTION,
+    ERROR_WORKER_CRASH,
+    BatchTask,
+    ParallelExecutor,
+    SerialExecutor,
+    derive_task_rng,
+    run_batch,
+)
+
+
+# -- module-level task bodies (workers import these by qualified name) ----
+
+
+def square(x):
+    return x * x
+
+
+def draw(count, rng):
+    return [rng.randrange(1000) for _ in range(count)]
+
+
+def fail_on(x, bad):
+    if x == bad:
+        raise ValueError(f"poisoned input {x}")
+    return x
+
+
+def die_on(x, bad):
+    if x == bad:
+        os._exit(13)  # hard crash: no exception crosses the pipe
+    return x
+
+
+def _accepts(machine, word):
+    from repro.machines.fast_engine import run_deterministic
+
+    return run_deterministic(machine, word).accepts(machine)
+
+
+def accepts_random_tm(seed, word):
+    machine = random_terminating_tm(seed)
+    try:
+        return _accepts(machine, word)
+    except MachineError as exc:  # generator artifact: left-end fall
+        return f"machine-error:{exc}"
+
+
+class TestOracleRelation:
+    """Parallel == serial, for values, errors, and order."""
+
+    def test_values_and_order(self):
+        tasks = [BatchTask.call(square, x) for x in range(17)]
+        serial = SerialExecutor().run_batch(tasks)
+        for jobs in (2, 4):
+            par = ParallelExecutor(jobs).run_batch(tasks)
+            assert par.outcomes == serial.outcomes
+        assert serial.values() == [x * x for x in range(17)]
+
+    def test_seeded_tasks_identical_across_chunkings(self):
+        tasks = [BatchTask.call(draw, 5, seeded=True) for _ in range(9)]
+        baseline = SerialExecutor().run_batch(tasks, seed=42)
+        for jobs, chunk in ((2, 1), (2, 4), (4, 2), (3, None)):
+            par = ParallelExecutor(jobs).run_batch(
+                tasks, seed=42, chunk_size=chunk
+            )
+            assert par.outcomes == baseline.outcomes
+        # the streams really are per-task: task 0 and task 1 differ
+        assert baseline.outcomes[0].value != baseline.outcomes[1].value
+
+    def test_seed_changes_streams(self):
+        tasks = [BatchTask.call(draw, 5, seeded=True)]
+        a = run_batch(tasks, seed=1)
+        b = run_batch(tasks, seed=2)
+        assert a.outcomes[0].value != b.outcomes[0].value
+
+    def test_derive_task_rng_is_the_contract(self):
+        expected = [
+            derive_task_rng(42, i).randrange(1000) for i in range(3)
+        ]
+        tasks = [BatchTask.call(draw, 1, seeded=True) for _ in range(3)]
+        got = [v[0] for v in run_batch(tasks, seed=42).values()]
+        assert got == expected
+
+    def test_structured_errors_match_serial(self):
+        tasks = [BatchTask.call(fail_on, x, 3) for x in range(6)]
+        serial = SerialExecutor().run_batch(tasks)
+        par = ParallelExecutor(2).run_batch(tasks)
+        assert par.outcomes == serial.outcomes
+        (bad,) = serial.errors
+        assert bad.index == 3
+        assert bad.error.kind == ERROR_EXCEPTION
+        assert bad.error.exception_type == "ValueError"
+        assert "poisoned" in bad.error.message
+        with pytest.raises(ReproError, match="poisoned"):
+            par.values()
+        assert par.values(strict=False)[3] is None
+
+    def test_empty_batch(self):
+        for jobs in (1, 2):
+            result = run_batch([], jobs=jobs)
+            assert result.outcomes == ()
+            assert result.ok
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.text(alphabet="01", max_size=5),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.booleans(),
+    )
+    @QUICK_SETTINGS
+    def test_random_machine_batches_match(self, cases, poison):
+        """Random TM runs — with an error path mixed in — agree exactly
+        between the serial oracle and both parallel widths."""
+        tasks = [
+            BatchTask.call(accepts_random_tm, seed, word)
+            for seed, word in cases
+        ]
+        if poison:
+            tasks.append(BatchTask.call(fail_on, 3, 3))
+        serial = SerialExecutor().run_batch(tasks)
+        for jobs in (2, 4):
+            par = ParallelExecutor(jobs).run_batch(tasks)
+            assert par.outcomes == serial.outcomes
+
+
+class TestCrashContainment:
+    def test_worker_crash_is_contained(self):
+        tasks = [BatchTask.call(die_on, x, 4) for x in range(8)]
+        result = ParallelExecutor(2, max_retries=1).run_batch(tasks)
+        crashed = result.outcomes[4]
+        assert not crashed.ok
+        assert crashed.error.kind == ERROR_WORKER_CRASH
+        assert crashed.attempts == 2  # initial + max_retries retries
+        # every innocent sibling completed, in order, first attempt
+        for x, outcome in enumerate(result.outcomes):
+            assert outcome.index == x
+            if x != 4:
+                assert outcome.ok and outcome.value == x
+        assert result.worker_restarts >= 1
+
+    def test_unpicklable_task_is_a_dispatch_error_not_a_hang(self):
+        tasks = [
+            BatchTask.call(square, 2),
+            BatchTask.call(lambda x: x, 1),  # lambdas do not pickle
+        ]
+        result = ParallelExecutor(2).run_batch(tasks)
+        assert result.outcomes[0].ok
+        assert not result.outcomes[1].ok
+
+    def test_serial_executor_never_retries_crashes(self):
+        # the serial oracle runs in-process; a crash there is a real
+        # crash, so only the exception path is containable
+        tasks = [BatchTask.call(fail_on, 1, 1)]
+        result = SerialExecutor().run_batch(tasks)
+        assert result.outcomes[0].error.kind == ERROR_EXCEPTION
+
+
+class TestMachinePickling:
+    def test_compiled_caches_are_not_pickled(self):
+        machine = equality_machine()
+        word = "0101#0101"
+        before = _accepts(machine, word)  # warms both caches
+        assert "_compiled_steps" in machine.__dict__
+        assert "_transition_index" in machine.__dict__
+        state = machine.__getstate__()
+        assert "_compiled_steps" not in state
+        assert "_transition_index" not in state
+        clone = pickle.loads(pickle.dumps(machine))
+        assert "_compiled_steps" not in clone.__dict__
+        assert clone == machine
+        assert _accepts(clone, word) == before
+
+    def test_round_trip_runs_bit_identically(self):
+        machine = coin_flip_machine()
+        clone = pickle.loads(pickle.dumps(machine))
+        from repro.machines.fast_engine import acceptance_probability
+
+        assert acceptance_probability(machine, "0101") == (
+            acceptance_probability(clone, "0101")
+        )
+
+
+class TestObservability:
+    def test_batch_span_and_counters(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.trace import Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        tasks = [BatchTask.call(square, x) for x in range(5)]
+        run_batch(
+            tasks, jobs=2, label="probe", registry=registry, tracer=tracer
+        )
+        assert registry.counter("batch_tasks_dispatched").value(
+            batch="probe"
+        ) == 5
+        assert registry.counter("batch_tasks_completed").value(
+            batch="probe"
+        ) == 5
+        assert registry.counter("batch_tasks_failed").value(batch="probe") == 0
+        assert registry.histogram("batch_task_seconds").count(batch="probe") == 5
+        (span,) = [s for s in tracer.spans() if s.name == "batch:probe"]
+        assert span.category == "batch"
+        assert span.args["tasks"] == 5
+        assert span.args["jobs"] == 2
+        assert span.args["completed"] == 5
+        assert span.args["failed"] == 0
+
+    def test_restart_counter_on_crash(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tasks = [BatchTask.call(die_on, x, 1) for x in range(3)]
+        ParallelExecutor(2, max_retries=0).run_batch(
+            tasks, label="crashy", registry=registry
+        )
+        assert registry.counter("batch_worker_restarts").value(
+            batch="crashy"
+        ) >= 1
+
+    def test_dag_stats_reach_the_registry(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.trace import EngineProbe, Tracer
+        from repro.machines.fast_engine import acceptance_probability
+
+        registry = MetricsRegistry()
+        probe = EngineProbe(tracer=Tracer(), registry=registry)
+        acceptance_probability(coin_flip_machine(), "01", probe=probe)
+        assert registry.counter("dag_configs_interned_total").value() > 0
+        assert registry.counter("dag_frames_total").value() > 0
+
+
+class TestRoutedCallSites:
+    """The four production sweeps really go through the runtime and
+    really don't change their answers."""
+
+    def test_audit_parallel_json_identical(self):
+        import json
+
+        from repro.observability.audit import run_contract_audit
+
+        serial = json.dumps(run_contract_audit(quick=True).to_json_dict())
+        par = json.dumps(run_contract_audit(quick=True, jobs=2).to_json_dict())
+        assert par == serial
+
+    def test_census_parity_and_factory_requirement(self):
+        import functools
+
+        from repro.listmachine.examples import tandem_compare_nlm
+        from repro.lowerbounds.counting import enumerate_skeletons
+
+        alphabet = frozenset({"00", "01", "10", "11"})
+        factory = functools.partial(tandem_compare_nlm, alphabet, 2)
+        nlm = factory()
+        serial = enumerate_skeletons(nlm, sorted(alphabet), r=2)
+        par = enumerate_skeletons(
+            nlm, sorted(alphabet), r=2, jobs=2, machine_factory=factory
+        )
+        assert par == serial
+        with pytest.raises(MachineError, match="machine_factory"):
+            enumerate_skeletons(nlm, sorted(alphabet), r=2, jobs=2)
+
+    def test_census_decode_matches_product_order(self):
+        import itertools
+
+        from repro.lowerbounds.counting import decode_input
+
+        alphabet = ("a", "b", "c")
+        listed = list(itertools.product(alphabet, repeat=3))
+        decoded = [decode_input(alphabet, 3, i) for i in range(len(listed))]
+        assert decoded == listed
+
+    def test_mc_acceptance_estimate_is_jobs_invariant(self):
+        from repro.machines.randomized import estimate_acceptance_probability
+
+        machine = coin_flip_machine()
+        serial = estimate_acceptance_probability(machine, "0101", 96, seed=5)
+        par = estimate_acceptance_probability(
+            machine, "0101", 96, seed=5, jobs=3
+        )
+        assert par == serial
+        # a fair coin over 96 trials should land loosely around 1/2
+        assert 0.25 <= float(serial.estimate) <= 0.75
+
+    def test_fingerprint_trials_jobs_invariant(self):
+        from repro.algorithms.fingerprint import monte_carlo_fingerprint_trials
+
+        serial = monte_carlo_fingerprint_trials(
+            4, 8, 32, kind="near-miss", seed=3
+        )
+        par = monte_carlo_fingerprint_trials(
+            4, 8, 32, kind="near-miss", seed=3, jobs=2
+        )
+        assert par == serial
+        assert serial.trials == 32
+
+    def test_rtm_check_jobs_invariant(self):
+        from repro.machines.randomized import check_half_zero_rtm
+
+        machine = coin_flip_machine()
+        serial = check_half_zero_rtm(machine, ["01", "0011"], [])
+        par = check_half_zero_rtm(machine, ["01", "0011"], [], jobs=2)
+        assert par == serial
+        assert serial.holds
+
+    def test_engine_bench_rows_jobs_invariant_shape(self):
+        import sys
+        from pathlib import Path
+
+        bench_dir = str(Path(__file__).resolve().parent.parent / "benchmarks")
+        sys.path.insert(0, bench_dir)
+        try:
+            from bench_engine import run_engine_benchmark
+        finally:
+            sys.path.remove(bench_dir)
+
+        serial = run_engine_benchmark(sizes=(16,), repeats=1)
+        par = run_engine_benchmark(sizes=(16,), repeats=1, jobs=2)
+        strip = lambda rows: [
+            {k: v for k, v in r.items() if "seconds" not in k and k != "speedup"}
+            for r in rows
+        ]
+        assert strip(par) == strip(serial)
+        assert all(r["verified_identical"] for r in serial)

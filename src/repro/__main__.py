@@ -204,7 +204,10 @@ def _cmd_trace(
                     f"= {float(estimate.estimate):.4f}  (exact: {float(p):.4f})"
                 )
         else:
-            from .machines.fast_engine import run_deterministic
+            # front door: the attached probe forces the per-step streaming
+            # tier, so the span/event output stays byte-identical even when
+            # the machine is compilable
+            from .machines.engine import run_deterministic
 
             result = run_deterministic(machine, word, probe=probe)
             probe.finish()

@@ -62,7 +62,7 @@ def verify_all(seed: int = 0) -> List[TheoremCheck]:
     "Every run of an (r,s,t)-bounded TM has length ≤ N·2^{O(r(t+s))}.",
 )
 def _check_lemma3(rng, result_id, statement):
-    from ..machines import equality_machine, fast_run_deterministic as run_deterministic
+    from ..machines import equality_machine, run_deterministic
     from .bounds import lemma3_bound
 
     machine = equality_machine()

@@ -22,13 +22,19 @@ Machines are built either directly from a transition relation or through
 the small DSL in :mod:`~repro.machines.builder`; :mod:`~repro.machines.
 library` ships concrete machines used across tests and experiments.
 
-Two engines implement the semantics: the **reference engine**
+Three engines implement the semantics, pinned bit-identical by
+differential tests: the **reference engine**
 (:mod:`~repro.machines.execute`) materializes full configuration
-histories, and the **streaming engine** (:mod:`~repro.machines.fast_engine`)
+histories, the **streaming engine** (:mod:`~repro.machines.fast_engine`)
 simulates in O(1) extra memory per step with incrementally maintained
-statistics — bit-identical results, enforced by differential tests.
-Hot paths use the streaming engine; pass ``trace=True`` to it when the
-full history is needed.
+statistics, and the **compiled engine**
+(:mod:`~repro.machines.compiled_engine`) lowers the transition relation
+to dense integer tables and executes straight-line head sweeps as
+macro-steps.  The package-level :func:`run_deterministic` /
+:func:`run_with_choices` go through the tier-selection front door in
+:mod:`~repro.machines.engine` (``engine="auto"`` picks the compiled
+tier, falling back to streaming for ``trace=True``, attached probes and
+machines the compiler cannot lower).
 """
 
 from .tm import TuringMachine, Transition, L, N, R
@@ -36,10 +42,17 @@ from .config import Configuration
 from .execute import (
     Run,
     RunStatistics,
-    run_deterministic,
     enumerate_runs,
-    run_with_choices,
     choice_alphabet,
+)
+
+# The canonical run functions are the tier-selecting front door; pass
+# engine="reference" / "streaming" / "compiled" to pin a tier.
+from .engine import (
+    ENGINES,
+    resolve_engine,
+    run_deterministic,
+    run_with_choices,
 )
 
 # The canonical acceptance_probability is the streaming engine's iterative
@@ -83,6 +96,8 @@ __all__ = [
     "acceptance_probability",
     "run_with_choices",
     "choice_alphabet",
+    "ENGINES",
+    "resolve_engine",
     "FastRun",
     "StepState",
     "fast_run_deterministic",

@@ -1,0 +1,1028 @@
+"""Compiled execution engine: dense integer tables + macro-step sweeps.
+
+The streaming engine (:mod:`repro.machines.fast_engine`) already runs in
+O(1) per step, but every step still pays Python-level prices: a tuple
+allocation for the read vector, a dict hash/probe to find the transition
+group, and per-character list writes.  This module is the third tier.  A
+one-shot **compilation pass** interns states and tape symbols to dense
+integer ids and lowers the whole transition relation into a flat table
+indexed by a single integer *cell code*
+
+    cell = state_id * A**T  +  Σ_i  symbol_id(tape i) * A**i
+
+(A = alphabet size, T = tape count), so per-step dispatch is one list
+index — no hashing, no tuple building.  Tape contents are ``bytearray``
+buffers of symbol ids, and each table record carries precomputed integer
+deltas (``jmp``/``ms`` below) such that the next cell code is obtained
+with one add and one multiply from the byte under the moved head.
+
+On top of the table sits the **macro-step layer**, two sweep shapes:
+
+* *self-loop sweeps* (kind 1): a cell whose (single) transition stays in
+  the same state, moves one head in a fixed direction and writes only on
+  that tape.  A whole maximal run of sweep-eligible symbols executes as
+  one bounded jump using C-level machinery — ``re`` character-class
+  matching for rightward sweeps, ``translate``/``rfind`` for leftward
+  ones, a 256-byte translation table for the writes.
+* *two-step cycle sweeps* (kind 2): the alternation ``q0 --move tape A-->
+  q1 --move tape B--> q0`` that normalized copy/compare loops compile to
+  (one head may only move per step, so "copy one symbol" is two states).
+  Compilation groups such cells into families keyed by (q0, moving
+  tapes, directions, off-cycle read context), intersects the set ``C1``
+  of symbols tape A may read mid-cycle, and classifies the family's
+  (symbol-on-A, symbol-on-B) pair predicate as a *rectangle* (SA × SB,
+  sides checked independently via run scans) or a *function* (y = h(x),
+  checked by ``translate`` + longest-common-prefix).  Writes must be
+  expressible as a per-tape function of one side's old symbol (a
+  256-byte translate table, possibly cross-tape — copy's tape 2 is
+  ``translate`` of tape 1's slice).  ``k`` whole iterations (2k steps)
+  then execute as slice operations.
+
+Sweep resource charges go to an attached
+:class:`~repro.extmem.tracker.ResourceTracker` via the atomic
+:meth:`~repro.extmem.tracker.ResourceTracker.charge_batch`, split so the
+tracker state at any denial is bit-identical to per-step charging.
+
+Soundness of a sweep of length ``k`` from position ``p``:
+
+* every swept cell's symbol is in the group's eligible set, so the
+  machine provably performs exactly those ``k`` self-loop steps;
+* ``k`` is capped by the step guard (so step-budget/choice-exhaustion
+  errors fire on exactly the same step as in the streaming engine), by
+  the tape wall (the sweep lands *on* cell 0 and lets the ordinary
+  micro-step raise the fall-off error with the streaming engine's exact
+  message), by the written prefix (the blank frontier is re-dispatched),
+  and by the remaining internal-space budget (so a denied space charge
+  can only ever happen on a micro-step, where the charge order is
+  bit-identical to the streaming engine's);
+* the sweep's sole potential reversal is its first step, so the batch
+  charges at most one reversal — with the same arguments a per-step
+  ``charge_reversal`` would have used, preserving denial behavior.
+
+Nondeterministic choice mode never macro-steps: choice sequences may be
+lazy (``randomized._RandomChoices`` draws from an RNG on access), so the
+engine must consume ``choices[step]`` exactly once per step, in order.
+
+Machines the compiler cannot lower (alphabet > 255 symbols, multi-char
+symbols, oversized state×code tables) and run modes that need per-step
+observation (``trace=True``, an attached probe) fall back to the
+streaming engine; :func:`try_compile` caches the verdict on the machine
+instance under ``_compiled_program`` (stripped on pickle alongside the
+other derived caches — compiled regex programs do not pickle).
+
+Differential tests (``tests/test_compiled_engine.py``,
+``tests/test_cross_engine.py``) pin this engine bit-identical to the
+reference engine: same ``FastRun.final``, same ``RunStatistics``, same
+error types/messages, same tracker totals under enforcement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import MachineError
+from ..extmem.tape import BLANK
+from .execute import DEFAULT_STEP_LIMIT, Run, RunStatistics
+from .config import Configuration
+from .fast_engine import FastRun, _raise_step_violation, _step_guard_limit
+from . import fast_engine
+from .tm import L, R, TuringMachine
+
+#: Upper bound on ``|states| * A**T`` table slots; machines past it run on
+#: the streaming engine.  2^21 slots ≈ 17 MB of list headers — far above
+#: any library or randomly generated machine, low enough to never surprise.
+MAX_TABLE_CELLS = 1 << 21
+
+#: Sentinel cached on the machine when compilation was attempted and
+#: declined, so the verdict is computed once.
+_UNCOMPILABLE = "uncompilable"
+
+
+class _Macro:
+    """Shared sweep machinery for one (state, context, direction) group.
+
+    ``emap`` maps eligible symbol ids to the symbol id the self-loop
+    writes over them.  Rightward sweeps find the maximal eligible run
+    with a compiled character-class regex (``match(buf, pos, endpos)``
+    is pure C); leftward sweeps translate the candidate slice to a
+    0/1 membership string and ``rfind`` the last blocker.  Writes are a
+    single 256-byte ``translate`` over the swept slice, or skipped when
+    every eligible symbol rewrites itself.
+    """
+
+    kind = 1
+    __slots__ = ("pattern", "mask", "write_table", "blank_write")
+
+    def __init__(self, delta: int, emap: Dict[int, int]):
+        if delta > 0:
+            cls = b"".join(re.escape(bytes([s])) for s in sorted(emap))
+            self.pattern = re.compile(b"[" + cls + b"]*")
+            self.mask = None
+        else:
+            self.pattern = None
+            self.mask = bytes(0 if b in emap else 1 for b in range(256))
+        if any(w != s for s, w in emap.items()):
+            self.write_table = bytes(emap.get(b, b) for b in range(256))
+        else:
+            self.write_table = None
+        #: What the loop writes over a blank cell, or -1 when blanks are
+        #: not eligible (or eligible but rewritten — those sweeps stop at
+        #: the written prefix and let micro-steps grow it).
+        self.blank_write = emap.get(0, -1)
+
+
+class _SetRun:
+    """Maximal-run scanner for one symbol-id set in one direction.
+
+    Rightward runs use a compiled character class (``match`` is pure C);
+    leftward runs translate the candidate slice to a 0/1 blocker string
+    and ``rfind`` the last blocker.  ``has_blank`` lets :func:`_runlen`
+    extend runs across the unwritten blank region beyond the buffer.
+    """
+
+    __slots__ = ("pattern", "mask", "has_blank")
+
+    def __init__(self, syms, direction):
+        self.has_blank = 0 in syms
+        if direction > 0:
+            if syms:
+                cls = b"".join(re.escape(bytes([s])) for s in sorted(syms))
+                self.pattern = re.compile(b"[" + cls + b"]*")
+            else:
+                self.pattern = re.compile(b"")
+            self.mask = None
+        else:
+            self.pattern = None
+            self.mask = bytes(0 if b in syms else 1 for b in range(256))
+
+
+def _runlen(buf, pos, d, sr, cap):
+    """Length of the maximal ``sr``-member run at pos, pos+d, ... (<= cap)."""
+    if cap <= 0:
+        return 0
+    n = len(buf)
+    if d > 0:
+        if pos >= n:
+            return cap if sr.has_blank else 0
+        end = pos + cap
+        j = sr.pattern.match(buf, pos, end if end < n else n).end() - pos
+        if j == n - pos and end > n and sr.has_blank:
+            j = cap
+        return j
+    lo = pos - cap + 1
+    if lo < 0:
+        lo = 0
+    if pos >= n:
+        if not sr.has_blank:
+            return 0
+        if lo >= n:
+            return pos - lo + 1
+        count = pos - n + 1
+        hi = n - 1
+    else:
+        count = 0
+        hi = pos
+    blocked = buf[lo:hi + 1].translate(sr.mask)
+    idx = blocked.rfind(b"\x01")
+    if idx < 0:
+        count += hi - lo + 1
+    else:
+        count += hi - lo - idx
+    return count
+
+
+def _seg(buf, pos, d, k):
+    """``k`` symbol ids at pos, pos+d, ... in iteration order, blank-padded."""
+    if k <= 0:
+        return b""
+    if d > 0:
+        raw = bytes(buf[pos:pos + k]) if pos < len(buf) else b""
+        if len(raw) < k:
+            raw += b"\x00" * (k - len(raw))
+        return raw
+    lo = pos - k + 1
+    raw = bytes(buf[lo:pos + 1])
+    out = raw[::-1]
+    if len(out) < k:
+        out = b"\x00" * (k - len(out)) + out
+    return out
+
+
+def _write_seg(buf, pos, d, data):
+    """Write ``data[i]`` at pos + i*d, preserving written-prefix semantics.
+
+    Bytes appended past the current written prefix have their *trailing*
+    blanks trimmed first: the streaming engine's write never materializes
+    a blank written over a blank beyond the prefix, and final tapes are
+    compared as strings.
+    """
+    k = len(data)
+    n = len(buf)
+    if d > 0:
+        if pos < n:
+            m = n - pos
+            if m >= k:
+                buf[pos:pos + k] = data
+                return
+            buf[pos:n] = data[:m]
+            ext = data[m:].rstrip(b"\x00")
+            if ext:
+                buf.extend(ext)
+        else:
+            ext = data.rstrip(b"\x00")
+            if ext:
+                if pos > n:
+                    buf.extend(b"\x00" * (pos - n))
+                buf.extend(ext)
+        return
+    lo = pos - k + 1
+    rdata = data[::-1]
+    if pos < n:
+        buf[lo:pos + 1] = rdata
+        return
+    m = n - lo
+    if m < 0:
+        m = 0
+    if m:
+        buf[lo:n] = rdata[:m]
+    ext = rdata[m:].rstrip(b"\x00")
+    if ext:
+        buf.extend(ext)
+
+
+def _common_prefix(a, b):
+    """Longest common prefix length of two equal-length byte strings."""
+    if a == b:
+        return len(a)
+    lo, hi = 0, len(a)
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if a[:mid] == b[:mid]:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+class _CycleMacro:
+    """Two-step cycle sweep: ``q0 --move tape A--> q1 --move tape B--> q0``.
+
+    One iteration = the two steps; ``k`` iterations run when (a) every
+    mid-cycle read of tape A (positions pA+dA .. pA+k*dA) is in the
+    intersected continue-set ``C1``, (b) the (x_i, y_i) symbol pairs
+    under the two heads satisfy the family's pair predicate for
+    i = 1..k-1 (iteration 0 holds by dispatch), (c) 2k stays under the
+    step guard, and (d) neither head crosses the left wall.  All reads a
+    sweep depends on happen, in the per-step engine, strictly before the
+    sweep's writes reach them (heads move monotonically; the cycle's
+    second step writes nothing), so slice-level execution is exact.
+    """
+
+    kind = 2
+    __slots__ = (
+        "mA", "dA", "mB", "dB", "msA", "msB", "cbase", "c1tab", "e1run",
+        "sbrun", "htab", "wa_src", "wa_tab", "wb_src", "wb_tab",
+    )
+
+    def __init__(self, mA, dA, mB, dB, msA, msB, cbase, c1, e1, sb, h,
+                 wa_src, wa_tab, wb_src, wb_tab):
+        self.mA = mA
+        self.dA = dA
+        self.mB = mB
+        self.dB = dB
+        self.msA = msA
+        self.msB = msB
+        self.cbase = cbase
+        self.c1tab = bytes(1 if b in c1 else 0 for b in range(256))
+        self.e1run = _SetRun(e1, dA)
+        #: rectangle mode: run scanner over SB (y side); None in function mode
+        self.sbrun = _SetRun(sb, dB) if sb is not None else None
+        #: function mode: x-byte -> expected y-byte; None in rectangle mode
+        self.htab = h
+        #: write sources: 0 = no writes, 1 = f(x), 2 = f(y)
+        self.wa_src = wa_src
+        self.wa_tab = wa_tab
+        self.wb_src = wb_src
+        self.wb_tab = wb_tab
+
+
+#: One table record (a plain tuple — one list index + one unpack beats
+#: several ``array`` reads per dispatch in CPython):
+#:
+#:   (nf, wchanges, mover, delta, jmp, ms, macro, mbase)
+#:
+#: nf        next state is final (loop exit test)
+#: wchanges  ((tape, write_byte), ...) only where write != read
+#: mover     moving tape index, -1 when no head moves
+#: delta     +1 / -1 / 0
+#: jmp       precomputed next-cell-code delta: for a move,
+#:           full' = full + jmp + byte_under_moved_head * ms;
+#:           without a move, full' = full + jmp
+#: ms        A**mover (0 when no head moves)
+#: macro     shared _Macro of this cell's sweep group, or None
+#: mbase     cell code of this group with the mover digit zeroed:
+#:           after a sweep, full = mbase + landing_byte * ms
+_Rec = Tuple[bool, Tuple[Tuple[int, int], ...], int, int, int, int,
+             Optional[_Macro], int]
+
+
+class CompiledProgram:
+    """A machine lowered to dense integer tables (see module docstring)."""
+
+    __slots__ = (
+        "machine",
+        "symbols",
+        "byte_of",
+        "state_names",
+        "strides",
+        "nsyms",
+        "ncodes",
+        "tape_count",
+        "initial_sid",
+        "initial_final",
+        "det_cells",
+        "nd_cells",
+        "macro_cells",
+    )
+
+    def __init__(self, machine, symbols, state_names, det_cells, nd_cells,
+                 macro_cells):
+        self.machine = machine
+        self.symbols = symbols  # id -> symbol, as one str (ids are chars)
+        self.byte_of = {s: i for i, s in enumerate(symbols)}
+        self.state_names = state_names
+        self.nsyms = len(symbols)
+        self.tape_count = machine.tape_count
+        self.strides = tuple(
+            len(symbols) ** i for i in range(machine.tape_count)
+        )
+        self.ncodes = len(symbols) ** machine.tape_count
+        self.initial_sid = state_names.index(machine.initial_state)
+        self.initial_final = machine.initial_state in machine.final_states
+        self.det_cells = det_cells  # flat list[_Rec | None], or None if NTM
+        self.nd_cells = nd_cells  # flat list[tuple[_Rec, ...] | None]
+        self.macro_cells = macro_cells  # diagnostic: sweep-eligible cells
+
+
+def _compile(machine: TuringMachine) -> Optional[CompiledProgram]:
+    symbols = [BLANK] + sorted(machine.alphabet - {BLANK})
+    if len(symbols) > 255 or any(len(s) != 1 for s in symbols):
+        return None
+    byte_of = {s: i for i, s in enumerate(symbols)}
+    tapes = machine.tape_count
+    nsyms = len(symbols)
+    ncodes = nsyms ** tapes
+    state_names = tuple(sorted(machine.states))
+    if len(state_names) * ncodes > MAX_TABLE_CELLS:
+        return None
+    sid_of = {q: i for i, q in enumerate(state_names)}
+    strides = [nsyms ** i for i in range(tapes)]
+    final_states = machine.final_states
+
+    size = len(state_names) * ncodes
+    groups: Dict[int, List] = {}
+    for tr in machine.transitions:
+        own_base = sid_of[tr.state] * ncodes
+        rcode = sum(byte_of[tr.read[i]] * strides[i] for i in range(tapes))
+        cell = own_base + rcode
+        wchanges = tuple(
+            (i, byte_of[w])
+            for i, (r, w) in enumerate(zip(tr.read, tr.write))
+            if w != r
+        )
+        mover, delta = -1, 0
+        for i, mv in enumerate(tr.moves):
+            if mv == R:
+                mover, delta = i, 1
+                break
+            if mv == L:
+                mover, delta = i, -1
+                break
+        wdelta = sum((wb - byte_of[tr.read[i]]) * strides[i]
+                     for i, wb in wchanges)
+        base2 = sid_of[tr.new_state] * ncodes
+        if mover >= 0:
+            ms = strides[mover]
+            jmp = base2 - own_base + wdelta - byte_of[tr.write[mover]] * ms
+        else:
+            ms = 0
+            jmp = base2 - own_base + wdelta
+        rec = [
+            tr.new_state in final_states,  # nf
+            wchanges,
+            mover,
+            delta,
+            jmp,
+            ms,
+            None,  # macro (attached below, deterministic cells only)
+            0,  # mbase
+            tr,  # build-time only, dropped before freezing
+        ]
+        groups.setdefault(cell, []).append(rec)
+
+    nd_cells: List[Optional[tuple]] = [None] * size
+    for cell, recs in groups.items():
+        nd_cells[cell] = tuple(tuple(r[:8]) for r in recs)
+
+    det_cells: Optional[List[Optional[_Rec]]] = None
+    macro_cells = 0
+    if machine.is_deterministic:
+        # -- macro detection: group self-looping single-write cells by
+        # (state, moving tape, direction, read context off the mover)
+        sweep_groups: Dict[Tuple[int, int, int, int], Dict[int, int]] = {}
+        for cell, recs in groups.items():
+            (nf, wchanges, mover, delta, _jmp, _ms, _m, _b, tr) = recs[0]
+            if nf or mover < 0 or tr.new_state != tr.state:
+                continue
+            if any(i != mover for i, _w in wchanges):
+                continue
+            s_m = byte_of[tr.read[mover]]
+            mbase = cell - s_m * strides[mover]
+            key = (sid_of[tr.state], mover, delta, mbase)
+            sweep_groups.setdefault(key, {})[s_m] = byte_of[tr.write[mover]]
+        for (sid, mover, delta, mbase), emap in sweep_groups.items():
+            macro = _Macro(delta, emap)
+            for s_m in emap:
+                rec = groups[mbase + s_m * strides[mover]][0]
+                rec[6] = macro
+                rec[7] = mbase
+                macro_cells += 1
+        # -- two-step cycle detection: q0 -(move A)-> q1 -(move B)-> q0.
+        # For each candidate step-A cell, probe every symbol tape A could
+        # read after its move; the probe succeeds when that cell's (only)
+        # transition writes nothing, moves a second tape, and returns to
+        # q0.  Families share (q0, tapes, directions, off-cycle context).
+        cyc_families: Dict[Tuple[int, int, int, int, int, int], List] = {}
+        for cell, recs in groups.items():
+            (nf, wchanges, mover, delta, _jmp, _ms, mac, _b, tr) = recs[0]
+            if nf or mover < 0 or mac is not None:
+                continue
+            if tr.new_state == tr.state or tr.new_state in final_states:
+                continue
+            off_mover_writes = {i for i, _w in wchanges if i != mover}
+            v1 = [byte_of[c] for c in tr.read]
+            for i, wb in wchanges:
+                v1[i] = wb
+            base1 = sid_of[tr.new_state] * ncodes
+            c1 = set()
+            mB = dB = None
+            for sb in range(nsyms):
+                v1[mover] = sb
+                recs2 = groups.get(
+                    base1 + sum(v1[i] * strides[i] for i in range(tapes))
+                )
+                if not recs2:
+                    continue
+                (nf2, wch2, mv2, dl2, _j2, _m2, _c2, _b2, tr2) = recs2[0]
+                if nf2 or wch2 or mv2 < 0 or mv2 == mover:
+                    continue
+                if tr2.new_state != tr.state:
+                    continue
+                if mB is None:
+                    mB, dB = mv2, dl2
+                if (mv2, dl2) != (mB, dB):
+                    continue
+                c1.add(sb)
+            if not c1 or mB is None:
+                continue
+            if off_mover_writes - {mB}:
+                continue  # step A writes off the two cycle tapes
+            x = byte_of[tr.read[mover]]
+            y = byte_of[tr.read[mB]]
+            cbase = cell - x * strides[mover] - y * strides[mB]
+            key = (sid_of[tr.state], mover, delta, mB, dB, cbase)
+            wch = dict(wchanges)
+            cyc_families.setdefault(key, []).append(
+                (cell, x, y, wch.get(mover, x), wch.get(mB, y),
+                 frozenset(c1))
+            )
+        for (q0sid, mA, dA, mB, dB, cbase), members in cyc_families.items():
+            c1 = frozenset.intersection(*(m[5] for m in members))
+            if not c1:
+                continue
+            pairs = {(x, y) for (_c, x, y, _wa, _wb, _s) in members}
+            sa = {x for x, _y in pairs}
+            sb = {y for _x, y in pairs}
+            htab = None
+            sb_or_none = sb
+            if pairs != {(xx, yy) for xx in sa for yy in sb}:
+                # not a rectangle: try y = h(x)
+                h: Dict[int, int] = {}
+                if any(h.setdefault(x, y) != y for x, y in pairs):
+                    continue
+                htab = bytes(h.get(b, 255) for b in range(256))
+                sb_or_none = None
+            wa_src = wa_tab = None
+            wb_src = wb_tab = None
+            ok = True
+            for tape_sym, val_idx in ((0, 3), (1, 4)):
+                # fit the write on tape A (resp. B) as f(x) or f(y)
+                if all(m[val_idx] == m[1 + tape_sym] for m in members):
+                    src, tab = 0, None
+                else:
+                    by_x: Dict[int, int] = {}
+                    by_y: Dict[int, int] = {}
+                    okx = oky = True
+                    for m in members:
+                        if by_x.setdefault(m[1], m[val_idx]) != m[val_idx]:
+                            okx = False
+                        if by_y.setdefault(m[2], m[val_idx]) != m[val_idx]:
+                            oky = False
+                    if okx:
+                        src = 1
+                        tab = bytes(by_x.get(b, b) for b in range(256))
+                    elif oky:
+                        src = 2
+                        tab = bytes(by_y.get(b, b) for b in range(256))
+                    else:
+                        ok = False
+                        break
+                if tape_sym == 0:
+                    wa_src, wa_tab = src, tab
+                else:
+                    wb_src, wb_tab = src, tab
+            if not ok:
+                continue
+            e1 = c1 & sa
+            macro = _CycleMacro(
+                mA, dA, mB, dB, strides[mA], strides[mB], cbase, c1, e1,
+                sb_or_none, htab, wa_src, wa_tab, wb_src, wb_tab,
+            )
+            for (cell, _x, _y, _wa, _wb, _s) in members:
+                rec = groups[cell][0]
+                rec[6] = macro
+                macro_cells += 1
+        det_cells = [None] * size
+        for cell, recs in groups.items():
+            det_cells[cell] = tuple(recs[0][:8])
+
+    return CompiledProgram(
+        machine, "".join(symbols), state_names, det_cells, nd_cells,
+        macro_cells,
+    )
+
+
+def try_compile(machine: TuringMachine) -> Optional[CompiledProgram]:
+    """Compile ``machine``, or return ``None`` if it cannot be lowered.
+
+    The program (or the negative verdict) is cached on the machine
+    instance under ``_compiled_program``; like the other derived caches
+    it is stripped by ``TuringMachine.__getstate__`` — compiled regex
+    patterns are not picklable, and workers rebuild in one pass anyway.
+    """
+    cached = machine.__dict__.get("_compiled_program")
+    if cached is not None:
+        return None if cached is _UNCOMPILABLE else cached
+    program = _compile(machine)
+    object.__setattr__(
+        machine, "_compiled_program",
+        program if program is not None else _UNCOMPILABLE,
+    )
+    return program
+
+
+@dataclass(frozen=True)
+class DispatchStats:
+    """Macro-compression diagnostics for one run (see dispatch_count)."""
+
+    steps: int
+    dispatches: int
+    macro_cells: int
+
+    @property
+    def compression(self) -> float:
+        """Machine steps executed per dispatch decision (>= 1.0)."""
+        return self.steps / self.dispatches if self.dispatches else 1.0
+
+
+def _violation(program, full, choices, steps, step_limit, entry):
+    """Cold path: reconstruct (state, reads) and raise via the shared guard."""
+    sid, rcode = divmod(full, program.ncodes)
+    reads = tuple(
+        program.symbols[(rcode // program.strides[i]) % program.nsyms]
+        for i in range(program.tape_count)
+    )
+    _raise_step_violation(
+        program.machine, program.state_names[sid], reads, choices, steps,
+        step_limit, entry or (),
+    )
+
+
+def _cycle_sweep(mac, buffers, positions, directions, reversals, space,
+                 steps, guard, tracker, tape_ids, ext):
+    """Run ``k`` whole iterations of a two-step cycle; None = micro-step.
+
+    Tracker charges are split into at most two ``charge_batch`` calls in
+    stream order (tape A's possible reversal precedes step 1's charge,
+    tape B's precedes step 2's), so the tracker state at a denied
+    reversal is bit-identical to the per-step engine's.  Sweeps never
+    charge internal space: when a tracker is attached and either cycle
+    tape is internal the sweep declines and micro-steps run instead.
+    """
+    mA = mac.mA
+    dA = mac.dA
+    mB = mac.mB
+    dB = mac.dB
+    if tracker is not None and (mA >= ext or mB >= ext):
+        return None
+    bufA = buffers[mA]
+    bufB = buffers[mB]
+    pA = positions[mA]
+    pB = positions[mB]
+    kmax = (guard - steps) // 2
+    if dA < 0 and pA < kmax:
+        kmax = pA
+    if dB < 0 and pB < kmax:
+        kmax = pB
+    if kmax <= 0:
+        return None
+    q = pA + dA
+    c1tab = mac.c1tab
+    nA = len(bufA)
+    if not c1tab[bufA[q] if 0 <= q < nA else 0]:
+        return None
+    if mac.sbrun is not None:
+        # rectangle predicate: the two sides limit k independently
+        runx = _runlen(bufA, q, dA, mac.e1run, kmax)
+        if runx < kmax:
+            nxt = pA + (runx + 1) * dA
+            kx = runx + (
+                1 if c1tab[bufA[nxt] if 0 <= nxt < nA else 0] else 0
+            )
+        else:
+            kx = kmax
+        ky = _runlen(bufB, pB + dB, dB, mac.sbrun, kmax) + 1
+        k = kx if kx < ky else ky
+        if k > kmax:
+            k = kmax
+    else:
+        # function predicate y = h(x): align the two slices and compare
+        r_e = _runlen(bufA, q, dA, mac.e1run, kmax)
+        segx = _seg(bufA, q, dA, r_e)
+        segy = _seg(bufB, pB + dB, dB, r_e)
+        m = _common_prefix(segx.translate(mac.htab), segy)
+        if m < kmax:
+            nxt = pA + (m + 1) * dA
+            k = m + (1 if c1tab[bufA[nxt] if 0 <= nxt < nA else 0] else 0)
+        else:
+            k = kmax
+    if k <= 0:
+        return None
+    rev_a = 1 if directions[mA] == -dA else 0
+    rev_b = 1 if directions[mB] == -dB else 0
+    if tracker is not None:
+        if rev_a:
+            tracker.charge_batch(
+                tape_id=tape_ids[mA], reversals=1,
+                steps=1 if rev_b else 2 * k,
+            )
+            if rev_b:
+                tracker.charge_batch(
+                    tape_id=tape_ids[mB], reversals=1, steps=2 * k - 1
+                )
+        elif rev_b:
+            tracker.charge_batch(steps=1)
+            tracker.charge_batch(
+                tape_id=tape_ids[mB], reversals=1, steps=2 * k - 1
+            )
+        else:
+            tracker.charge_batch(steps=2 * k)
+    reversals[mA] += rev_a
+    reversals[mB] += rev_b
+    directions[mA] = dA
+    directions[mB] = dB
+    if mac.wa_src or mac.wb_src:
+        # capture both original slices first: every read the sweep
+        # models happens before the write that could clobber it
+        segxw = _seg(bufA, pA, dA, k)
+        segyw = _seg(bufB, pB, dB, k)
+        if mac.wa_src:
+            src = segxw if mac.wa_src == 1 else segyw
+            _write_seg(bufA, pA, dA, src.translate(mac.wa_tab))
+        if mac.wb_src:
+            src = segxw if mac.wb_src == 1 else segyw
+            _write_seg(bufB, pB, dB, src.translate(mac.wb_tab))
+    p_a2 = pA + k * dA
+    p_b2 = pB + k * dB
+    positions[mA] = p_a2
+    positions[mB] = p_b2
+    if dA > 0 and p_a2 + 1 > space[mA]:
+        space[mA] = p_a2 + 1
+    if dB > 0 and p_b2 + 1 > space[mB]:
+        space[mB] = p_b2 + 1
+    # both landing cells are beyond the swept (written) region
+    xk = bufA[p_a2] if p_a2 < len(bufA) else 0
+    yk = bufB[p_b2] if p_b2 < len(bufB) else 0
+    return mac.cbase + xk * mac.msA + yk * mac.msB, steps + 2 * k
+
+
+def _execute(
+    program: CompiledProgram,
+    word: str,
+    choices: Optional[Sequence[int]],
+    step_limit: int,
+    tracker=None,
+) -> Tuple[FastRun, int]:
+    """The compiled hot loop; returns (result, dispatch count).
+
+    Structured to charge an attached tracker at exactly the points — and
+    with exactly the arguments — the streaming engine's bridge uses, so
+    enforcement denials are bit-identical across tiers (macro sweeps
+    collapse their charges into one ``charge_batch``; see module
+    docstring for why denial points still coincide).
+    """
+    machine = program.machine
+    ncodes = program.ncodes
+    tapes = program.tape_count
+    ext = machine.external_tapes
+    byte_of = program.byte_of
+    buf0 = bytearray()
+    for ch in word:
+        b = byte_of.get(ch)
+        if b is None:
+            raise MachineError(f"input symbol {ch!r} not in the alphabet")
+        buf0.append(b)
+    buffers = [buf0] + [bytearray() for _ in range(tapes - 1)]
+    positions = [0] * tapes
+    directions = [0] * tapes
+    reversals = [0] * tapes
+    space = [1] * tapes
+    space[0] = max(1, len(buf0))
+    tape_ids = None
+    budget = None
+    if tracker is not None:
+        tape_ids = [
+            tracker.register_tape(f"{machine.name}:tape{i + 1}")
+            for i in range(ext)
+        ]
+        budget = tracker.budget
+    steps = 0
+    dispatches = 0
+    full = program.initial_sid * ncodes + (buf0[0] if buf0 else 0)
+    if program.initial_final:
+        return (
+            _snapshot(program, full, positions, buffers, reversals, space,
+                      steps),
+            dispatches,
+        )
+    guard = _step_guard_limit(choices, step_limit)
+    cells = program.det_cells if choices is None else program.nd_cells
+    while True:
+        dispatches += 1
+        entry = cells[full]
+        if steps >= guard or entry is None:
+            _violation(program, full, choices, steps, step_limit, entry)
+        if choices is None:
+            rec = entry
+        else:
+            rec = entry[choices[steps] % len(entry)]
+        nf, wchanges, mover, delta, jmp, ms, macro, mbase = rec
+        if macro is not None and macro.kind == 2:
+            res = _cycle_sweep(
+                macro, buffers, positions, directions, reversals, space,
+                steps, guard, tracker, tape_ids, ext,
+            )
+            if res is not None:
+                full, steps = res
+                continue
+            # ineligible here (k = 0): fall through to a micro-step
+        elif macro is not None:
+            # ---- macro sweep: a maximal eligible run in one jump --------
+            pos = positions[mover]
+            buf = buffers[mover]
+            blen = len(buf)
+            limit = guard - steps
+            k = 0
+            if delta > 0:
+                if pos < blen:
+                    end = pos + limit
+                    k = macro.pattern.match(
+                        buf, pos, end if end < blen else blen
+                    ).end() - pos
+                elif macro.blank_write == 0:
+                    # blank frontier: every cell ahead is eligible and
+                    # untouched — jump straight to the step guard
+                    k = limit
+            else:
+                if pos >= blen:
+                    if macro.blank_write == 0 and pos > 0:
+                        k = pos - blen + 1
+                elif pos > 0:
+                    lo = pos - limit
+                    if lo < 0:
+                        lo = 0
+                    blocked = buf[lo:pos + 1].translate(macro.mask)
+                    k = pos - (lo + blocked.rfind(b"\x01") + 1) + 1
+                if k > limit:
+                    k = limit
+                if k > pos:
+                    k = pos  # land on the wall; the micro-step raises there
+            grow = 0
+            if k and delta > 0:
+                p2 = pos + k
+                if p2 + 1 > space[mover]:
+                    grow = p2 + 1 - space[mover]
+                    if (
+                        mover >= ext
+                        and budget is not None
+                        and budget.max_internal_bits is not None
+                    ):
+                        # cap the sweep so the batched space charge cannot
+                        # be the denied one: a denial then falls on a
+                        # micro-step, whose charge order matches streaming
+                        room = (budget.max_internal_bits
+                                - tracker.current_internal_bits)
+                        if grow > room:
+                            k -= grow - room
+                            grow = room
+                            if k <= 0:
+                                k = 0
+                                grow = 0
+            if k:
+                rev = 1 if directions[mover] == -delta else 0
+                if tracker is not None:
+                    tracker.charge_batch(
+                        tape_id=(tape_ids[mover]
+                                 if rev and mover < ext else None),
+                        reversals=rev if mover < ext else 0,
+                        internal_delta=grow if mover >= ext else 0,
+                        steps=k,
+                    )
+                if rev:
+                    reversals[mover] += 1
+                directions[mover] = delta
+                wt = macro.write_table
+                if delta > 0:
+                    p2 = pos + k
+                    if wt is not None and pos < blen:
+                        buf[pos:p2] = buf[pos:p2].translate(wt)
+                else:
+                    p2 = pos - k
+                    if wt is not None and pos < blen:
+                        buf[p2 + 1:pos + 1] = \
+                            buf[p2 + 1:pos + 1].translate(wt)
+                positions[mover] = p2
+                if grow:
+                    space[mover] = p2 + 1
+                steps += k
+                full = mbase + (buf[p2] if p2 < blen else 0) * ms
+                continue
+            # k == 0: fall through to an ordinary micro-step
+        for i, w in wchanges:
+            pos = positions[i]
+            buf = buffers[i]
+            if pos < len(buf):
+                buf[pos] = w
+            else:
+                # w differs from the blank that was read, so the written
+                # prefix grows to cover the head
+                while len(buf) < pos:
+                    buf.append(0)
+                buf.append(w)
+                if pos + 1 > space[i]:
+                    if tracker is not None and i >= ext:
+                        tracker.charge_internal(pos + 1 - space[i])
+                    space[i] = pos + 1
+        if mover >= 0:
+            pos = positions[mover] + delta
+            if delta > 0:
+                if directions[mover] == -1:
+                    if tracker is not None and mover < ext:
+                        tracker.charge_reversal(tape_ids[mover])
+                    reversals[mover] += 1
+                directions[mover] = 1
+                if pos + 1 > space[mover]:
+                    if tracker is not None and mover >= ext:
+                        tracker.charge_internal(pos + 1 - space[mover])
+                    space[mover] = pos + 1
+            else:
+                if pos < 0:
+                    raise MachineError(
+                        f"head {mover + 1} fell off the left end in state "
+                        f"{program.state_names[full // ncodes]!r}"
+                    )
+                if directions[mover] == 1:
+                    if tracker is not None and mover < ext:
+                        tracker.charge_reversal(tape_ids[mover])
+                    reversals[mover] += 1
+                directions[mover] = -1
+            positions[mover] = pos
+            buf = buffers[mover]
+            full += jmp + (buf[pos] if pos < len(buf) else 0) * ms
+        else:
+            full += jmp
+        steps += 1
+        if tracker is not None:
+            tracker.charge_step()
+        if nf:
+            break
+    return (
+        _snapshot(program, full, positions, buffers, reversals, space, steps),
+        dispatches,
+    )
+
+
+def _snapshot(program, full, positions, buffers, reversals, space, steps):
+    symbols = program.symbols
+    final = Configuration(
+        state=program.state_names[full // program.ncodes],
+        positions=tuple(positions),
+        tapes=tuple(
+            "".join(map(symbols.__getitem__, buf)) for buf in buffers
+        ),
+    )
+    stats = RunStatistics(
+        reversals_per_tape=tuple(reversals),
+        space_per_tape=tuple(space),
+        length=steps + 1,
+    )
+    return FastRun(final, stats)
+
+
+def run_deterministic(
+    machine: TuringMachine,
+    word: str,
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    trace: bool = False,
+    probe=None,
+    tracker=None,
+) -> Union[Run, FastRun]:
+    """Execute a deterministic machine on the compiled tier.
+
+    Falls back to the streaming engine when the machine cannot be
+    compiled, when ``trace=True`` (the full configuration history cannot
+    be macro-stepped), or when a ``probe`` is attached (per-step hooks
+    force per-step execution) — in all cases with results, errors and
+    probe output identical to calling the streaming engine directly.
+    """
+    if not machine.is_deterministic:
+        raise MachineError(f"{machine.name} is not deterministic")
+    program = None
+    if not trace and probe is None:
+        program = try_compile(machine)
+    if program is None:
+        return fast_engine.run_deterministic(
+            machine, word, step_limit=step_limit, trace=trace, probe=probe,
+            tracker=tracker,
+        )
+    result, _ = _execute(program, word, None, step_limit, tracker)
+    return result
+
+
+def run_with_choices(
+    machine: TuringMachine,
+    word: str,
+    choices: Sequence[int],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    trace: bool = False,
+    probe=None,
+    tracker=None,
+) -> Union[Run, FastRun]:
+    """ρ_T(w, c) on the compiled tier (Definition 17 semantics).
+
+    Dispatch uses the dense tables but never macro-steps: ``choices`` may
+    be a lazy sequence drawing from an RNG on access, so exactly one
+    ``choices[step]`` access per step, in order, is part of the contract.
+    Falls back to the streaming engine under ``trace``/``probe`` or when
+    the machine cannot be compiled.
+    """
+    program = None
+    if not trace and probe is None:
+        program = try_compile(machine)
+    if program is None:
+        return fast_engine.run_with_choices(
+            machine, word, choices, step_limit=step_limit, trace=trace,
+            probe=probe, tracker=tracker,
+        )
+    result, _ = _execute(program, word, choices, step_limit, tracker)
+    return result
+
+
+def dispatch_count(
+    machine: TuringMachine,
+    word: str,
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> DispatchStats:
+    """Run ``machine`` compiled and report macro-step compression.
+
+    ``steps / dispatches`` > 1 means macro sweeps engaged; the benchmark
+    records it as evidence that the speedup comes from run compression,
+    not just cheaper dispatch.  Raises ``MachineError`` if the machine
+    cannot be compiled.
+    """
+    if not machine.is_deterministic:
+        raise MachineError(f"{machine.name} is not deterministic")
+    program = try_compile(machine)
+    if program is None:
+        raise MachineError(f"{machine.name} cannot be compiled")
+    result, dispatches = _execute(program, word, None, step_limit, None)
+    return DispatchStats(
+        steps=result.statistics.length - 1,
+        dispatches=dispatches,
+        macro_cells=program.macro_cells,
+    )

@@ -79,9 +79,11 @@ class StepState:
         "reversals",
         "space",
         "steps",
+        "tracker",
+        "tape_ids",
     )
 
-    def __init__(self, machine: TuringMachine, word: str):
+    def __init__(self, machine: TuringMachine, word: str, tracker=None):
         start = initial_configuration(machine, word)  # validates the word
         tapes = machine.tape_count
         self.machine = machine
@@ -94,6 +96,13 @@ class StepState:
             max(1, len(buf)) for buf in self.buffers
         ]  # the head's start cell counts as used
         self.steps = 0
+        self.tracker = tracker
+        self.tape_ids: Optional[List[int]] = None
+        if tracker is not None:
+            self.tape_ids = [
+                tracker.register_tape(f"{machine.name}:tape{i + 1}")
+                for i in range(machine.external_tapes)
+            ]
 
     # -- queries -----------------------------------------------------------
 
@@ -124,9 +133,17 @@ class StepState:
     # -- stepping ----------------------------------------------------------
 
     def apply(self, tr: Transition) -> None:
-        """Advance one step under ``tr``, updating statistics in place."""
+        """Advance one step under ``tr``, updating statistics in place.
+
+        All writes land before any head moves (the order the streaming
+        loop and the compiled engine's micro-steps use too), so an
+        attached tracker sees charges — and budget denials — in the same
+        stream order in every execution mode.
+        """
         buffers = self.buffers
         positions = self.positions
+        tracker = self.tracker
+        ext = self.machine.external_tapes
         for i in range(len(buffers)):
             buf = buffers[i]
             pos = positions[i]
@@ -139,15 +156,23 @@ class StepState:
                     buf.append(BLANK)
                 buf.append(symbol)
                 if pos + 1 > self.space[i]:
+                    if tracker is not None and i >= ext:
+                        tracker.charge_internal(pos + 1 - self.space[i])
                     self.space[i] = pos + 1
+        for i in range(len(buffers)):
             move = tr.moves[i]
+            pos = positions[i]
             if move == R:
                 pos += 1
                 if self.directions[i] == -1:
+                    if tracker is not None and i < ext:
+                        tracker.charge_reversal(self.tape_ids[i])
                     self.reversals[i] += 1
                 self.directions[i] = 1
                 positions[i] = pos
                 if pos + 1 > self.space[i]:
+                    if tracker is not None and i >= ext:
+                        tracker.charge_internal(pos + 1 - self.space[i])
                     self.space[i] = pos + 1
             elif move == L:
                 if pos == 0:
@@ -156,11 +181,15 @@ class StepState:
                         f"{self.state!r}"
                     )
                 if self.directions[i] == 1:
+                    if tracker is not None and i < ext:
+                        tracker.charge_reversal(self.tape_ids[i])
                     self.reversals[i] += 1
                 self.directions[i] = -1
                 positions[i] = pos - 1
         self.state = tr.new_state
         self.steps += 1
+        if tracker is not None:
+            tracker.charge_step()
 
 
 def _step_guard_limit(choices: Optional[Sequence[int]], step_limit: int) -> int:
@@ -255,6 +284,7 @@ def _run_streaming(
     choices: Optional[Sequence[int]],
     step_limit: int,
     probe=None,
+    tracker=None,
 ) -> FastRun:
     """The O(1)-per-step hot loop shared by both run modes (no trace).
 
@@ -263,12 +293,17 @@ def _run_streaming(
     step writes or a head moves onto are touched.  ``probe`` (an
     :class:`~repro.observability.trace.EngineProbe`) is hoisted out of the
     loop: with no probe the per-step cost is one extra ``is None`` test.
+    ``tracker`` (a :class:`~repro.extmem.tracker.ResourceTracker`)
+    registers the external tapes and is charged per reversal, internal
+    growth and step, in stream order.
     """
     compiled = _compiled_index(machine)
-    st = StepState(machine, word)
+    st = StepState(machine, word, tracker)
     state = st.state
     positions, buffers = st.positions, st.buffers
     directions, reversals, space = st.directions, st.reversals, st.space
+    tape_ids = st.tape_ids
+    ext = machine.external_tapes
     reads = list(st.read_tuple())
     final_states = machine.final_states
     guard = _step_guard_limit(choices, step_limit)
@@ -298,15 +333,21 @@ def _run_streaming(
                     buf.append(BLANK)
                 buf.append(sym)
                 if pos + 1 > space[i]:
+                    if tracker is not None and i >= ext:
+                        tracker.charge_internal(pos + 1 - space[i])
                     space[i] = pos + 1
             reads[i] = sym
         if mover >= 0:
             pos = positions[mover] + delta
             if delta > 0:
                 if directions[mover] == -1:
+                    if tracker is not None and mover < ext:
+                        tracker.charge_reversal(tape_ids[mover])
                     reversals[mover] += 1
                 directions[mover] = 1
                 if pos + 1 > space[mover]:
+                    if tracker is not None and mover >= ext:
+                        tracker.charge_internal(pos + 1 - space[mover])
                     space[mover] = pos + 1
             else:
                 if pos < 0:
@@ -315,6 +356,8 @@ def _run_streaming(
                         f"{state!r}"
                     )
                 if directions[mover] == 1:
+                    if tracker is not None and mover < ext:
+                        tracker.charge_reversal(tape_ids[mover])
                     reversals[mover] += 1
                 directions[mover] = -1
             positions[mover] = pos
@@ -322,6 +365,8 @@ def _run_streaming(
             reads[mover] = buf[pos] if pos < len(buf) else BLANK
         state = new_state
         steps += 1
+        if tracker is not None:
+            tracker.charge_step()
         if on_step is not None:
             on_step(state, steps)
     st.state = state
@@ -338,6 +383,7 @@ def _run_traced(
     choices: Optional[Sequence[int]],
     step_limit: int,
     probe=None,
+    tracker=None,
 ) -> Run:
     """Trace mode: same stepping, but every configuration is snapshotted.
 
@@ -346,7 +392,7 @@ def _run_traced(
     the two modes raise identical errors under identical conditions.
     """
     index = machine.transition_index()
-    state = StepState(machine, word)
+    state = StepState(machine, word, tracker)
     configs: List[Configuration] = [state.snapshot()]
     guard = _step_guard_limit(choices, step_limit)
     if probe is not None:
@@ -384,6 +430,7 @@ def run_deterministic(
     step_limit: int = DEFAULT_STEP_LIMIT,
     trace: bool = False,
     probe=None,
+    tracker=None,
 ) -> Union[Run, FastRun]:
     """Execute a deterministic machine in streaming mode.
 
@@ -391,13 +438,15 @@ def run_deterministic(
     with ``trace=True`` the full history is kept and a reference-style
     :class:`~repro.machines.execute.Run` is returned instead.  ``probe``
     (an :class:`~repro.observability.trace.EngineProbe`, default ``None``)
-    observes the run as a span plus per-step callbacks.
+    observes the run as a span plus per-step callbacks; ``tracker`` (a
+    :class:`~repro.extmem.tracker.ResourceTracker`) registers the
+    external tapes and enforces any attached budget live.
     """
     if not machine.is_deterministic:
         raise MachineError(f"{machine.name} is not deterministic")
     if trace:
-        return _run_traced(machine, word, None, step_limit, probe)
-    return _run_streaming(machine, word, None, step_limit, probe)
+        return _run_traced(machine, word, None, step_limit, probe, tracker)
+    return _run_streaming(machine, word, None, step_limit, probe, tracker)
 
 
 def run_with_choices(
@@ -408,6 +457,7 @@ def run_with_choices(
     step_limit: int = DEFAULT_STEP_LIMIT,
     trace: bool = False,
     probe=None,
+    tracker=None,
 ) -> Union[Run, FastRun]:
     """ρ_T(w, c) in streaming mode (Definition 17 semantics).
 
@@ -415,8 +465,8 @@ def run_with_choices(
     sequence must drive the run to a final state.
     """
     if trace:
-        return _run_traced(machine, word, choices, step_limit, probe)
-    return _run_streaming(machine, word, choices, step_limit, probe)
+        return _run_traced(machine, word, choices, step_limit, probe, tracker)
+    return _run_streaming(machine, word, choices, step_limit, probe, tracker)
 
 
 def acceptance_probability(

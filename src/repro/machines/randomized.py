@@ -28,7 +28,8 @@ from fractions import Fraction
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import MachineError
-from .fast_engine import acceptance_probability, run_with_choices
+from .engine import run_with_choices
+from .fast_engine import acceptance_probability
 from .tm import TuringMachine
 
 #: The checkers' default per-word step ceiling.

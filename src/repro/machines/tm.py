@@ -95,15 +95,17 @@ class TuringMachine:
                 )
 
     #: Memoized derived structures, rebuilt lazily after unpickling.
-    _CACHE_ATTRS = ("_transition_index", "_compiled_steps")
+    _CACHE_ATTRS = ("_transition_index", "_compiled_steps", "_compiled_program")
 
     def __getstate__(self) -> Dict[str, object]:
         """Pickle the definition only, never the memoized caches.
 
-        ``transition_index()`` and the engine's ``_compiled_steps`` are
-        stashed on the instance ``__dict__``; shipping them to worker
-        processes would bloat every task payload with data the worker can
-        rebuild in one pass over the (small) transition table.  Workers
+        ``transition_index()``, the streaming engine's ``_compiled_steps``
+        and the compiled engine's ``_compiled_program`` are stashed on the
+        instance ``__dict__``; shipping them to worker processes would
+        bloat every task payload with data the worker can rebuild in one
+        pass over the (small) transition table — and the compiled program
+        holds ``re`` pattern objects, which do not pickle at all.  Workers
         therefore receive a bare machine and warm their own caches
         locally on first use.
         """

@@ -1,0 +1,354 @@
+"""The compiled engine: dense-table lowering + macro-step run compression.
+
+Identity is pinned three ways: against the reference engine (full final
+configuration / statistics equality on the library and on random
+machines), against the streaming engine under live ``ResourceTracker``
+enforcement (identical exceptions *and* identical tracker reports at
+every possible denial point), and via the front door's fallback rules
+(``trace``/``probe``/uncompilable machines resolve to streaming).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    MachineError,
+    ReversalBudgetExceeded,
+    SpaceBudgetExceeded,
+    StepBudgetExceeded,
+)
+from repro.extmem import ResourceBudget, ResourceTracker
+from repro.machines import (
+    ENGINES,
+    MachineBuilder,
+    R,
+    resolve_engine,
+    run_deterministic,
+    run_with_choices,
+)
+from repro.machines import compiled_engine, execute, fast_engine
+from repro.machines.compiled_engine import dispatch_count, try_compile
+from repro.machines.library import (
+    coin_flip_machine,
+    copy_machine,
+    copy_reverse_machine,
+    equality_machine,
+    guess_bit_machine,
+    majority_machine,
+    parity_machine,
+)
+from repro.machines.random_machines import random_terminating_tm
+
+from tests.settings_profiles import DIFFERENTIAL_SETTINGS, QUICK_SETTINGS
+
+DETERMINISTIC_LIBRARY = (
+    copy_machine,
+    parity_machine,
+    copy_reverse_machine,
+    majority_machine,
+    equality_machine,
+)
+
+tm_words = st.text(alphabet="01#", max_size=12)
+
+
+def _word_for(factory, word):
+    if "#" in word and factory is not equality_machine:
+        return word.replace("#", "0")  # '#' only in equality's alphabet
+    return word
+
+
+def _uncompilable_machine():
+    """Multi-character symbols cannot be lowered to byte tables."""
+    b = MachineBuilder("wide").start("q").accept("a")
+    b.on("q", ("0",), "q", ("xx",), (R,))
+    b.on("q", ("xx",), "a", ("xx",), (R,))
+    return b.build()
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "factory",
+        DETERMINISTIC_LIBRARY + (coin_flip_machine, guess_bit_machine),
+        ids=lambda f: f.__name__,
+    )
+    def test_library_compiles(self, factory):
+        assert try_compile(factory()) is not None
+
+    def test_program_is_cached_on_the_instance(self):
+        machine = copy_machine()
+        program = try_compile(machine)
+        assert program is not None
+        assert try_compile(machine) is program
+        assert machine.__dict__["_compiled_program"] is program
+
+    def test_negative_verdict_is_cached_too(self):
+        machine = _uncompilable_machine()
+        assert try_compile(machine) is None
+        assert "_compiled_program" in machine.__dict__
+        assert try_compile(machine) is None
+
+    def test_sweep_eligible_cells_detected(self):
+        # the machines the CI speedup gate runs on must have macro cells,
+        # otherwise the >= 2x target is hopeless by construction
+        for factory in (copy_machine, equality_machine, copy_reverse_machine):
+            program = try_compile(factory())
+            assert program.macro_cells > 0, factory.__name__
+
+
+class TestCompiledMatchesReference:
+    @pytest.mark.parametrize(
+        "factory", DETERMINISTIC_LIBRARY, ids=lambda f: f.__name__
+    )
+    @given(word=tm_words)
+    @DIFFERENTIAL_SETTINGS
+    def test_library_runs_identical(self, factory, word):
+        machine = factory()
+        word = _word_for(factory, word)
+        ref = execute.run_deterministic(machine, word)
+        compiled = compiled_engine.run_deterministic(machine, word)
+        assert compiled.final == ref.final
+        assert compiled.statistics == ref.statistics
+
+    @given(
+        seed=st.integers(0, 2**20),
+        tapes=st.integers(1, 3),
+        word=st.text(alphabet="01", max_size=8),
+    )
+    @DIFFERENTIAL_SETTINGS
+    def test_random_machine_runs_identical(self, seed, tapes, word):
+        machine = random_terminating_tm(seed, external_tapes=tapes, length=6)
+        try:
+            ref = execute.run_deterministic(machine, word)
+        except MachineError:
+            with pytest.raises(MachineError):
+                compiled_engine.run_deterministic(machine, word)
+            return
+        compiled = compiled_engine.run_deterministic(machine, word)
+        assert compiled.final == ref.final
+        assert compiled.statistics == ref.statistics
+
+    @given(
+        word=st.text(alphabet="01", max_size=6),
+        choices=st.lists(st.integers(1, 12), min_size=10, max_size=14),
+    )
+    @QUICK_SETTINGS
+    def test_choice_runs_identical(self, word, choices):
+        for factory in (coin_flip_machine, guess_bit_machine):
+            machine = factory()
+            ref = execute.run_with_choices(machine, word, choices)
+            compiled = compiled_engine.run_with_choices(machine, word, choices)
+            assert compiled.final == ref.final
+            assert compiled.statistics == ref.statistics
+
+    def test_long_input_identical_with_sweeps_engaged(self):
+        # long enough that macro sweeps dominate; identity must survive
+        word = "01" * 256
+        for factory in (copy_machine, copy_reverse_machine):
+            machine = factory()
+            ref = fast_engine.run_deterministic(machine, word)
+            compiled = compiled_engine.run_deterministic(machine, word)
+            assert compiled.final == ref.final
+            assert compiled.statistics == ref.statistics
+            assert dispatch_count(machine, word).compression > 10
+
+
+class TestMacroCompression:
+    def test_sweeps_compress_long_runs(self):
+        stats = dispatch_count(copy_machine(), "1" * 512)
+        assert stats.macro_cells > 0
+        assert stats.compression > 50  # whole sweeps in one bounded jump
+
+    def test_compression_never_below_one(self):
+        for factory in DETERMINISTIC_LIBRARY:
+            word = "0101#0101" if factory is equality_machine else "0101"
+            stats = dispatch_count(factory(), word)
+            assert stats.dispatches <= stats.steps or stats.steps == 0
+            assert stats.compression >= 1.0
+
+    def test_dispatch_count_rejects_uncompilable(self):
+        with pytest.raises(MachineError):
+            dispatch_count(_uncompilable_machine(), "00")
+
+
+class TestTrackerParity:
+    """Macro batches must charge the tracker bit-identically to per-step
+    streaming: same exception (type and message) and same ``report()`` at
+    every budget cap, including mid-sweep denials."""
+
+    def _tracked(self, engine, machine, word, budget):
+        tracker = ResourceTracker(budget)
+        exc = None
+        try:
+            engine.run_deterministic(machine, word, tracker=tracker)
+        except (ReversalBudgetExceeded, SpaceBudgetExceeded) as caught:
+            exc = caught
+        return tracker, exc
+
+    @pytest.mark.parametrize(
+        "factory",
+        (equality_machine, copy_reverse_machine, majority_machine),
+        ids=lambda f: f.__name__,
+    )
+    def test_every_scan_cap_denies_identically(self, factory):
+        machine = factory()
+        word = "0110#0110" if factory is equality_machine else "0110"
+        free = ResourceTracker()
+        fast_engine.run_deterministic(machine, word, tracker=free)
+        need = free.scans
+        for cap in range(1, need):
+            budget = ResourceBudget(max_scans=cap)
+            t_fast, e_fast = self._tracked(fast_engine, machine, word, budget)
+            t_comp, e_comp = self._tracked(
+                compiled_engine, machine, word, budget
+            )
+            assert type(e_fast) is type(e_comp)
+            assert str(e_fast) == str(e_comp)
+            assert t_fast.report() == t_comp.report()
+
+    def test_every_internal_cap_denies_identically(self):
+        machine = majority_machine()  # only library machine that grows
+        word = "0101101"              # its internal counter tape
+        free = ResourceTracker()
+        fast_engine.run_deterministic(machine, word, tracker=free)
+        peak = free.peak_internal_bits
+        assert peak > 0
+        for cap in range(peak):
+            budget = ResourceBudget(max_internal_bits=cap)
+            t_fast, e_fast = self._tracked(fast_engine, machine, word, budget)
+            t_comp, e_comp = self._tracked(
+                compiled_engine, machine, word, budget
+            )
+            assert type(e_fast) is type(e_comp)
+            assert str(e_fast) == str(e_comp)
+            assert t_fast.report() == t_comp.report()
+
+    def test_unbudgeted_reports_identical(self):
+        for factory in DETERMINISTIC_LIBRARY:
+            machine = factory()
+            word = "0101#0101" if factory is equality_machine else "0101"
+            t_fast = ResourceTracker()
+            t_comp = ResourceTracker()
+            fast_engine.run_deterministic(machine, word, tracker=t_fast)
+            compiled_engine.run_deterministic(machine, word, tracker=t_comp)
+            assert t_fast.report() == t_comp.report()
+
+
+class TestSharedControlFlow:
+    def _stuck_machine(self):
+        b = MachineBuilder("stuck").start("q").accept("a")
+        b.on("q", ("0",), "q", ("0",), (R,))
+        return b.build()
+
+    def test_stuck_error_matches_streaming(self):
+        machine = self._stuck_machine()
+        messages = []
+        for engine in (fast_engine, compiled_engine):
+            with pytest.raises(MachineError) as exc:
+                engine.run_deterministic(machine, "00")
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+        assert "stuck" in messages[0]
+
+    def test_step_budget_error_matches_streaming(self):
+        from repro.extmem.tape import BLANK
+
+        b = MachineBuilder("long").start("q").accept("a")
+        b.on("q", (BLANK,), "q", ("0",), (R,))
+        machine = b.build()
+        messages = []
+        for engine in (fast_engine, compiled_engine):
+            with pytest.raises(StepBudgetExceeded) as exc:
+                engine.run_deterministic(machine, "", step_limit=50)
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+
+    def test_step_limit_denial_is_sweep_independent(self):
+        # the guard must fire at the exact step even when a macro sweep
+        # would have jumped past it: cap inside a long sweep
+        machine = copy_machine()
+        word = "1" * 200
+        for limit in (7, 50, 199):
+            messages = []
+            for engine in (fast_engine, compiled_engine):
+                with pytest.raises(StepBudgetExceeded) as exc:
+                    engine.run_deterministic(machine, word, step_limit=limit)
+                messages.append(str(exc.value))
+            assert messages[0] == messages[1]
+
+    def test_choice_exhaustion_matches_streaming(self):
+        messages = []
+        for engine in (fast_engine, compiled_engine):
+            with pytest.raises(MachineError) as exc:
+                engine.run_with_choices(coin_flip_machine(), "0", choices="")
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+        assert "exhausted" in messages[0]
+
+
+class TestFrontDoor:
+    def test_auto_resolves_to_compiled_for_plain_runs(self):
+        assert resolve_engine(copy_machine()) == "compiled"
+
+    def test_trace_probe_and_uncompilable_fall_back(self):
+        from repro.observability import EngineProbe
+
+        machine = copy_machine()
+        assert resolve_engine(machine, trace=True) == "streaming"
+        assert resolve_engine(machine, probe=EngineProbe()) == "streaming"
+        assert resolve_engine(_uncompilable_machine()) == "streaming"
+
+    def test_pinned_tiers_resolve_to_themselves(self):
+        machine = copy_machine()
+        assert resolve_engine(machine, engine="reference") == "reference"
+        assert resolve_engine(machine, engine="streaming") == "streaming"
+        assert resolve_engine(machine, engine="compiled") == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            run_deterministic(copy_machine(), "01", engine="turbo")
+        assert "turbo" in str(exc.value)
+        for name in ENGINES:
+            assert name in str(exc.value)
+
+    def test_reference_with_tracker_rejected(self):
+        with pytest.raises(ValueError):
+            run_deterministic(
+                copy_machine(),
+                "01",
+                engine="reference",
+                tracker=ResourceTracker(),
+            )
+
+    def test_front_door_trace_returns_reference_run(self):
+        machine = equality_machine()
+        word = "010#010"
+        ref = execute.run_deterministic(machine, word)
+        assert run_deterministic(machine, word, trace=True) == ref
+        assert run_deterministic(machine, word, engine="reference") == ref
+
+    def test_front_door_auto_matches_pinned_tiers(self):
+        machine = copy_reverse_machine()
+        word = "0110"
+        auto = run_deterministic(machine, word)
+        for engine in ("streaming", "compiled"):
+            pinned = run_deterministic(machine, word, engine=engine)
+            assert pinned.final == auto.final
+            assert pinned.statistics == auto.statistics
+
+    def test_front_door_choices_stay_lazy(self):
+        # choices may draw from an RNG on access: exactly one access per
+        # step, in order, on every tier (so compiled never macro-steps)
+        accesses = []
+
+        class Lazy:
+            def __len__(self):
+                return 64
+
+            def __getitem__(self, index):
+                accesses.append(index)
+                return 1
+
+        run_with_choices(coin_flip_machine(), "01", Lazy())
+        assert accesses == sorted(accesses)
+        assert len(accesses) == len(set(accesses))

@@ -211,3 +211,114 @@ class TestTuringEnginePair:
             fast = streaming_engine.run_with_choices(machine, word, choices)
             assert fast.final == ref.final
             assert fast.statistics == ref.statistics
+
+
+# ---------------------------------------------------------------------------
+# Three-way differential: reference vs. streaming vs. compiled
+# ---------------------------------------------------------------------------
+
+from repro.errors import ReproError, StepBudgetExceeded
+from repro.extmem import ResourceBudget, ResourceTracker
+from repro.machines import compiled_engine as compiled_tier
+
+
+class TestThreeWayDifferential:
+    """Every engine tier must agree bit-for-bit — on results, on failure
+    control flow (stuck / step-limit / choice exhaustion) and, for the
+    tracker-bridging tiers, on budget-denial state."""
+
+    @pytest.mark.parametrize(
+        "factory", DETERMINISTIC_LIBRARY, ids=lambda f: f.__name__
+    )
+    @given(word=tm_words)
+    @DIFFERENTIAL_SETTINGS
+    def test_library_runs_identical(self, factory, word):
+        machine = factory()
+        if "#" in word and factory is not equality_machine:
+            word = word.replace("#", "0")
+        ref = reference_engine.run_deterministic(machine, word)
+        for tier in (streaming_engine, compiled_tier):
+            run = tier.run_deterministic(machine, word)
+            assert run.final == ref.final
+            assert run.statistics == ref.statistics
+
+    @given(
+        seed=st.integers(0, 2**20),
+        tapes=st.integers(1, 3),
+        word=st.text(alphabet="01", max_size=8),
+        step_limit=st.sampled_from((5, 40, 10_000)),
+    )
+    @DIFFERENTIAL_SETTINGS
+    def test_random_machines_agree_including_failures(
+        self, seed, tapes, word, step_limit
+    ):
+        """Small step limits force the step-budget path; stuck machines
+        force the no-transition path — all tiers must raise the same
+        exception type with the same message, or all succeed equally."""
+        machine = random_terminating_tm(seed, external_tapes=tapes, length=6)
+        try:
+            ref = reference_engine.run_deterministic(
+                machine, word, step_limit=step_limit
+            )
+            outcome = None
+        except (MachineError, StepBudgetExceeded) as exc:
+            ref, outcome = None, exc
+        for tier in (streaming_engine, compiled_tier):
+            if outcome is None:
+                run = tier.run_deterministic(
+                    machine, word, step_limit=step_limit
+                )
+                assert run.final == ref.final
+                assert run.statistics == ref.statistics
+            else:
+                with pytest.raises(type(outcome)) as exc:
+                    tier.run_deterministic(
+                        machine, word, step_limit=step_limit
+                    )
+                assert str(exc.value) == str(outcome)
+
+    @given(
+        word=st.text(alphabet="01", max_size=6),
+        choices=st.lists(st.integers(1, 12), min_size=0, max_size=14),
+    )
+    @QUICK_SETTINGS
+    def test_choice_runs_agree_including_exhaustion(self, word, choices):
+        """Short choice sequences exhaust mid-run: the choice-exhaustion
+        diagnosis must come from every tier identically."""
+        for factory in RANDOMIZED_LIBRARY:
+            machine = factory()
+            try:
+                ref = reference_engine.run_with_choices(machine, word, choices)
+                outcome = None
+            except MachineError as exc:
+                ref, outcome = None, exc
+            for tier in (streaming_engine, compiled_tier):
+                if outcome is None:
+                    run = tier.run_with_choices(machine, word, choices)
+                    assert run.final == ref.final
+                    assert run.statistics == ref.statistics
+                else:
+                    with pytest.raises(MachineError) as exc:
+                        tier.run_with_choices(machine, word, choices)
+                    assert str(exc.value) == str(outcome)
+
+    @pytest.mark.parametrize(
+        "factory", DETERMINISTIC_LIBRARY, ids=lambda f: f.__name__
+    )
+    @given(word=st.text(alphabet="01", min_size=1, max_size=8), cap=st.integers(1, 6))
+    @QUICK_SETTINGS
+    def test_budget_violations_agree(self, factory, word, cap):
+        """Under a scan budget, streaming and compiled must deny at the
+        same charge with the same exception and identical tracker state
+        (the reference tier predates tracker bridging and sits this one
+        out)."""
+        machine = factory()
+        outcomes = []
+        for tier in (streaming_engine, compiled_tier):
+            tracker = ResourceTracker(ResourceBudget(max_scans=cap))
+            try:
+                tier.run_deterministic(machine, word, tracker=tracker)
+                outcomes.append((None, tracker.report()))
+            except ReproError as exc:
+                outcomes.append(((type(exc), str(exc)), tracker.report()))
+        assert outcomes[0] == outcomes[1]

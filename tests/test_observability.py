@@ -474,6 +474,42 @@ class TestEngineProbe:
         assert ref_run.args == fast_run.args
         assert ref_run.args["steps"] == r_fast.statistics.length - 1
 
+    def test_probe_forces_compiled_tier_into_streaming_fallback(self):
+        """Satellite bugfix: an attached probe needs per-step hooks, so
+        the compiled tier (and the ``auto`` front door) must fall back to
+        streaming — with probe output byte-identical to calling the
+        streaming engine directly, even on a compilable machine."""
+        from repro.machines import equality_machine, resolve_engine
+        from repro.machines import compiled_engine, fast_engine
+        from repro.machines.engine import run_deterministic as front_door
+        from repro.observability import EngineProbe
+
+        machine = equality_machine()
+        word = "0101#0101"
+        probe_free = EngineProbe()
+        assert resolve_engine(machine) == "compiled"
+        assert resolve_engine(machine, probe=probe_free) == "streaming"
+
+        def observed(run_fn):
+            probe = EngineProbe()
+            result = run_fn(machine, word, probe=probe)
+            probe.finish()
+            # structural span records with wall-clock timing stripped:
+            # everything else must match byte for byte
+            spans = []
+            for span in probe.tracer.spans():
+                record = span.to_json_dict()
+                record.pop("start_us", None)
+                record.pop("end_us", None)
+                spans.append(json.dumps(record, sort_keys=True))
+            return probe.steps_observed, spans, result.statistics
+
+        streaming = observed(fast_engine.run_deterministic)
+        compiled = observed(compiled_engine.run_deterministic)
+        auto = observed(front_door)
+        assert compiled == streaming
+        assert auto == streaming
+
     def test_branch_spans_and_depth_histogram(self):
         from fractions import Fraction
 

@@ -183,18 +183,38 @@ class TestCrashContainment:
 
 class TestMachinePickling:
     def test_compiled_caches_are_not_pickled(self):
+        from repro.machines.compiled_engine import try_compile
+
         machine = equality_machine()
         word = "0101#0101"
-        before = _accepts(machine, word)  # warms both caches
+        before = _accepts(machine, word)  # warms the streaming caches
+        assert try_compile(machine) is not None  # ... and the compiled one
         assert "_compiled_steps" in machine.__dict__
         assert "_transition_index" in machine.__dict__
+        assert "_compiled_program" in machine.__dict__
         state = machine.__getstate__()
-        assert "_compiled_steps" not in state
-        assert "_transition_index" not in state
+        for attr in type(machine)._CACHE_ATTRS:
+            assert attr not in state, attr
+        # the compiled program holds re patterns, which do not pickle:
+        # stripping it is what keeps the machine picklable at all
         clone = pickle.loads(pickle.dumps(machine))
         assert "_compiled_steps" not in clone.__dict__
+        assert "_compiled_program" not in clone.__dict__
         assert clone == machine
         assert _accepts(clone, word) == before
+
+    def test_unpickled_machine_runs_compiled_bit_identically(self):
+        from repro.machines import compiled_engine, fast_engine
+        from repro.machines.compiled_engine import try_compile
+
+        machine = equality_machine()
+        word = "0110#0110"
+        try_compile(machine)  # warmed cache must not leak into the pickle
+        clone = pickle.loads(pickle.dumps(machine))
+        original = fast_engine.run_deterministic(machine, word)
+        rerun = compiled_engine.run_deterministic(clone, word)
+        assert rerun.final == original.final
+        assert rerun.statistics == original.statistics
 
     def test_round_trip_runs_bit_identically(self):
         machine = coin_flip_machine()
@@ -343,7 +363,11 @@ class TestRoutedCallSites:
         serial = run_engine_benchmark(sizes=(16,), repeats=1)
         par = run_engine_benchmark(sizes=(16,), repeats=1, jobs=2)
         strip = lambda rows: [
-            {k: v for k, v in r.items() if "seconds" not in k and k != "speedup"}
+            {
+                k: v
+                for k, v in r.items()
+                if "seconds" not in k and "speedup" not in k
+            }
             for r in rows
         ]
         assert strip(par) == strip(serial)

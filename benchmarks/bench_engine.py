@@ -1,21 +1,34 @@
-"""Engine benchmark — reference vs. streaming vs. compiled engine.
+"""Engine benchmark — reference vs. streaming vs. compiled vs. batch.
 
 Unlike the E1–E20 experiments (which regenerate paper claims), this module
 tracks the repo's own performance trajectory: it times
-``run_deterministic`` under all three engine tiers on the machine library
+``run_deterministic`` under the serial engine tiers on the machine library
 across an input sweep, verifies on every cell that the tiers produce
-identical ``Run.final`` and ``RunStatistics``, and asserts two speedup
-gates at the top N: streaming over reference on the largest library
-machine, and compiled over streaming on the sweep-heavy machines (where
-macro-step run compression must engage — the row's ``macro_compression``
-column records steps-per-dispatch as evidence that the win comes from
+identical ``Run.final`` and ``RunStatistics``, and asserts speedup gates
+at the top N: streaming over reference on the largest library machine,
+and compiled over streaming on the sweep-heavy machines (where macro-step
+run compression must engage — the row's ``macro_compression`` column
+records steps-per-dispatch as evidence that the win comes from
 compression, not just cheaper dispatch).
 
-Importable: :func:`run_engine_benchmark` returns the result rows as plain
-dicts; ``scripts/bench_to_json.py`` wraps it to regenerate
-``BENCH_engine.json``, the first point of the perf trajectory.
+The batch sweep (:func:`run_batch_benchmark`) times the fourth tier on
+its own traffic shape — one machine, a whole batch of random inputs, the
+``monte_carlo_fingerprint_trials`` workload profile — against a serial
+compiled loop over the same words, cross-checking every lane
+bit-identical first.  The gate is per-input wall-clock: batch must be
+≥ 5× compiled on the sweep-dominated machines at the top N, where the
+run itself is cheap and the serial tier's per-run overhead (interning,
+snapshot, cache lookups) is the dominant cost the batch tier amortizes.
+Micro-step-dominated machines (parity, majority) are benched but not
+gated: their time is genuine table dispatch, which batching cannot
+shrink.
+
+Importable: :func:`run_engine_benchmark` / :func:`run_batch_benchmark`
+return the result rows as plain dicts; ``scripts/bench_to_json.py`` wraps
+them to regenerate ``BENCH_engine.json``, the perf trajectory artifact.
 """
 
+import random
 import time
 
 from repro.machines import (
@@ -24,6 +37,7 @@ from repro.machines import (
     equality_machine,
     majority_machine,
     parity_machine,
+    run_deterministic_batch,
 )
 from repro.machines import compiled_engine, execute, fast_engine
 
@@ -53,6 +67,12 @@ GATE_SPEEDUP = 5.0
 #: compress — they are benched but not gated.
 COMPILED_GATE_MACHINES = ("copy", "equality")
 COMPILED_GATE_SPEEDUP = 2.0  # compiled over *streaming*, at top N
+
+#: Batch-tier sweep shape: one machine, this many random inputs per cell —
+#: the ``monte_carlo_fingerprint_trials`` traffic profile.
+BATCH_LANES = 256
+BATCH_GATE_MACHINES = ("copy", "equality")
+BATCH_GATE_SPEEDUP = 5.0  # batch over *compiled*, per input, at top N
 
 STEP_LIMIT = 1_000_000
 
@@ -143,6 +163,123 @@ def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None):
     return run_batch(
         tasks, jobs=jobs, label="engine-bench", registry=registry
     ).values()
+
+
+def _batch_words(name, n, lanes=BATCH_LANES):
+    """``lanes`` random inputs for one batch sweep cell, deterministically.
+
+    Seeded from the cell coordinates so rows are reproducible and every
+    regeneration of ``BENCH_engine.json`` times the same word population.
+    ``equality`` gets well-formed ``w#w`` inputs so runs sweep the full
+    comparison loop instead of rejecting at the separator.
+    """
+    rng = random.Random(f"bench-batch:{name}:{n}")
+    words = []
+    for _ in range(lanes):
+        if name == "equality":
+            half = "".join(rng.choice("01") for _ in range(n // 2))
+            words.append(half + "#" + half)
+        else:
+            words.append("".join(rng.choice("01") for _ in range(n)))
+    return words
+
+
+def bench_batch_cell(name, n, repeats, lanes=BATCH_LANES):
+    """One batch sweep cell: per-lane cross-check, then best-of timings.
+
+    The whole word list goes down ``run_deterministic_batch`` in one
+    call — the conversion this benchmark exists to measure — and the
+    serial baseline is the compiled tier looped over the same words.
+    Every lane is verified bit-identical to its compiled twin before any
+    timing happens.
+    """
+    factory, _build_word = CASE_MAP[name]
+    machine = factory()
+    words = _batch_words(name, n, lanes)
+    outcomes = run_deterministic_batch(machine, words, step_limit=STEP_LIMIT)
+    for word, outcome in zip(words, outcomes):
+        twin = compiled_engine.run_deterministic(
+            machine, word, step_limit=STEP_LIMIT
+        )
+        if (
+            not outcome.ok
+            or outcome.result.final != twin.final
+            or outcome.result.statistics != twin.statistics
+        ):
+            raise AssertionError(
+                f"batch engine mismatch on {name} at n={n} lane "
+                f"{outcome.index}"
+            )
+    compiled_seconds = _best_of(
+        lambda: [
+            compiled_engine.run_deterministic(
+                machine, word, step_limit=STEP_LIMIT
+            )
+            for word in words
+        ],
+        repeats,
+    )
+    batch_seconds = _best_of(
+        lambda: run_deterministic_batch(
+            machine, words, step_limit=STEP_LIMIT
+        ),
+        repeats,
+    )
+    return {
+        "machine": name,
+        "n": n,
+        "input_length": len(words[0]),
+        "lanes": lanes,
+        "compiled_seconds_per_input": compiled_seconds / lanes,
+        "batch_seconds_per_input": batch_seconds / lanes,
+        "batch_speedup": compiled_seconds / batch_seconds,
+        "verified_identical": True,
+    }
+
+
+def run_batch_benchmark(sizes=SIZES, repeats=3, lanes=BATCH_LANES, jobs=1,
+                        registry=None):
+    """Time the batch tier over the library sweep; returns a list of rows.
+
+    Same contract as :func:`run_engine_benchmark`: every row is
+    lane-cross-checked against the compiled tier before timing, rows come
+    back in sweep order at any ``jobs``, and each cell times inside
+    whichever process runs it.
+    """
+    from repro.parallel import BatchTask, run_batch
+
+    tasks = [
+        BatchTask.call(bench_batch_cell, name, n, repeats, lanes)
+        for name, _factory, _build_word in CASES
+        for n in sizes
+    ]
+    return run_batch(
+        tasks, jobs=jobs, label="batch-bench", registry=registry
+    ).values()
+
+
+def batch_top_speedup(rows, machine):
+    """Batch-over-compiled per-input speedup of ``machine`` at the top n."""
+    candidates = [r for r in rows if r["machine"] == machine]
+    return max(candidates, key=lambda r: r["n"])["batch_speedup"]
+
+
+def batch_tier_rows(rows):
+    """Batch sweep cells as ``engine="batch"`` rows for the JSON artifact."""
+    return [
+        {
+            "machine": r["machine"],
+            "n": r["n"],
+            "input_length": r["input_length"],
+            "engine": "batch",
+            "lanes": r["lanes"],
+            "seconds": r["batch_seconds_per_input"],
+            "compiled_seconds_per_input": r["compiled_seconds_per_input"],
+            "speedup_vs_compiled": round(r["batch_speedup"], 2),
+            "verified_identical": r["verified_identical"],
+        }
+        for r in rows
+    ]
 
 
 def top_speedup(rows, machine=GATE_MACHINE):
@@ -243,3 +380,43 @@ def test_engine_speedup(benchmark):
         )
     )
     assert result.accepts(machine)
+
+
+def test_batch_engine_speedup(benchmark):
+    rows = run_batch_benchmark()
+    table = emit_table(
+        "BATCH — lock-step batch vs. compiled run_deterministic, per input",
+        (
+            "machine", "n", "N", "lanes", "comp s/in", "batch s/in",
+            "batch/comp",
+        ),
+        [
+            (
+                r["machine"],
+                r["n"],
+                r["input_length"],
+                r["lanes"],
+                f"{r['compiled_seconds_per_input']:.6f}",
+                f"{r['batch_seconds_per_input']:.6f}",
+                f"{r['batch_speedup']:.1f}x",
+            )
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["table"] = table
+
+    # the acceptance gate: batch >= 5x compiled per input on the
+    # sweep-dominated machines at the top N, with every lane verified
+    # bit-identical inside the cell before timing
+    for machine_name in BATCH_GATE_MACHINES:
+        assert batch_top_speedup(rows, machine_name) >= BATCH_GATE_SPEEDUP
+    assert all(r["verified_identical"] for r in rows)
+
+    machine = equality_machine()
+    words = _batch_words("equality", SIZES[-1])
+    result = benchmark(
+        lambda: run_deterministic_batch(
+            machine, words, step_limit=STEP_LIMIT
+        )
+    )
+    assert all(outcome.ok for outcome in result)

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Regenerate BENCH_engine.json — the engine-benchmark trajectory point.
 
-Runs the three-tier engine sweep (reference vs. streaming vs. compiled)
-from ``benchmarks/bench_engine.py`` and writes one row per tier (each row
+Runs the serial engine sweep (reference vs. streaming vs. compiled) and
+the batch-tier sweep (lock-step lanes vs. a compiled serial loop) from
+``benchmarks/bench_engine.py`` and writes one row per tier (each row
 carries an ``engine`` field) plus a summary to JSON, so the speedups
 claimed in the repo are reproducible with one command:
 
@@ -15,7 +16,11 @@ this run's top-N speedup against the checked-in baseline and reports a
 regression when it falls below ``tolerance × baseline`` (default 0.8 —
 timing noise on shared runners makes a tighter bound flaky).  The verdict
 rides in the JSON payload under ``comparison`` and in the exit status, so
-CI can surface it non-gatingly as an artifact.
+CI can surface it non-gatingly as an artifact.  Comparison is tolerant of
+tier growth: engines present in this run but absent from the baseline's
+rows are reported under ``engines_new`` instead of failing, so a payload
+with a freshly added tier still compares cleanly against an older
+baseline.
 
 Parallel mode: ``--jobs N`` dispatches the engine sweep over N worker
 processes (cell timings are still taken inside the worker running the
@@ -40,13 +45,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from bench_engine import (  # noqa: E402  (path setup must come first)
+    BATCH_GATE_MACHINES,
+    BATCH_GATE_SPEEDUP,
+    BATCH_LANES,
     COMPILED_GATE_MACHINES,
     COMPILED_GATE_SPEEDUP,
     GATE_MACHINE,
     GATE_SPEEDUP,
     SIZES,
+    batch_tier_rows,
+    batch_top_speedup,
     compiled_top_speedup,
     per_tier_rows,
+    run_batch_benchmark,
     run_engine_benchmark,
     top_speedup,
 )
@@ -168,11 +179,19 @@ def main(argv=None):
     rows = run_engine_benchmark(
         sizes=sizes, repeats=args.repeats, jobs=args.jobs
     )
+    batch_rows = run_batch_benchmark(
+        sizes=sizes, repeats=args.repeats, jobs=args.jobs
+    )
     gate = top_speedup(rows)
     compiled_gates = {
         name: round(compiled_top_speedup(rows, name), 2)
         for name in COMPILED_GATE_MACHINES
     }
+    batch_gates = {
+        name: round(batch_top_speedup(batch_rows, name), 2)
+        for name in BATCH_GATE_MACHINES
+    }
+    all_rows = per_tier_rows(rows) + batch_tier_rows(batch_rows)
     payload = {
         "benchmark": "engine",
         "description": (
@@ -180,7 +199,10 @@ def main(argv=None):
             "history + post-hoc statistics) vs. streaming engine "
             "(incremental statistics, O(1) memory per step) vs. compiled "
             "engine (dense transition tables + macro-step run "
-            "compression); one row per tier, keyed by the 'engine' field"
+            "compression) vs. batch engine (one compilation, lock-step "
+            "lanes over structure-of-arrays tapes, timed per input on "
+            "whole random-input batches); one row per tier, keyed by the "
+            "'engine' field"
         ),
         "command": "python scripts/bench_to_json.py",
         "python": platform.python_version(),
@@ -188,7 +210,7 @@ def main(argv=None):
         "sizes": list(sizes),
         "repeats": args.repeats,
         "unit": "seconds",
-        "rows": per_tier_rows(rows),
+        "rows": all_rows,
         "summary": {
             "gate_machine": GATE_MACHINE,
             "gate_speedup_required": GATE_SPEEDUP,
@@ -199,22 +221,40 @@ def main(argv=None):
             "compiled_gate_speedup_required": COMPILED_GATE_SPEEDUP,
             # compiled over streaming, per gated machine at top N
             "compiled_top_n_speedup": compiled_gates,
+            "batch_gate_machines": list(BATCH_GATE_MACHINES),
+            "batch_gate_speedup_required": BATCH_GATE_SPEEDUP,
+            "batch_lanes": BATCH_LANES,
+            # batch over compiled, per input, per gated machine at top N
+            "batch_top_n_speedup": batch_gates,
             "all_cells_verified_identical": all(
-                r["verified_identical"] for r in rows
+                r["verified_identical"] for r in all_rows
             ),
         },
     }
     regressed = False
     if args.compare:
         baseline = json.loads(Path(args.compare).read_text())
-        base_speedup = baseline["summary"]["top_n_speedup"]
-        floor = args.tolerance * base_speedup
-        regressed = gate < floor
+        base_summary = baseline.get("summary", {})
+        base_engines = sorted(
+            {r.get("engine") for r in baseline.get("rows", ())} - {None}
+        )
+        run_engines = sorted({r.get("engine") for r in all_rows} - {None})
+        # engines this run has but the baseline predates: informational,
+        # never a comparison failure — a new tier has no baseline yet
+        engines_new = [e for e in run_engines if e not in base_engines]
+        base_speedup = base_summary.get("top_n_speedup")
+        if base_speedup is not None:
+            floor = args.tolerance * base_speedup
+            regressed = gate < floor
+        else:
+            floor = None
         payload["comparison"] = {
             "baseline": args.compare,
             "baseline_top_n_speedup": base_speedup,
+            "baseline_engines": base_engines,
+            "engines_new": engines_new,
             "tolerance": args.tolerance,
-            "floor": round(floor, 2),
+            "floor": round(floor, 2) if floor is not None else None,
             "measured_top_n_speedup": round(gate, 2),
             "regressed": regressed,
         }
@@ -223,9 +263,13 @@ def main(argv=None):
     compiled_note = ", ".join(
         f"{name} {value:.1f}x" for name, value in compiled_gates.items()
     )
+    batch_note = ", ".join(
+        f"{name} {value:.1f}x" for name, value in batch_gates.items()
+    )
     print(
         f"wrote {args.output}: streaming {gate:.1f}x over reference on "
-        f"{GATE_MACHINE}; compiled over streaming: {compiled_note}"
+        f"{GATE_MACHINE}; compiled over streaming: {compiled_note}; "
+        f"batch over compiled per input ({BATCH_LANES} lanes): {batch_note}"
     )
     if args.jobs > 1:
         record = parallel_payload(args.jobs, args.quick, args.repeats, sizes)
@@ -265,6 +309,18 @@ def main(argv=None):
             print(
                 f"WARNING: compiled speedup below the "
                 f"{COMPILED_GATE_SPEEDUP}x gate on {', '.join(below)}",
+                file=sys.stderr,
+            )
+            return 1
+        batch_below = [
+            name
+            for name, value in batch_gates.items()
+            if value < BATCH_GATE_SPEEDUP
+        ]
+        if batch_below:
+            print(
+                f"WARNING: batch speedup below the {BATCH_GATE_SPEEDUP}x "
+                f"gate on {', '.join(batch_below)}",
                 file=sys.stderr,
             )
             return 1

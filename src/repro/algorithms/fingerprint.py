@@ -302,6 +302,40 @@ def fingerprint_mc_block(
     return accepted
 
 
+def fingerprint_mc_lanes(
+    lanes: Sequence[int],
+    m: int,
+    n: int,
+    kind: str,
+    k: Optional[int],
+    rngs: Sequence[random.Random],
+) -> int:
+    """Map-task body: one independent trial per lane, returns acceptances.
+
+    ``lanes`` are the trials' global indices in the sweep (the map task's
+    input list) and ``rngs`` their per-lane streams, injected by the
+    batch runtime from ``(batch seed, lane index)`` — so the acceptance
+    total is a pure function of (seed, trial count), independent of how
+    trials are grouped into tasks or spread over workers.
+    """
+    from ..problems import near_miss_instance, random_equal_instance
+
+    if kind == "equal":
+        make = random_equal_instance
+    elif kind == "near-miss":
+        make = near_miss_instance
+    else:
+        raise EncodingError(f"unknown trial kind {kind!r}")
+    accepted = 0
+    for _lane, rng in zip(lanes, rngs):
+        inst = make(m, n, rng)
+        if k is None:
+            accepted += multiset_equality_fingerprint(inst, rng).accepted
+        else:
+            accepted += fingerprint_trial_with_range(inst, rng, k)
+    return accepted
+
+
 @dataclass(frozen=True)
 class TrialSummary:
     """Aggregate outcome of a Monte Carlo fingerprint sweep."""
@@ -332,10 +366,12 @@ def monte_carlo_fingerprint_trials(
 ) -> TrialSummary:
     """The Theorem 8(a) error-rate experiment as a deterministic batch.
 
-    Instances and primes are drawn from per-task rngs derived from
-    ``(seed, task index)`` by :mod:`repro.parallel`, so the trial count
-    and acceptance total are bit-identical for any ``jobs`` — the
-    parallel sweep *is* the serial experiment, just faster.
+    Each trial is one *lane* of a :meth:`~repro.parallel.BatchTask.map`
+    task: instances and primes are drawn from per-lane rngs derived from
+    ``(seed, global trial index)`` by :mod:`repro.parallel`, so the
+    trial count and acceptance total are bit-identical for any ``jobs``
+    *and* any ``trials_per_task`` — regrouping lanes into different task
+    boundaries cannot move a single draw.
     """
     if trials < 1:
         raise EncodingError(f"trials must be >= 1, got {trials}")
@@ -346,13 +382,14 @@ def monte_carlo_fingerprint_trials(
     from ..parallel import BatchTask, run_batch
 
     tasks = [
-        BatchTask.call(
-            fingerprint_mc_block,
+        BatchTask.map(
+            fingerprint_mc_lanes,
+            range(start, min(start + trials_per_task, trials)),
             m,
             n,
-            min(trials_per_task, trials - start),
             kind,
             k,
+            base_index=start,
             seeded=True,
         )
         for start in range(0, trials, trials_per_task)

@@ -22,19 +22,24 @@ Machines are built either directly from a transition relation or through
 the small DSL in :mod:`~repro.machines.builder`; :mod:`~repro.machines.
 library` ships concrete machines used across tests and experiments.
 
-Three engines implement the semantics, pinned bit-identical by
+Four engines implement the semantics, pinned bit-identical by
 differential tests: the **reference engine**
 (:mod:`~repro.machines.execute`) materializes full configuration
 histories, the **streaming engine** (:mod:`~repro.machines.fast_engine`)
 simulates in O(1) extra memory per step with incrementally maintained
-statistics, and the **compiled engine**
+statistics, the **compiled engine**
 (:mod:`~repro.machines.compiled_engine`) lowers the transition relation
 to dense integer tables and executes straight-line head sweeps as
-macro-steps.  The package-level :func:`run_deterministic` /
-:func:`run_with_choices` go through the tier-selection front door in
+macro-steps, and the **batch engine**
+(:mod:`~repro.machines.batch_engine`) compiles once and runs a whole
+input batch in lock-step lanes over structure-of-arrays tape columns.
+The package-level :func:`run_deterministic` / :func:`run_with_choices`
+go through the tier-selection front door in
 :mod:`~repro.machines.engine` (``engine="auto"`` picks the compiled
 tier, falling back to streaming for ``trace=True``, attached probes and
-machines the compiler cannot lower).
+machines the compiler cannot lower); batch-shaped workloads go through
+:func:`run_deterministic_batch` / :func:`run_with_choices_batch`, which
+return one :class:`~repro.machines.batch_engine.LaneOutcome` per input.
 """
 
 from .tm import TuringMachine, Transition, L, N, R
@@ -49,11 +54,15 @@ from .execute import (
 # The canonical run functions are the tier-selecting front door; pass
 # engine="reference" / "streaming" / "compiled" to pin a tier.
 from .engine import (
+    BATCH_ENGINES,
     ENGINES,
     resolve_engine,
     run_deterministic,
+    run_deterministic_batch,
     run_with_choices,
+    run_with_choices_batch,
 )
+from .batch_engine import LaneOutcome
 
 # The canonical acceptance_probability is the streaming engine's iterative
 # DP — identical exact Fractions, no RecursionError on deep runs.  The
@@ -95,8 +104,12 @@ __all__ = [
     "enumerate_runs",
     "acceptance_probability",
     "run_with_choices",
+    "run_deterministic_batch",
+    "run_with_choices_batch",
+    "LaneOutcome",
     "choice_alphabet",
     "ENGINES",
+    "BATCH_ENGINES",
     "resolve_engine",
     "FastRun",
     "StepState",

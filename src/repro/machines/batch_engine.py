@@ -1,0 +1,995 @@
+"""Batch execution engine: one compilation, many inputs, lock-step lanes.
+
+The compiled engine (:mod:`repro.machines.compiled_engine`) made a
+*single* run fast, but profiling shows that at realistic input sizes the
+run itself is no longer where the time goes: per-run word interning, the
+final-configuration snapshot, the ``is_deterministic`` scan and the
+compile-cache fetch together dwarf the handful of table dispatches a
+macro-compressed run actually performs.  Every experiment in this repo
+that drives the simulator is an *aggregate* — thousands of (machine,
+input) executions of the **same** machine — so this module is the fourth
+tier: amortize all of that once-per-run overhead across a whole batch.
+
+Layout — structure-of-arrays tapes:
+
+* one contiguous ``bytearray`` **column** per tape, holding every lane's
+  written prefix at a fixed per-lane stride (``lane i`` owns bytes
+  ``[i*stride, (i+1)*stride)``); each lane addresses its region through a
+  zero-copy ``memoryview`` window;
+* the bytes of a lane's region beyond its written-prefix length are kept
+  zeroed (symbol id 0 is the blank), so a physical read past the prefix
+  *is* the implicit blank — the compiled engine's written-prefix
+  semantics fall out of the layout;
+* per-lane head/state vectors (cell code, positions, directions,
+  reversal counts, space high-water marks, written lengths) and a
+  live-lane list; lanes that halt, go stuck, exhaust a budget or trip
+  the step guard **retire** — their slot drops out of the live list, so
+  the hot loop never branches on dead lanes;
+* when a lane's write outgrows the stride, the column repacks (stride
+  doubles, live prefixes copied, windows rebuilt) — amortized O(1).
+
+Execution is lock-step at dispatch granularity: each round gives every
+live lane a bounded quantum of dispatches, where one dispatch is either
+a micro-step or a whole macro sweep (the self-loop and two-step-cycle
+sweeps of the compiled tier, re-expressed over lane windows so lanes in
+the same sweep group share the same compiled sweep machinery).  Word
+interning and final snapshots run through 256-byte ``bytes.translate``
+tables — C-level, not per-character Python loops.
+
+The differential discipline is absolute, and
+``tests/test_batch_engine.py`` / ``tests/test_cross_engine.py`` pin it:
+every lane's result is bit-identical to running that input alone on the
+compiled/streaming/reference tiers — same ``FastRun.final``, same
+``RunStatistics``, same stuck/step-limit/choice-exhaustion control flow
+and error messages, and, for lanes with an attached
+:class:`~repro.extmem.tracker.ResourceTracker`, the same denial point
+with the same tracker state (sweeps charge through the atomic
+``ResourceTracker.charge_batch`` exactly as the compiled tier does).
+Per-lane failures are *contained*: a lane that raises retires with its
+error recorded in its :class:`LaneOutcome`; the other lanes run on.
+
+Machines the compiler cannot lower fall back to a per-lane streaming
+loop with the same contained-error surface; the verdict — like the
+compiled program it wraps — is cached on the machine instance under
+``_batch_program`` and stripped on pickle (``TuringMachine._CACHE_ATTRS``),
+because the compiled sweep patterns do not pickle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import MachineError, ReproError, ResourceError
+from .config import Configuration
+from .execute import DEFAULT_STEP_LIMIT, Run, RunStatistics
+from .fast_engine import FastRun, _step_guard_limit
+from . import fast_engine
+from .compiled_engine import (
+    _UNCOMPILABLE,
+    _common_prefix,
+    _violation,
+    CompiledProgram,
+    try_compile,
+)
+from .tm import TuringMachine
+
+__all__ = [
+    "BatchProgram",
+    "LaneOutcome",
+    "try_compile_batch",
+    "run_deterministic_batch",
+    "run_with_choices_batch",
+]
+
+#: Dispatches one lane may run per lock-step round.  One macro sweep is
+#: one dispatch, so sweep-compressed lanes usually finish in a single
+#: round; micro-stepping lanes amortize the per-round lane bookkeeping
+#: over this many table hits before yielding to the next lane.
+_QUANTUM = 64
+
+#: Initial per-lane stride of the non-input columns (the input column
+#: starts at the longest word in the batch).  Doubles on demand.
+_MIN_STRIDE = 16
+
+#: Span category for batch runs (mirrors trace.CATEGORY_ENGINE without
+#: importing observability eagerly).
+_CATEGORY_ENGINE = "engine"
+
+
+class BatchProgram:
+    """A compiled program plus the batch tier's C-level intern tables.
+
+    ``enc_tab``/``valid_tab`` drive word interning as two
+    ``bytes.translate`` passes (one validates, one interns) over the
+    word's latin-1 encoding; a word that is not latin-1-encodable — or a
+    machine whose alphabet has no latin-1 symbols at all — keeps the
+    compiled tier's per-character dict walk as a correct slow path.
+    ``dec_tab`` inverts symbol ids back to characters for snapshots;
+    ``dec_bad`` lists the ids whose symbol is *not* latin-1 (in every
+    shipped machine that is exactly the blank, id 0), so a decoded tape
+    takes the C path whenever none of those ids occur in its prefix.
+    """
+
+    __slots__ = ("program", "enc_tab", "valid_tab", "dec_tab", "dec_bad")
+
+    def __init__(self, program: CompiledProgram):
+        self.program = program
+        symbols = program.symbols
+        ids = bytearray(256)
+        valid = bytearray(b"\x01" * 256)
+        dec = bytearray(256)
+        bad = []
+        for i, s in enumerate(symbols):
+            o = ord(s)
+            if o < 256:
+                ids[o] = i
+                valid[o] = 0
+                dec[i] = o
+            else:
+                bad.append(i)
+        self.enc_tab = bytes(ids)
+        self.valid_tab = bytes(valid)
+        self.dec_tab = bytes(dec)
+        self.dec_bad = bytes(bad)
+
+
+def try_compile_batch(machine: TuringMachine) -> Optional[BatchProgram]:
+    """The machine's batch program, or ``None`` if it cannot be lowered.
+
+    Wraps :func:`~repro.machines.compiled_engine.try_compile` — the batch
+    tier reuses the compiled tier's tables and sweep groups verbatim —
+    and caches the result (or the negative verdict) on the machine under
+    ``_batch_program``, which ``TuringMachine.__getstate__`` strips like
+    every other derived cache.
+    """
+    cached = machine.__dict__.get("_batch_program")
+    if cached is not None:
+        return None if cached is _UNCOMPILABLE else cached
+    program = try_compile(machine)
+    bp = BatchProgram(program) if program is not None else None
+    object.__setattr__(
+        machine, "_batch_program", bp if bp is not None else _UNCOMPILABLE
+    )
+    return bp
+
+
+@dataclass(frozen=True)
+class LaneOutcome:
+    """One lane's slot in the batch result: a run or a contained error.
+
+    ``result``/``error`` are mutually exclusive.  ``error`` holds exactly
+    the exception the same input would have raised on the compiled tier
+    (same type, same message, same tracker state at the raise), so a
+    batch is a faithful transcript of the equivalent serial loop.
+    """
+
+    index: int
+    result: Optional[Union[FastRun, Run]] = None
+    error: Optional[ReproError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Union[FastRun, Run]:
+        """The lane's run, re-raising its contained error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+# -- word interning --------------------------------------------------------
+
+
+def _encode_word(bp: BatchProgram, word: str) -> bytes:
+    """Intern ``word`` to symbol-id bytes, C-level where possible.
+
+    Raises the compiled tier's exact first-bad-character ``MachineError``
+    on symbols outside the alphabet.
+    """
+    try:
+        raw = word.encode("latin-1")
+    except UnicodeEncodeError:
+        pass  # some character is outside latin-1: diagnose it below
+    else:
+        bad = raw.translate(bp.valid_tab).find(1)
+        if bad >= 0:
+            raise MachineError(
+                f"input symbol {word[bad]!r} not in the alphabet"
+            )
+        return raw.translate(bp.enc_tab)
+    byte_of = bp.program.byte_of
+    out = bytearray()
+    for ch in word:
+        b = byte_of.get(ch)
+        if b is None:
+            raise MachineError(f"input symbol {ch!r} not in the alphabet")
+        out.append(b)
+    return bytes(out)
+
+
+def _decode_tape(bp: BatchProgram, raw: bytes) -> str:
+    bad = bp.dec_bad
+    if not bad or (
+        raw.find(bad[0]) < 0 if len(bad) == 1
+        else not any(raw.find(b) >= 0 for b in bad)
+    ):
+        return raw.translate(bp.dec_tab).decode("latin-1")
+    return "".join(map(bp.program.symbols.__getitem__, raw))
+
+
+# -- structure-of-arrays helpers -------------------------------------------
+#
+# These are the compiled engine's written-prefix helpers re-expressed over
+# a lane *window* (a memoryview of the lane's column region) plus an
+# explicit written length ``n``: the window is as long as the stride, the
+# bytes in [n, stride) are maintained zero, and reads past the window
+# clamp — so "beyond the written prefix is blank" holds physically.
+
+
+def _runlen_w(mv, n, pos, d, sr, cap):
+    """Length of the maximal ``sr``-member run at pos, pos+d, ... (<= cap)."""
+    if cap <= 0:
+        return 0
+    if d > 0:
+        if pos >= n:
+            return cap if sr.has_blank else 0
+        end = pos + cap
+        j = sr.pattern.match(mv, pos, end if end < n else n).end() - pos
+        if j == n - pos and end > n and sr.has_blank:
+            j = cap
+        return j
+    lo = pos - cap + 1
+    if lo < 0:
+        lo = 0
+    if pos >= n:
+        if not sr.has_blank:
+            return 0
+        if lo >= n:
+            return pos - lo + 1
+        count = pos - n + 1
+        hi = n - 1
+    else:
+        count = 0
+        hi = pos
+    blocked = bytes(mv[lo:hi + 1]).translate(sr.mask)
+    idx = blocked.rfind(b"\x01")
+    if idx < 0:
+        count += hi - lo + 1
+    else:
+        count += hi - lo - idx
+    return count
+
+
+def _seg_w(mv, n, pos, d, k):
+    """``k`` symbol ids at pos, pos+d, ... in iteration order, blank-padded.
+
+    Reads may run past ``n`` into the zeroed tail of the window — those
+    zeros *are* the implicit blanks — and clamp at the window end.
+    """
+    if k <= 0:
+        return b""
+    if d > 0:
+        raw = bytes(mv[pos:pos + k]) if pos < len(mv) else b""
+        if len(raw) < k:
+            raw += b"\x00" * (k - len(raw))
+        return raw
+    lo = pos - k + 1
+    raw = bytes(mv[lo:pos + 1])
+    out = raw[::-1]
+    if len(out) < k:
+        out = b"\x00" * (k - len(out)) + out
+    return out
+
+
+def _write_seg_w(mv, n, pos, d, data):
+    """Write ``data[i]`` at pos + i*d; returns the new written length.
+
+    Mirrors ``compiled_engine._write_seg`` exactly: bytes landing past
+    the current prefix have their trailing blanks trimmed (the prefix
+    never ends in a blank it did not already contain), and gap cells are
+    already zero by the column invariant.  The caller must have ensured
+    window capacity first.
+    """
+    k = len(data)
+    if d > 0:
+        if pos < n:
+            m = n - pos
+            if m >= k:
+                mv[pos:pos + k] = data
+                return n
+            mv[pos:n] = data[:m]
+            ext = data[m:].rstrip(b"\x00")
+            if ext:
+                mv[n:n + len(ext)] = ext
+                return n + len(ext)
+            return n
+        ext = data.rstrip(b"\x00")
+        if ext:
+            mv[pos:pos + len(ext)] = ext
+            return pos + len(ext)
+        return n
+    lo = pos - k + 1
+    rdata = data[::-1]
+    if pos < n:
+        mv[lo:pos + 1] = rdata
+        return n
+    m = n - lo
+    if m < 0:
+        m = 0
+    if m:
+        mv[lo:n] = rdata[:m]
+    ext = rdata[m:].rstrip(b"\x00")
+    if ext:
+        mv[n:n + len(ext)] = ext
+        return n + len(ext)
+    return n
+
+
+class _Column:
+    """One tape's structure-of-arrays buffer: all lanes, one bytearray."""
+
+    __slots__ = ("buf", "stride", "nlanes")
+
+    def __init__(self, nlanes: int, stride: int):
+        self.nlanes = nlanes
+        self.stride = stride
+        self.buf = bytearray(nlanes * stride)
+
+
+def _cycle_sweep_lane(mac, views_l, wlen_l, positions_l, directions_l,
+                      reversals_l, space_l, steps, guard, tracker, tape_ids,
+                      ext, ensure, tape_a_and_b):
+    """One lane's two-step cycle sweep; ``None`` means micro-step instead.
+
+    A direct port of ``compiled_engine._cycle_sweep`` onto lane windows:
+    the same eligibility scans, the same ``k`` caps (step guard, left
+    wall, pair predicate), and the same at-most-two ``charge_batch``
+    calls in stream order, so a denied reversal leaves the lane's
+    tracker bit-identical to its serial twin's.
+    """
+    mA, mB = tape_a_and_b
+    dA = mac.dA
+    dB = mac.dB
+    if tracker is not None and (mA >= ext or mB >= ext):
+        return None
+    mvA = views_l[mA]
+    mvB = views_l[mB]
+    nA = wlen_l[mA]
+    pA = positions_l[mA]
+    pB = positions_l[mB]
+    kmax = (guard - steps) // 2
+    if dA < 0 and pA < kmax:
+        kmax = pA
+    if dB < 0 and pB < kmax:
+        kmax = pB
+    if kmax <= 0:
+        return None
+    q = pA + dA
+    c1tab = mac.c1tab
+    if not c1tab[mvA[q] if 0 <= q < nA else 0]:
+        return None
+    if mac.sbrun is not None:
+        # rectangle predicate: the two sides limit k independently
+        runx = _runlen_w(mvA, nA, q, dA, mac.e1run, kmax)
+        if runx < kmax:
+            nxt = pA + (runx + 1) * dA
+            kx = runx + (
+                1 if c1tab[mvA[nxt] if 0 <= nxt < nA else 0] else 0
+            )
+        else:
+            kx = kmax
+        ky = _runlen_w(mvB, wlen_l[mB], pB + dB, dB, mac.sbrun, kmax) + 1
+        k = kx if kx < ky else ky
+        if k > kmax:
+            k = kmax
+    else:
+        # function predicate y = h(x): align the two slices and compare
+        r_e = _runlen_w(mvA, nA, q, dA, mac.e1run, kmax)
+        segx = _seg_w(mvA, nA, q, dA, r_e)
+        segy = _seg_w(mvB, wlen_l[mB], pB + dB, dB, r_e)
+        m = _common_prefix(segx.translate(mac.htab), segy)
+        if m < kmax:
+            nxt = pA + (m + 1) * dA
+            k = m + (1 if c1tab[mvA[nxt] if 0 <= nxt < nA else 0] else 0)
+        else:
+            k = kmax
+    if k <= 0:
+        return None
+    rev_a = 1 if directions_l[mA] == -dA else 0
+    rev_b = 1 if directions_l[mB] == -dB else 0
+    if tracker is not None:
+        if rev_a:
+            tracker.charge_batch(
+                tape_id=tape_ids[mA], reversals=1,
+                steps=1 if rev_b else 2 * k,
+            )
+            if rev_b:
+                tracker.charge_batch(
+                    tape_id=tape_ids[mB], reversals=1, steps=2 * k - 1
+                )
+        elif rev_b:
+            tracker.charge_batch(steps=1)
+            tracker.charge_batch(
+                tape_id=tape_ids[mB], reversals=1, steps=2 * k - 1
+            )
+        else:
+            tracker.charge_batch(steps=2 * k)
+    reversals_l[mA] += rev_a
+    reversals_l[mB] += rev_b
+    directions_l[mA] = dA
+    directions_l[mB] = dB
+    if mac.wa_src or mac.wb_src:
+        # capture both original slices first: every read the sweep
+        # models happens before the write that could clobber it
+        segxw = _seg_w(mvA, nA, pA, dA, k)
+        segyw = _seg_w(mvB, wlen_l[mB], pB, dB, k)
+        if mac.wa_src:
+            src = segxw if mac.wa_src == 1 else segyw
+            ensure(mA, pA + k if dA > 0 else pA + 1)
+            mvA = views_l[mA]  # the column may have repacked
+            wlen_l[mA] = _write_seg_w(
+                mvA, wlen_l[mA], pA, dA, src.translate(mac.wa_tab)
+            )
+        if mac.wb_src:
+            src = segxw if mac.wb_src == 1 else segyw
+            ensure(mB, pB + k if dB > 0 else pB + 1)
+            mvB = views_l[mB]
+            wlen_l[mB] = _write_seg_w(
+                mvB, wlen_l[mB], pB, dB, src.translate(mac.wb_tab)
+            )
+    p_a2 = pA + k * dA
+    p_b2 = pB + k * dB
+    positions_l[mA] = p_a2
+    positions_l[mB] = p_b2
+    if dA > 0 and p_a2 + 1 > space_l[mA]:
+        space_l[mA] = p_a2 + 1
+    if dB > 0 and p_b2 + 1 > space_l[mB]:
+        space_l[mB] = p_b2 + 1
+    # both landing cells are beyond the swept (written) region
+    xk = mvA[p_a2] if p_a2 < wlen_l[mA] else 0
+    yk = mvB[p_b2] if p_b2 < wlen_l[mB] else 0
+    return mac.cbase + xk * mac.msA + yk * mac.msB, steps + 2 * k
+
+
+def _snapshot_lane(program, bp, full, positions_l, views_l, wlen_l,
+                   reversals_l, space_l, steps):
+    """The lane's final FastRun, decoded from its column windows."""
+    final = Configuration(
+        state=program.state_names[full // program.ncodes],
+        positions=tuple(positions_l),
+        tapes=tuple(
+            _decode_tape(bp, bytes(views_l[i][:wlen_l[i]]))
+            for i in range(program.tape_count)
+        ),
+    )
+    stats = RunStatistics(
+        reversals_per_tape=tuple(reversals_l),
+        space_per_tape=tuple(space_l),
+        length=steps + 1,
+    )
+    return FastRun(final, stats)
+
+
+def _execute_batch(program, bp, words, choices_list, step_limit, trackers):
+    """The lock-step hot loop; returns (outcomes, dispatches, steps).
+
+    Charge points and charge arguments are exactly the compiled tier's
+    (see that module's docstring for the sweep-soundness argument); this
+    function only changes *where tape bytes live* and *how lanes are
+    scheduled*, never what one lane observes.
+    """
+    machine = program.machine
+    ncodes = program.ncodes
+    tapes = program.tape_count
+    ext = machine.external_tapes
+    nlanes = len(words)
+    outcomes: List[Optional[LaneOutcome]] = [None] * nlanes
+
+    # -- interning (before tape registration, as in the compiled tier) ----
+    enc_words: List[Optional[bytes]] = [None] * nlanes
+    for lane, word in enumerate(words):
+        try:
+            enc_words[lane] = _encode_word(bp, word)
+        except ReproError as exc:
+            outcomes[lane] = LaneOutcome(lane, None, exc)
+
+    # -- columns and per-lane state ---------------------------------------
+    stride0 = max(
+        [1] + [len(e) for e in enc_words if e is not None]
+    )
+    cols = [_Column(nlanes, stride0)] + [
+        _Column(nlanes, _MIN_STRIDE) for _ in range(tapes - 1)
+    ]
+    positions = [[0] * tapes for _ in range(nlanes)]
+    directions = [[0] * tapes for _ in range(nlanes)]
+    reversals = [[0] * tapes for _ in range(nlanes)]
+    space = [[1] * tapes for _ in range(nlanes)]
+    wlens = [[0] * tapes for _ in range(nlanes)]
+    full = [0] * nlanes
+    lane_steps = [0] * nlanes
+    lane_dispatches = [0] * nlanes
+    guards = [0] * nlanes
+    tape_ids_all: List[Optional[list]] = [None] * nlanes
+    views: List[List] = [[None] * tapes for _ in range(nlanes)]
+
+    live: List[int] = []
+    col0 = cols[0]
+    for lane in range(nlanes):
+        if outcomes[lane] is not None:
+            continue
+        enc = enc_words[lane]
+        base = lane * stride0
+        if enc:
+            col0.buf[base:base + len(enc)] = enc
+        wlens[lane][0] = len(enc)
+        space[lane][0] = max(1, len(enc))
+        tracker = trackers[lane] if trackers is not None else None
+        if tracker is not None:
+            try:
+                tape_ids_all[lane] = [
+                    tracker.register_tape(f"{machine.name}:tape{i + 1}")
+                    for i in range(ext)
+                ]
+            except ReproError as exc:
+                outcomes[lane] = LaneOutcome(lane, None, exc)
+                continue
+        full[lane] = program.initial_sid * ncodes + (enc[0] if enc else 0)
+        guards[lane] = _step_guard_limit(
+            choices_list[lane] if choices_list is not None else None,
+            step_limit,
+        )
+        live.append(lane)
+
+    def _rebuild_views(t):
+        col = cols[t]
+        stride = col.stride
+        whole = memoryview(col.buf)
+        for lane2 in live:
+            views[lane2][t] = whole[lane2 * stride:(lane2 + 1) * stride]
+
+    def _grow(t, needed):
+        col = cols[t]
+        new_stride = col.stride * 2
+        if new_stride < needed:
+            new_stride = needed
+        new = bytearray(nlanes * new_stride)
+        old = col.buf
+        old_stride = col.stride
+        for lane2 in live:
+            wl = wlens[lane2][t]
+            if wl:
+                new[lane2 * new_stride:lane2 * new_stride + wl] = \
+                    old[lane2 * old_stride:lane2 * old_stride + wl]
+        col.buf = new
+        col.stride = new_stride
+        _rebuild_views(t)
+
+    def _ensure(t, needed):
+        if needed > cols[t].stride:
+            _grow(t, needed)
+
+    for t in range(tapes):
+        _rebuild_views(t)
+
+    for lane in list(live):
+        if program.initial_final:
+            outcomes[lane] = LaneOutcome(
+                lane,
+                _snapshot_lane(
+                    program, bp, full[lane], positions[lane], views[lane],
+                    wlens[lane], reversals[lane], space[lane], 0,
+                ),
+                None,
+            )
+    if program.initial_final:
+        live = []
+
+    cells = program.det_cells if choices_list is None else program.nd_cells
+
+    # -- the lock-step rounds ---------------------------------------------
+    while live:
+        for lane in live:
+            if outcomes[lane] is not None:
+                continue
+            positions_l = positions[lane]
+            directions_l = directions[lane]
+            reversals_l = reversals[lane]
+            space_l = space[lane]
+            wlen_l = wlens[lane]
+            views_l = views[lane]
+            tracker = trackers[lane] if trackers is not None else None
+            tape_ids = tape_ids_all[lane]
+            budget = tracker.budget if tracker is not None else None
+            guard = guards[lane]
+            choices = choices_list[lane] if choices_list is not None else None
+            steps = lane_steps[lane]
+            full_c = full[lane]
+            dispatches = lane_dispatches[lane]
+            quantum = _QUANTUM
+            try:
+                while quantum > 0:
+                    quantum -= 1
+                    dispatches += 1
+                    entry = cells[full_c]
+                    if steps >= guard or entry is None:
+                        _violation(
+                            program, full_c, choices, steps, step_limit,
+                            entry,
+                        )
+                    if choices is None:
+                        rec = entry
+                    else:
+                        rec = entry[choices[steps] % len(entry)]
+                    nf, wchanges, mover, delta, jmp, ms, macro, mbase = rec
+                    if macro is not None and macro.kind == 2:
+                        res = _cycle_sweep_lane(
+                            macro, views_l, wlen_l, positions_l,
+                            directions_l, reversals_l, space_l, steps,
+                            guard, tracker, tape_ids, ext, _ensure,
+                            (macro.mA, macro.mB),
+                        )
+                        if res is not None:
+                            full_c, steps = res
+                            continue
+                        # ineligible here (k = 0): fall through to micro
+                    elif macro is not None:
+                        # -- self-loop sweep over the lane window ----------
+                        pos = positions_l[mover]
+                        mv = views_l[mover]
+                        blen = wlen_l[mover]
+                        limit = guard - steps
+                        k = 0
+                        if delta > 0:
+                            if pos < blen:
+                                end = pos + limit
+                                k = macro.pattern.match(
+                                    mv, pos, end if end < blen else blen
+                                ).end() - pos
+                            elif macro.blank_write == 0:
+                                # blank frontier: every cell ahead is
+                                # eligible and untouched
+                                k = limit
+                        else:
+                            if pos >= blen:
+                                if macro.blank_write == 0 and pos > 0:
+                                    k = pos - blen + 1
+                            elif pos > 0:
+                                lo = pos - limit
+                                if lo < 0:
+                                    lo = 0
+                                blocked = bytes(mv[lo:pos + 1]).translate(
+                                    macro.mask
+                                )
+                                k = pos - (
+                                    lo + blocked.rfind(b"\x01") + 1
+                                ) + 1
+                            if k > limit:
+                                k = limit
+                            if k > pos:
+                                k = pos  # land on the wall; micro raises
+                        grow = 0
+                        if k and delta > 0:
+                            p2 = pos + k
+                            if p2 + 1 > space_l[mover]:
+                                grow = p2 + 1 - space_l[mover]
+                                if (
+                                    mover >= ext
+                                    and budget is not None
+                                    and budget.max_internal_bits is not None
+                                ):
+                                    # cap the sweep so a denied space
+                                    # charge falls on a micro-step, whose
+                                    # charge order matches streaming
+                                    room = (budget.max_internal_bits
+                                            - tracker.current_internal_bits)
+                                    if grow > room:
+                                        k -= grow - room
+                                        grow = room
+                                        if k <= 0:
+                                            k = 0
+                                            grow = 0
+                        if k:
+                            rev = 1 if directions_l[mover] == -delta else 0
+                            if tracker is not None:
+                                tracker.charge_batch(
+                                    tape_id=(tape_ids[mover]
+                                             if rev and mover < ext
+                                             else None),
+                                    reversals=rev if mover < ext else 0,
+                                    internal_delta=grow if mover >= ext
+                                    else 0,
+                                    steps=k,
+                                )
+                            if rev:
+                                reversals_l[mover] += 1
+                            directions_l[mover] = delta
+                            wt = macro.write_table
+                            if delta > 0:
+                                p2 = pos + k
+                                if wt is not None and pos < blen:
+                                    # p2 <= blen here: the eligible-run
+                                    # match is bounded by the prefix
+                                    mv[pos:p2] = bytes(
+                                        mv[pos:p2]
+                                    ).translate(wt)
+                            else:
+                                p2 = pos - k
+                                if wt is not None and pos < blen:
+                                    mv[p2 + 1:pos + 1] = bytes(
+                                        mv[p2 + 1:pos + 1]
+                                    ).translate(wt)
+                            positions_l[mover] = p2
+                            if grow:
+                                space_l[mover] = p2 + 1
+                            steps += k
+                            full_c = mbase + (
+                                mv[p2] if p2 < blen else 0
+                            ) * ms
+                            continue
+                        # k == 0: fall through to an ordinary micro-step
+                    for i, w in wchanges:
+                        pos = positions_l[i]
+                        if pos < wlen_l[i]:
+                            views_l[i][pos] = w
+                        else:
+                            # w differs from the blank that was read, so
+                            # the written prefix grows to cover the head
+                            if pos + 1 > cols[i].stride:
+                                _grow(i, pos + 1)
+                            views_l[i][pos] = w
+                            wlen_l[i] = pos + 1
+                            if pos + 1 > space_l[i]:
+                                if tracker is not None and i >= ext:
+                                    tracker.charge_internal(
+                                        pos + 1 - space_l[i]
+                                    )
+                                space_l[i] = pos + 1
+                    if mover >= 0:
+                        pos = positions_l[mover] + delta
+                        if delta > 0:
+                            if directions_l[mover] == -1:
+                                if tracker is not None and mover < ext:
+                                    tracker.charge_reversal(tape_ids[mover])
+                                reversals_l[mover] += 1
+                            directions_l[mover] = 1
+                            if pos + 1 > space_l[mover]:
+                                if tracker is not None and mover >= ext:
+                                    tracker.charge_internal(
+                                        pos + 1 - space_l[mover]
+                                    )
+                                space_l[mover] = pos + 1
+                        else:
+                            if pos < 0:
+                                raise MachineError(
+                                    f"head {mover + 1} fell off the left "
+                                    f"end in state "
+                                    f"{program.state_names[full_c // ncodes]!r}"
+                                )
+                            if directions_l[mover] == 1:
+                                if tracker is not None and mover < ext:
+                                    tracker.charge_reversal(tape_ids[mover])
+                                reversals_l[mover] += 1
+                            directions_l[mover] = -1
+                        positions_l[mover] = pos
+                        full_c += jmp + (
+                            views_l[mover][pos]
+                            if pos < wlen_l[mover] else 0
+                        ) * ms
+                    else:
+                        full_c += jmp
+                    steps += 1
+                    if tracker is not None:
+                        tracker.charge_step()
+                    if nf:
+                        outcomes[lane] = LaneOutcome(
+                            lane,
+                            _snapshot_lane(
+                                program, bp, full_c, positions_l, views_l,
+                                wlen_l, reversals_l, space_l, steps,
+                            ),
+                            None,
+                        )
+                        break
+            except ReproError as exc:
+                outcomes[lane] = LaneOutcome(lane, None, exc)
+            full[lane] = full_c
+            lane_steps[lane] = steps
+            lane_dispatches[lane] = dispatches
+        live = [lane for lane in live if outcomes[lane] is None]
+    return outcomes, sum(lane_dispatches), sum(lane_steps)
+
+
+# -- fallback and instrumentation ------------------------------------------
+
+
+def _fallback_lanes(machine, words, choices_list, step_limit, trackers):
+    """Per-lane streaming loop for machines the compiler cannot lower.
+
+    Same contained-error surface as the lock-step path: each lane gets
+    exactly the run — or exactly the exception — its serial twin gets.
+    """
+    outcomes = []
+    for lane, word in enumerate(words):
+        tracker = trackers[lane] if trackers is not None else None
+        try:
+            if choices_list is None:
+                run = fast_engine.run_deterministic(
+                    machine, word, step_limit=step_limit, tracker=tracker
+                )
+            else:
+                run = fast_engine.run_with_choices(
+                    machine, word, choices_list[lane],
+                    step_limit=step_limit, tracker=tracker,
+                )
+            outcomes.append(LaneOutcome(lane, run, None))
+        except ReproError as exc:
+            outcomes.append(LaneOutcome(lane, None, exc))
+    return outcomes
+
+
+class _BatchInstruments:
+    """MetricsRegistry counters + the per-batch span; no-ops when unbound.
+
+    The counters are the lane ledger ROADMAP item 2's result cache will
+    inherit: how many lanes a batch dispatched, how many retired with a
+    result, how many a budget denial retired, how many failed otherwise,
+    and how much macro-step compression the dispatch loop achieved.
+    """
+
+    __slots__ = ("registry", "tracer", "span", "label")
+
+    def __init__(self, registry, tracer, machine):
+        self.registry = registry
+        self.tracer = tracer
+        self.span = None
+        self.label = machine.name
+
+    def open(self, lanes: int) -> None:
+        if self.tracer is not None:
+            self.span = self.tracer.begin(
+                f"batch-run:{self.label}", _CATEGORY_ENGINE, lanes=lanes
+            )
+
+    def close(self, outcomes, dispatches: int, steps: int) -> None:
+        lanes = len(outcomes)
+        retired = sum(1 for o in outcomes if o.ok)
+        denied = sum(
+            1 for o in outcomes if isinstance(o.error, ResourceError)
+        )
+        failed = lanes - retired - denied
+        if self.registry is not None:
+            reg = self.registry
+            label = self.label
+            reg.counter(
+                "batch_lanes_dispatched", "lanes entering a batch run"
+            ).inc(lanes, machine=label)
+            reg.counter(
+                "batch_lanes_retired", "lanes that completed with a result"
+            ).inc(retired, machine=label)
+            reg.counter(
+                "batch_lanes_denied",
+                "lanes a resource-budget denial retired",
+            ).inc(denied, machine=label)
+            reg.counter(
+                "batch_lanes_failed",
+                "lanes retired by a non-budget error",
+            ).inc(failed, machine=label)
+            reg.counter(
+                "batch_dispatches", "dispatch decisions across all lanes"
+            ).inc(dispatches, machine=label)
+            reg.counter(
+                "batch_steps", "machine steps executed across all lanes"
+            ).inc(steps, machine=label)
+            if dispatches:
+                reg.histogram(
+                    "batch_macro_steps_per_dispatch",
+                    "machine steps per dispatch decision (macro "
+                    "compression across the batch)",
+                    buckets=(1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 500.0,
+                             1000.0),
+                ).observe(steps / dispatches, machine=label)
+        if self.span is not None:
+            self.tracer.end(
+                self.span,
+                retired=retired,
+                denied=denied,
+                failed=failed,
+                dispatches=dispatches,
+                steps=steps,
+            )
+            self.span = None
+
+
+def _check_trackers(trackers, nlanes):
+    if trackers is None:
+        return None
+    trackers = list(trackers)
+    if len(trackers) != nlanes:
+        raise ValueError(
+            f"trackers must match the batch: {len(trackers)} trackers "
+            f"for {nlanes} inputs"
+        )
+    return trackers
+
+
+# -- entry points ----------------------------------------------------------
+
+
+def run_deterministic_batch(
+    machine: TuringMachine,
+    words: Sequence[str],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    trackers: Optional[Sequence] = None,
+    registry=None,
+    tracer=None,
+) -> List[LaneOutcome]:
+    """Execute a deterministic machine on a whole input batch.
+
+    Compiles once, then runs every input as a lock-step lane; returns
+    one :class:`LaneOutcome` per input, in input order.  Lane ``i``'s
+    result or contained error — and, when ``trackers[i]`` is attached,
+    its tracker state — is bit-identical to
+    ``compiled_engine.run_deterministic(machine, words[i], ...)``.
+    Machines the compiler cannot lower run lane-by-lane on the streaming
+    tier with the same outcome surface.
+    """
+    if not machine.is_deterministic:
+        raise MachineError(f"{machine.name} is not deterministic")
+    words = list(words)
+    trackers = _check_trackers(trackers, len(words))
+    instruments = _BatchInstruments(registry, tracer, machine)
+    instruments.open(len(words))
+    bp = try_compile_batch(machine)
+    if bp is None:
+        outcomes = _fallback_lanes(machine, words, None, step_limit, trackers)
+        instruments.close(outcomes, 0, 0)
+        return outcomes
+    outcomes, dispatches, steps = _execute_batch(
+        bp.program, bp, words, None, step_limit, trackers
+    )
+    instruments.close(outcomes, dispatches, steps)
+    return outcomes
+
+
+def run_with_choices_batch(
+    machine: TuringMachine,
+    words: Sequence[str],
+    choices_list: Sequence[Sequence[int]],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    trackers: Optional[Sequence] = None,
+    registry=None,
+    tracer=None,
+) -> List[LaneOutcome]:
+    """ρ_T(w, c) for a batch of (word, choice-sequence) lanes.
+
+    Dispatch uses the dense tables but never macro-steps: a lane's
+    choices may be lazy (drawn from an RNG on access), so the engine
+    consumes exactly one ``choices[step]`` per lane step, in order —
+    the compiled tier's contract, per lane.
+    """
+    words = list(words)
+    choices_list = list(choices_list)
+    if len(choices_list) != len(words):
+        raise ValueError(
+            f"choices_list must match the batch: {len(choices_list)} "
+            f"choice sequences for {len(words)} inputs"
+        )
+    trackers = _check_trackers(trackers, len(words))
+    instruments = _BatchInstruments(registry, tracer, machine)
+    instruments.open(len(words))
+    bp = try_compile_batch(machine)
+    if bp is None:
+        outcomes = _fallback_lanes(
+            machine, words, choices_list, step_limit, trackers
+        )
+        instruments.close(outcomes, 0, 0)
+        return outcomes
+    outcomes, dispatches, steps = _execute_batch(
+        bp.program, bp, words, choices_list, step_limit, trackers
+    )
+    instruments.close(outcomes, dispatches, steps)
+    return outcomes

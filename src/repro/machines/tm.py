@@ -95,7 +95,12 @@ class TuringMachine:
                 )
 
     #: Memoized derived structures, rebuilt lazily after unpickling.
-    _CACHE_ATTRS = ("_transition_index", "_compiled_steps", "_compiled_program")
+    _CACHE_ATTRS = (
+        "_transition_index",
+        "_compiled_steps",
+        "_compiled_program",
+        "_batch_program",
+    )
 
     def __getstate__(self) -> Dict[str, object]:
         """Pickle the definition only, never the memoized caches.

@@ -402,6 +402,20 @@ def run_audit_cell(spec: ContractSpec, m: int, n: int) -> ContractCheck:
     )
 
 
+def run_audit_cells(
+    cells: Sequence[Tuple[int, int]], spec: ContractSpec
+) -> List[ContractCheck]:
+    """Map-task body: one contract's whole (m, n) N-sweep in one task.
+
+    The per-spec sweep is the batch-shaped unit the audit hands down the
+    runtime (a :meth:`~repro.parallel.BatchTask.map` input list); each
+    cell still seeds its own rng from its coordinates alone, so the
+    checks — and the JSON written from them — are byte-identical to
+    running the cells as individual tasks at any ``jobs``.
+    """
+    return [run_audit_cell(spec, m, n) for m, n in cells]
+
+
 def run_contract_audit(
     *,
     quick: bool = False,
@@ -414,10 +428,12 @@ def run_contract_audit(
 ) -> AuditRun:
     """Sweep every contract; returns the full measured-vs-claimed record.
 
-    ``jobs`` fans the (contract × cell) grid out over worker processes
-    via :mod:`repro.parallel`; every cell seeds its own rng from its
-    coordinates, so the result — and the JSON artifact written from it —
-    is byte-identical to the serial sweep for any ``jobs``.
+    ``jobs`` fans the per-contract N-sweeps out over worker processes
+    via :mod:`repro.parallel` — one lane-batched map task per contract,
+    so each worker hands a whole sweep down in one call; every cell
+    seeds its own rng from its coordinates, so the result — and the JSON
+    artifact written from it — is byte-identical to the serial sweep for
+    any ``jobs`` and to the old one-task-per-cell grouping.
     """
     cells = tuple(sweep) if sweep is not None else (
         QUICK_SWEEP if quick else FULL_SWEEP
@@ -427,11 +443,9 @@ def run_contract_audit(
     from ..parallel import BatchTask, run_batch
 
     tasks = [
-        BatchTask.call(run_audit_cell, spec, m, n)
-        for spec in specs
-        for m, n in cells
+        BatchTask.map(run_audit_cells, cells, spec) for spec in specs
     ]
-    checks = run_batch(
+    sweeps = run_batch(
         tasks,
         jobs=jobs,
         chunk_size=chunk_size,
@@ -440,12 +454,12 @@ def run_contract_audit(
         tracer=tracer,
     ).values()
     outcomes = []
-    for i, spec in enumerate(specs):
+    for spec, checks in zip(specs, sweeps):
         outcomes.append(
             ContractOutcome(
                 name=spec.name,
                 description=spec.description,
-                checks=tuple(checks[i * len(cells) : (i + 1) * len(cells)]),
+                checks=tuple(checks),
             )
         )
     return AuditRun(

@@ -23,6 +23,7 @@ from .batch import (
     BatchTask,
     TaskError,
     TaskOutcome,
+    derive_lane_rng,
     derive_task_rng,
 )
 from .executors import (
@@ -41,6 +42,7 @@ __all__ = [
     "ParallelExecutor",
     "run_batch",
     "derive_task_rng",
+    "derive_lane_rng",
     "default_jobs",
     "ERROR_EXCEPTION",
     "ERROR_WORKER_CRASH",

@@ -11,7 +11,16 @@ them.  This module defines that shape:
   task-index-derived ``random.Random`` as an ``rng`` keyword argument
   (see :func:`derive_task_rng`), which is the entire determinism story:
   the stream a task sees depends only on ``(batch seed, task index)``,
-  never on which worker ran it or in what order;
+  never on which worker ran it or in what order.  The
+  :meth:`BatchTask.map` variant carries a whole *input list* so
+  process-level batching composes with the lane-level batch engine
+  (:mod:`repro.machines.batch_engine`): the worker calls
+  ``fn(inputs, *args)`` once and the callee hands the whole list down as
+  lock-step lanes.  Seeded map tasks receive one rng *per input* under a
+  global lane numbering (see :func:`derive_lane_rng`), so the stream a
+  lane sees depends only on ``(batch seed, lane index)`` — regrouping
+  the same inputs into different task boundaries cannot change any
+  lane's stream;
 * :class:`TaskError` — a structured failure record.  Tracebacks ride
   along for debugging but are excluded from equality, so a failed batch
   compares equal across serial and parallel execution;
@@ -39,6 +48,7 @@ __all__ = [
     "TaskOutcome",
     "BatchResult",
     "derive_task_rng",
+    "derive_lane_rng",
     "execute_one",
     "execute_chunk",
     "ERROR_EXCEPTION",
@@ -67,6 +77,19 @@ def derive_task_rng(seed: Any, index: int) -> random.Random:
     return random.Random(f"batch:{seed}:{index}")
 
 
+def derive_lane_rng(seed: Any, index: int) -> random.Random:
+    """The per-lane random stream of a :meth:`BatchTask.map` task.
+
+    ``index`` is the lane's *global* position in the logical sweep
+    (``task.base_index + offset``), so the stream depends only on
+    ``(batch seed, lane index)`` — splitting the same inputs into more
+    or fewer map tasks leaves every lane's randomness untouched.  Keyed
+    in a distinct namespace from :func:`derive_task_rng` so a sweep that
+    mixes per-task and per-lane seeding never aliases streams.
+    """
+    return random.Random(f"batch:{seed}:lane:{index}")
+
+
 @dataclass(frozen=True)
 class BatchTask:
     """One unit of batch work: ``fn(*args, **kwargs)`` in some worker.
@@ -75,12 +98,22 @@ class BatchTask:
     ``functools.partial`` of one) for parallel execution; ``kwargs`` is
     stored as a sorted tuple of pairs so tasks stay immutable.  With
     ``seeded=True`` the executor injects ``rng=derive_task_rng(seed, i)``.
+
+    A *map task* (built by :meth:`map`) additionally carries ``inputs``,
+    a tuple of lane inputs: the worker calls
+    ``fn(list(inputs), *args, **kwargs)`` so the callee can hand the
+    whole list to the lane-batched engine in one go.  With
+    ``seeded=True`` a map task gets ``rngs=[derive_lane_rng(seed,
+    base_index + j), ...]`` — one stream per lane under the sweep's
+    global lane numbering — instead of a single ``rng``.
     """
 
     fn: Callable[..., Any]
     args: Tuple[Any, ...] = ()
     kwargs: Tuple[Tuple[str, Any], ...] = ()
     seeded: bool = False
+    inputs: Optional[Tuple[Any, ...]] = None
+    base_index: int = 0
 
     @classmethod
     def call(cls, fn: Callable[..., Any], *args: Any, seeded: bool = False, **kwargs: Any) -> "BatchTask":
@@ -90,6 +123,31 @@ class BatchTask:
             args=tuple(args),
             kwargs=tuple(sorted(kwargs.items())),
             seeded=seeded,
+        )
+
+    @classmethod
+    def map(
+        cls,
+        fn: Callable[..., Any],
+        inputs: Sequence[Any],
+        *args: Any,
+        base_index: int = 0,
+        seeded: bool = False,
+        **kwargs: Any,
+    ) -> "BatchTask":
+        """Build a lane-batched task: ``fn(list(inputs), *args, **kwargs)``.
+
+        ``base_index`` is the global lane index of ``inputs[0]`` in the
+        logical sweep, anchoring per-lane rng derivation across task
+        boundaries.
+        """
+        return cls(
+            fn=fn,
+            args=tuple(args),
+            kwargs=tuple(sorted(kwargs.items())),
+            seeded=seeded,
+            inputs=tuple(inputs),
+            base_index=base_index,
         )
 
 
@@ -176,10 +234,19 @@ def execute_one(index: int, task: BatchTask, seed: Any) -> TaskOutcome:
     """Run one task, containing any Python exception as a structured error."""
     started = time.perf_counter()
     kwargs: Dict[str, Any] = dict(task.kwargs)
-    if task.seeded:
-        kwargs["rng"] = derive_task_rng(seed, index)
+    if task.inputs is not None:
+        if task.seeded:
+            kwargs["rngs"] = [
+                derive_lane_rng(seed, task.base_index + j)
+                for j in range(len(task.inputs))
+            ]
+        call_args = (list(task.inputs),) + task.args
+    else:
+        if task.seeded:
+            kwargs["rng"] = derive_task_rng(seed, index)
+        call_args = task.args
     try:
-        value = task.fn(*task.args, **kwargs)
+        value = task.fn(*call_args, **kwargs)
     except Exception as exc:
         return TaskOutcome(
             index=index,

@@ -1,0 +1,402 @@
+"""The batch engine: lock-step lanes over structure-of-arrays tapes.
+
+Lane identity is pinned against the compiled tier (PR 5's oracle for
+this one): for every lane, the batch run's result, contained error and
+tracker state must equal a serial ``compiled_engine`` run of the same
+word.  The tests here cover the batch-specific machinery — lane
+retirement and live-mask bookkeeping, empty and size-1 batches, column
+growth/repacking, the fallback path for uncompilable machines, the
+front-door ``engine=`` surface, program caching, and the metrics
+counters.  The wide randomized sweep lives in
+``tests/test_cross_engine.py`` (``TestFourWayDifferential``).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    MachineError,
+    ReproError,
+    ResourceError,
+    StepBudgetExceeded,
+)
+from repro.extmem import ResourceBudget, ResourceTracker
+from repro.machines import (
+    BATCH_ENGINES,
+    LaneOutcome,
+    MachineBuilder,
+    R,
+    run_deterministic_batch,
+    run_with_choices_batch,
+)
+from repro.machines import batch_engine, compiled_engine
+from repro.machines.batch_engine import try_compile_batch
+from repro.machines.library import (
+    coin_flip_machine,
+    copy_machine,
+    copy_reverse_machine,
+    equality_machine,
+    guess_bit_machine,
+    majority_machine,
+    parity_machine,
+)
+from repro.machines.random_machines import random_terminating_tm
+
+from tests.settings_profiles import QUICK_SETTINGS
+
+DETERMINISTIC_LIBRARY = (
+    copy_machine,
+    parity_machine,
+    copy_reverse_machine,
+    majority_machine,
+    equality_machine,
+)
+
+
+def _uncompilable_machine():
+    """Multi-character symbols cannot be lowered to byte tables."""
+    b = MachineBuilder("wide").start("q").accept("a")
+    b.on("q", ("0",), "q", ("xx",), (R,))
+    b.on("q", ("xx",), "a", ("xx",), (R,))
+    return b.build()
+
+
+def _compiled_twin(machine, word, step_limit=None, tracker=None):
+    """The serial oracle for one lane: result or (type, message)."""
+    kwargs = {}
+    if step_limit is not None:
+        kwargs["step_limit"] = step_limit
+    if tracker is not None:
+        kwargs["tracker"] = tracker
+    try:
+        return compiled_engine.run_deterministic(machine, word, **kwargs)
+    except ReproError as exc:
+        return (type(exc), str(exc))
+
+
+def _assert_lane_matches(outcome, twin):
+    if isinstance(twin, tuple):
+        assert not outcome.ok
+        assert (type(outcome.error), str(outcome.error)) == twin
+    else:
+        assert outcome.ok
+        assert outcome.result.final == twin.final
+        assert outcome.result.statistics == twin.statistics
+
+
+class TestLaneIdentity:
+    @pytest.mark.parametrize(
+        "factory", DETERMINISTIC_LIBRARY, ids=lambda f: f.__name__
+    )
+    def test_library_batches_match_compiled(self, factory):
+        machine = factory()
+        words = ["", "0", "1", "01", "10", "0110", "1" * 40, "01" * 25]
+        if factory is equality_machine:
+            words += ["0110#0110", "0110#0111", "#", "01#0"]
+        outcomes = run_deterministic_batch(machine, words)
+        assert [o.index for o in outcomes] == list(range(len(words)))
+        for word, outcome in zip(words, outcomes):
+            _assert_lane_matches(outcome, _compiled_twin(machine, word))
+
+    def test_empty_batch(self):
+        assert run_deterministic_batch(copy_machine(), []) == []
+
+    def test_size_one_batch(self):
+        machine = equality_machine()
+        (outcome,) = run_deterministic_batch(machine, ["0101#0101"])
+        assert outcome.index == 0
+        _assert_lane_matches(outcome, _compiled_twin(machine, "0101#0101"))
+
+    def test_unwrap_returns_result_or_reraises(self):
+        machine = equality_machine()
+        good, bad = run_deterministic_batch(machine, ["0#0", "zz"])
+        assert good.unwrap() is good.result
+        assert not bad.ok
+        with pytest.raises(MachineError, match="not in the alphabet"):
+            bad.unwrap()
+
+    def test_nondeterministic_machine_rejected_like_serial(self):
+        machine = coin_flip_machine()
+        with pytest.raises(MachineError) as batch_exc:
+            run_deterministic_batch(machine, ["01"])
+        with pytest.raises(MachineError) as serial_exc:
+            compiled_engine.run_deterministic(machine, "01")
+        assert str(batch_exc.value) == str(serial_exc.value)
+
+
+class TestLaneRetirement:
+    """Lanes retire independently; survivors keep exact state."""
+
+    def test_mixed_lifetimes_and_contained_errors(self):
+        # short lanes retire in the first rounds, the long ones keep the
+        # lock-step loop alive, the malformed ones retire with contained
+        # errors — and nobody's tapes bleed into a neighbour's column
+        machine = equality_machine()
+        words = [
+            "",
+            "0#0",
+            "bad!",
+            "01" * 30 + "#" + "01" * 30,
+            "1#0",
+            "x",
+            "0" * 90 + "#" + "0" * 90,
+            "#",
+        ]
+        outcomes = run_deterministic_batch(machine, words)
+        errors = [o for o in outcomes if not o.ok]
+        assert [o.index for o in errors] == [2, 5]
+        for word, outcome in zip(words, outcomes):
+            _assert_lane_matches(outcome, _compiled_twin(machine, word))
+
+    def test_step_limit_retires_lanes_like_serial(self):
+        machine = copy_machine()
+        words = ["", "0", "0101", "0" * 30]
+        for step_limit in (1, 3, 17, 1000):
+            outcomes = run_deterministic_batch(
+                machine, words, step_limit=step_limit
+            )
+            for word, outcome in zip(words, outcomes):
+                _assert_lane_matches(
+                    outcome, _compiled_twin(machine, word, step_limit)
+                )
+
+    def test_column_growth_repacks_only_live_lanes(self):
+        # lane 0 retires before lane 1 forces the copy column to double:
+        # the repack must not resurrect or corrupt the retired lane
+        machine = copy_machine()
+        words = ["1", "01" * 64, "0", "10" * 100]
+        outcomes = run_deterministic_batch(machine, words)
+        for word, outcome in zip(words, outcomes):
+            _assert_lane_matches(outcome, _compiled_twin(machine, word))
+
+    @given(
+        batch=st.lists(
+            st.text(alphabet="01#x", max_size=20), min_size=1, max_size=8
+        )
+    )
+    @QUICK_SETTINGS
+    def test_random_retirement_orders_match_compiled(self, batch):
+        machine = equality_machine()
+        outcomes = run_deterministic_batch(machine, batch)
+        for word, outcome in zip(batch, outcomes):
+            _assert_lane_matches(outcome, _compiled_twin(machine, word))
+
+
+class TestTrackerLanes:
+    def test_denied_lanes_match_serial_twins(self):
+        machine = equality_machine()
+        words = ["0#0", "0101#0101", "1#1", "01" * 8 + "#" + "01" * 8]
+        for cap in (1, 2, 4, 6):
+            trackers = [
+                ResourceTracker(ResourceBudget(max_scans=cap)) for _ in words
+            ]
+            outcomes = run_deterministic_batch(
+                machine, words, trackers=trackers
+            )
+            for word, outcome, tracker in zip(words, outcomes, trackers):
+                twin_tracker = ResourceTracker(ResourceBudget(max_scans=cap))
+                twin = _compiled_twin(machine, word, tracker=twin_tracker)
+                _assert_lane_matches(outcome, twin)
+                assert tracker.report() == twin_tracker.report()
+                if not outcome.ok:
+                    assert isinstance(outcome.error, ResourceError)
+
+    def test_mixed_capped_and_uncapped_lanes(self):
+        # a denial in lane 1 must not slow down or corrupt lanes 0 and 2
+        machine = equality_machine()
+        words = ["0101#0101", "0101#0101", "0101#0101"]
+        trackers = [
+            None,
+            ResourceTracker(ResourceBudget(max_scans=1)),
+            None,
+        ]
+        outcomes = run_deterministic_batch(machine, words, trackers=trackers)
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert outcomes[0].result.final == outcomes[2].result.final
+
+    def test_tracker_length_mismatch_is_a_value_error(self):
+        with pytest.raises(ValueError, match="trackers must match"):
+            run_deterministic_batch(
+                copy_machine(),
+                ["0", "1"],
+                trackers=[ResourceTracker(ResourceBudget())],
+            )
+
+
+class TestChoiceBatches:
+    def test_choice_lanes_match_compiled_including_exhaustion(self):
+        for factory in (coin_flip_machine, guess_bit_machine):
+            machine = factory()
+            lanes = [
+                ("0101", list(range(1, 15))),
+                ("", [1]),
+                ("01", []),  # exhausts mid-run
+                ("1", [7, 7, 7, 7, 7, 7, 7, 7, 7, 7]),
+            ]
+            words = [w for w, _ in lanes]
+            choices = [c for _, c in lanes]
+            outcomes = run_with_choices_batch(machine, words, choices)
+            for (word, chs), outcome in zip(lanes, outcomes):
+                try:
+                    twin = compiled_engine.run_with_choices(
+                        machine, word, chs
+                    )
+                except ReproError as exc:
+                    twin = (type(exc), str(exc))
+                _assert_lane_matches(outcome, twin)
+
+    def test_choices_length_mismatch_is_a_value_error(self):
+        with pytest.raises(ValueError, match="choices_list must match"):
+            run_with_choices_batch(coin_flip_machine(), ["0", "1"], [[1]])
+
+
+class TestFrontDoor:
+    def test_batch_engines_tuple(self):
+        assert BATCH_ENGINES == (
+            "auto", "batch", "reference", "streaming", "compiled"
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_deterministic_batch(copy_machine(), ["0"], engine="warp")
+
+    def test_reference_with_trackers_rejected(self):
+        with pytest.raises(ValueError, match="does not bridge"):
+            run_deterministic_batch(
+                copy_machine(),
+                ["0"],
+                trackers=[ResourceTracker(ResourceBudget())],
+                engine="reference",
+            )
+
+    @pytest.mark.parametrize(
+        "engine", ("reference", "streaming", "compiled")
+    )
+    def test_pinned_tiers_agree_with_auto(self, engine):
+        machine = equality_machine()
+        words = ["0#0", "zz", "0110#0110", "01#10", ""]
+        auto = run_deterministic_batch(machine, words)
+        pinned = run_deterministic_batch(machine, words, engine=engine)
+        assert [o.index for o in pinned] == [o.index for o in auto]
+        for a, p in zip(auto, pinned):
+            if a.ok:
+                assert p.ok
+                assert p.result.final == a.result.final
+                assert p.result.statistics == a.result.statistics
+            else:
+                assert (type(p.error), str(p.error)) == (
+                    type(a.error),
+                    str(a.error),
+                )
+
+
+class TestCompilationAndFallback:
+    def test_batch_program_is_cached_on_the_instance(self):
+        machine = copy_machine()
+        bp = try_compile_batch(machine)
+        assert bp is not None
+        assert try_compile_batch(machine) is bp
+        assert machine.__dict__["_batch_program"] is bp
+
+    def test_negative_verdict_is_cached_too(self):
+        machine = _uncompilable_machine()
+        assert try_compile_batch(machine) is None
+        assert "_batch_program" in machine.__dict__
+        assert try_compile_batch(machine) is None
+
+    def test_uncompilable_machine_falls_back_lane_by_lane(self):
+        machine = _uncompilable_machine()
+        words = ["0", "", "00", "zz"]
+        outcomes = run_deterministic_batch(machine, words)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        from repro.machines import fast_engine
+
+        for word, outcome in zip(words, outcomes):
+            try:
+                twin = fast_engine.run_deterministic(machine, word)
+            except ReproError as exc:
+                twin = (type(exc), str(exc))
+            _assert_lane_matches(outcome, twin)
+
+
+class TestObservability:
+    def test_batch_counters_and_span(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.trace import Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        machine = equality_machine()
+        words = ["0#0", "zz", "0110#0110", "1#0"]
+        trackers = [
+            None,
+            None,
+            ResourceTracker(ResourceBudget(max_scans=1)),
+            None,
+        ]
+        outcomes = run_deterministic_batch(
+            machine, words, trackers=trackers,
+            registry=registry, tracer=tracer,
+        )
+        name = machine.name
+        dispatched = registry.counter("batch_lanes_dispatched")
+        assert dispatched.value(machine=name) == 4
+        retired = registry.counter("batch_lanes_retired").value(machine=name)
+        denied = registry.counter("batch_lanes_denied").value(machine=name)
+        failed = registry.counter("batch_lanes_failed").value(machine=name)
+        assert retired == sum(1 for o in outcomes if o.ok)
+        assert denied == sum(
+            1 for o in outcomes if isinstance(o.error, ResourceError)
+        )
+        assert failed == 4 - retired - denied
+        assert denied == 1  # the capped lane
+        assert failed == 1  # the bad-symbol lane
+        dispatches = registry.counter("batch_dispatches").value(machine=name)
+        steps = registry.counter("batch_steps").value(machine=name)
+        assert dispatches >= 1
+        # macro sweeps make steps-per-dispatch the compression measure
+        assert steps >= dispatches
+        hist = registry.histogram("batch_macro_steps_per_dispatch")
+        assert hist.count(machine=name) == 1
+        (span,) = [
+            s for s in tracer.spans() if s.name == f"batch-run:{name}"
+        ]
+        assert span.category == "engine"
+        assert span.args["lanes"] == 4
+        assert span.args["retired"] == retired
+        assert span.args["denied"] == 1
+        assert span.args["failed"] == 1
+        assert span.args["dispatches"] == dispatches
+        assert span.args["steps"] == steps
+
+    def test_fallback_path_still_instruments(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        machine = _uncompilable_machine()
+        run_deterministic_batch(machine, ["0", "00"], registry=registry)
+        assert registry.counter("batch_lanes_dispatched").value(
+            machine=machine.name
+        ) == 2
+
+
+class TestRandomMachines:
+    @given(
+        seed=st.integers(0, 2**16),
+        tapes=st.integers(1, 3),
+        batch=st.lists(st.text(alphabet="01", max_size=8), max_size=5),
+        step_limit=st.sampled_from((5, 40, 10_000)),
+    )
+    @QUICK_SETTINGS
+    def test_random_machine_lanes_match_compiled(
+        self, seed, tapes, batch, step_limit
+    ):
+        machine = random_terminating_tm(seed, external_tapes=tapes, length=6)
+        outcomes = run_deterministic_batch(
+            machine, batch, step_limit=step_limit
+        )
+        for word, outcome in zip(batch, outcomes):
+            _assert_lane_matches(
+                outcome, _compiled_twin(machine, word, step_limit)
+            )

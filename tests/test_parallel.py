@@ -183,15 +183,18 @@ class TestCrashContainment:
 
 class TestMachinePickling:
     def test_compiled_caches_are_not_pickled(self):
+        from repro.machines.batch_engine import try_compile_batch
         from repro.machines.compiled_engine import try_compile
 
         machine = equality_machine()
         word = "0101#0101"
         before = _accepts(machine, word)  # warms the streaming caches
         assert try_compile(machine) is not None  # ... and the compiled one
+        assert try_compile_batch(machine) is not None  # ... and the batch one
         assert "_compiled_steps" in machine.__dict__
         assert "_transition_index" in machine.__dict__
         assert "_compiled_program" in machine.__dict__
+        assert "_batch_program" in machine.__dict__
         state = machine.__getstate__()
         for attr in type(machine)._CACHE_ATTRS:
             assert attr not in state, attr
@@ -200,6 +203,7 @@ class TestMachinePickling:
         clone = pickle.loads(pickle.dumps(machine))
         assert "_compiled_steps" not in clone.__dict__
         assert "_compiled_program" not in clone.__dict__
+        assert "_batch_program" not in clone.__dict__
         assert clone == machine
         assert _accepts(clone, word) == before
 
@@ -215,6 +219,26 @@ class TestMachinePickling:
         rerun = compiled_engine.run_deterministic(clone, word)
         assert rerun.final == original.final
         assert rerun.statistics == original.statistics
+
+    def test_unpickled_machine_runs_batch_bit_identically(self):
+        from repro.machines import run_deterministic_batch
+        from repro.machines.batch_engine import try_compile_batch
+
+        machine = equality_machine()
+        words = ["0110#0110", "0#1", "zz", ""]
+        try_compile_batch(machine)  # warmed cache must not leak
+        original = run_deterministic_batch(machine, words)
+        clone = pickle.loads(pickle.dumps(machine))
+        rerun = run_deterministic_batch(clone, words)
+        for before, after in zip(original, rerun):
+            assert after.index == before.index
+            assert after.ok == before.ok
+            if before.ok:
+                assert after.result.final == before.result.final
+                assert after.result.statistics == before.result.statistics
+            else:
+                assert type(after.error) is type(before.error)
+                assert str(after.error) == str(before.error)
 
     def test_round_trip_runs_bit_identically(self):
         machine = coin_flip_machine()
@@ -339,6 +363,30 @@ class TestRoutedCallSites:
         )
         assert par == serial
         assert serial.trials == 32
+
+    def test_fingerprint_trials_regrouping_invariant(self):
+        """The lane contract: per-trial rngs come from the *global* lane
+        index, so regrouping lanes into different ``BatchTask.map`` task
+        boundaries cannot move a single draw.  ``k=3`` keeps the prime
+        range small enough that near-miss false positives are plentiful,
+        so a moved draw would actually change the acceptance count."""
+        from repro.algorithms.fingerprint import monte_carlo_fingerprint_trials
+
+        baseline = monte_carlo_fingerprint_trials(
+            4, 8, 32, kind="near-miss", seed=3, k=3
+        )
+        assert 0 < baseline.accepted < baseline.trials
+        for per_task in (1, 5, 7, 32, 100):
+            regrouped = monte_carlo_fingerprint_trials(
+                4, 8, 32, kind="near-miss", seed=3, k=3,
+                trials_per_task=per_task,
+            )
+            assert regrouped == baseline
+        par = monte_carlo_fingerprint_trials(
+            4, 8, 32, kind="near-miss", seed=3, k=3, jobs=2,
+            trials_per_task=7,
+        )
+        assert par == baseline
 
     def test_rtm_check_jobs_invariant(self):
         from repro.machines.randomized import check_half_zero_rtm

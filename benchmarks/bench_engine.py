@@ -86,31 +86,89 @@ def _best_of(fn, repeats):
     return best
 
 
-def bench_cell(name, n, repeats):
-    """One sweep cell: cross-check both engines, then time each (best-of).
+def _open_store(cache_dir):
+    """A :class:`~repro.cache.ResultStore` on ``cache_dir``, or ``None``.
 
-    A module-level batch task so the sweep can fan out over worker
-    processes — the cell is looked up by name and the machine rebuilt
-    locally (word-builder lambdas never cross the process boundary), and
-    all timing happens inside whichever process runs the cell.
+    Opened inside whichever process runs the cell — stores share the
+    directory across workers safely (atomic writes, byte-identical
+    rewrites on races) and ``stats()`` is disk-derived, so per-process
+    counter objects never need to cross the pool boundary.
+    """
+    if cache_dir is None:
+        return None
+    from repro.cache import ResultStore
+
+    return ResultStore(cache_dir)
+
+
+def verify_cell(name, n, cache_dir=None):
+    """The correctness half of one sweep cell: the three-tier cross-check.
+
+    Deterministic in (machine definition, word, step limit, code) — so
+    with ``cache_dir`` the result is served through the content-addressed
+    store and an unchanged cell re-verifies without running a single
+    engine step.  Timings never go anywhere near this path: only the
+    verification verdict (plus the run-shape facts the benchmark rows
+    report) is cacheable.
     """
     factory, build_word = CASE_MAP[name]
     machine = factory()
     word = build_word(n)
-    ref = execute.run_deterministic(machine, word, step_limit=STEP_LIMIT)
-    fast = fast_engine.run_deterministic(machine, word, step_limit=STEP_LIMIT)
-    comp = compiled_engine.run_deterministic(
-        machine, word, step_limit=STEP_LIMIT
+
+    def compute():
+        ref = execute.run_deterministic(machine, word, step_limit=STEP_LIMIT)
+        fast = fast_engine.run_deterministic(
+            machine, word, step_limit=STEP_LIMIT
+        )
+        comp = compiled_engine.run_deterministic(
+            machine, word, step_limit=STEP_LIMIT
+        )
+        for tier_name, run in (("streaming", fast), ("compiled", comp)):
+            if run.final != ref.final or run.statistics != ref.statistics:
+                raise AssertionError(
+                    f"{tier_name} engine mismatch on {name} at n={n}: "
+                    f"{run.statistics} != {ref.statistics}"
+                )
+        dispatch = compiled_engine.dispatch_count(
+            machine, word, step_limit=STEP_LIMIT
+        )
+        return {
+            "run_length": ref.statistics.length,
+            "macro_compression": round(dispatch.compression, 1),
+            "verified_identical": True,
+        }
+
+    store = _open_store(cache_dir)
+    if store is None:
+        return compute()
+    from repro.cache import compose_key, digest_of
+
+    key = compose_key(
+        "bench-verify",
+        machine=machine,
+        name=name,
+        n=n,
+        word=digest_of(word),
+        step_limit=STEP_LIMIT,
+        engines="reference+streaming+compiled",
     )
-    for tier_name, run in (("streaming", fast), ("compiled", comp)):
-        if run.final != ref.final or run.statistics != ref.statistics:
-            raise AssertionError(
-                f"{tier_name} engine mismatch on {name} at n={n}: "
-                f"{run.statistics} != {ref.statistics}"
-            )
-    dispatch = compiled_engine.dispatch_count(
-        machine, word, step_limit=STEP_LIMIT
-    )
+    return store.get_or_compute(key, compute, engine="bench")
+
+
+def bench_cell(name, n, repeats, cache_dir=None):
+    """One sweep cell: cross-check all tiers, then time each (best-of).
+
+    A module-level batch task so the sweep can fan out over worker
+    processes — the cell is looked up by name and the machine rebuilt
+    locally (word-builder lambdas never cross the process boundary), and
+    all timing happens inside whichever process runs the cell.  With
+    ``cache_dir`` only the :func:`verify_cell` half is memoized; the
+    timings below are measured fresh on every invocation, always.
+    """
+    factory, build_word = CASE_MAP[name]
+    machine = factory()
+    word = build_word(n)
+    verified = verify_cell(name, n, cache_dir=cache_dir)
     ref_seconds = _best_of(
         lambda: execute.run_deterministic(machine, word, step_limit=STEP_LIMIT),
         repeats,
@@ -131,18 +189,19 @@ def bench_cell(name, n, repeats):
         "machine": name,
         "n": n,
         "input_length": len(word),
-        "run_length": ref.statistics.length,
+        "run_length": verified["run_length"],
         "ref_seconds": ref_seconds,
         "fast_seconds": fast_seconds,
         "compiled_seconds": compiled_seconds,
         "speedup": ref_seconds / fast_seconds,
         "compiled_speedup": fast_seconds / compiled_seconds,
-        "macro_compression": round(dispatch.compression, 1),
-        "verified_identical": True,
+        "macro_compression": verified["macro_compression"],
+        "verified_identical": verified["verified_identical"],
     }
 
 
-def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None):
+def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None,
+                         cache_dir=None):
     """Time both engines over the library sweep; returns a list of rows.
 
     Every row is cross-checked: the streaming engine's final configuration
@@ -151,12 +210,14 @@ def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None):
     in sweep order either way, and each cell's timing is measured inside
     the worker that runs it, so parallelism changes wall-clock, not the
     measurements' meaning (though co-scheduled cells do contend for
-    cores; serial timings are the low-noise ones).
+    cores; serial timings are the low-noise ones).  ``cache_dir``
+    memoizes the verification half of every cell only — timings are
+    re-measured on every run regardless.
     """
     from repro.parallel import BatchTask, run_batch
 
     tasks = [
-        BatchTask.call(bench_cell, name, n, repeats)
+        BatchTask.call(bench_cell, name, n, repeats, cache_dir=cache_dir)
         for name, _factory, _build_word in CASES
         for n in sizes
     ]
@@ -184,32 +245,69 @@ def _batch_words(name, n, lanes=BATCH_LANES):
     return words
 
 
-def bench_batch_cell(name, n, repeats, lanes=BATCH_LANES):
+def verify_batch_cell(name, n, lanes=BATCH_LANES, cache_dir=None):
+    """The correctness half of one batch cell: per-lane cross-check.
+
+    Every lane of the batch tier is verified bit-identical to its
+    compiled twin.  Like :func:`verify_cell`, the verdict is a pure
+    function of (machine, word population, step limit, code), so with
+    ``cache_dir`` an unchanged cell's re-verification is a single store
+    lookup.
+    """
+    factory, _build_word = CASE_MAP[name]
+    machine = factory()
+    words = _batch_words(name, n, lanes)
+
+    def compute():
+        outcomes = run_deterministic_batch(
+            machine, words, step_limit=STEP_LIMIT
+        )
+        for word, outcome in zip(words, outcomes):
+            twin = compiled_engine.run_deterministic(
+                machine, word, step_limit=STEP_LIMIT
+            )
+            if (
+                not outcome.ok
+                or outcome.result.final != twin.final
+                or outcome.result.statistics != twin.statistics
+            ):
+                raise AssertionError(
+                    f"batch engine mismatch on {name} at n={n} lane "
+                    f"{outcome.index}"
+                )
+        return {"verified_identical": True}
+
+    store = _open_store(cache_dir)
+    if store is None:
+        return compute()
+    from repro.cache import compose_key, digest_of
+
+    key = compose_key(
+        "bench-batch-verify",
+        machine=machine,
+        name=name,
+        n=n,
+        lanes=lanes,
+        words=digest_of(words),
+        step_limit=STEP_LIMIT,
+    )
+    return store.get_or_compute(key, compute, engine="bench")
+
+
+def bench_batch_cell(name, n, repeats, lanes=BATCH_LANES, cache_dir=None):
     """One batch sweep cell: per-lane cross-check, then best-of timings.
 
     The whole word list goes down ``run_deterministic_batch`` in one
     call — the conversion this benchmark exists to measure — and the
     serial baseline is the compiled tier looped over the same words.
-    Every lane is verified bit-identical to its compiled twin before any
-    timing happens.
+    Every lane is verified bit-identical to its compiled twin (through
+    the cache when ``cache_dir`` is set) before any timing happens;
+    timings themselves are never cached.
     """
     factory, _build_word = CASE_MAP[name]
     machine = factory()
     words = _batch_words(name, n, lanes)
-    outcomes = run_deterministic_batch(machine, words, step_limit=STEP_LIMIT)
-    for word, outcome in zip(words, outcomes):
-        twin = compiled_engine.run_deterministic(
-            machine, word, step_limit=STEP_LIMIT
-        )
-        if (
-            not outcome.ok
-            or outcome.result.final != twin.final
-            or outcome.result.statistics != twin.statistics
-        ):
-            raise AssertionError(
-                f"batch engine mismatch on {name} at n={n} lane "
-                f"{outcome.index}"
-            )
+    verified = verify_batch_cell(name, n, lanes, cache_dir=cache_dir)
     compiled_seconds = _best_of(
         lambda: [
             compiled_engine.run_deterministic(
@@ -233,23 +331,26 @@ def bench_batch_cell(name, n, repeats, lanes=BATCH_LANES):
         "compiled_seconds_per_input": compiled_seconds / lanes,
         "batch_seconds_per_input": batch_seconds / lanes,
         "batch_speedup": compiled_seconds / batch_seconds,
-        "verified_identical": True,
+        "verified_identical": verified["verified_identical"],
     }
 
 
 def run_batch_benchmark(sizes=SIZES, repeats=3, lanes=BATCH_LANES, jobs=1,
-                        registry=None):
+                        registry=None, cache_dir=None):
     """Time the batch tier over the library sweep; returns a list of rows.
 
     Same contract as :func:`run_engine_benchmark`: every row is
-    lane-cross-checked against the compiled tier before timing, rows come
-    back in sweep order at any ``jobs``, and each cell times inside
-    whichever process runs it.
+    lane-cross-checked against the compiled tier before timing (cached
+    when ``cache_dir`` is set, never the timings), rows come back in
+    sweep order at any ``jobs``, and each cell times inside whichever
+    process runs it.
     """
     from repro.parallel import BatchTask, run_batch
 
     tasks = [
-        BatchTask.call(bench_batch_cell, name, n, repeats, lanes)
+        BatchTask.call(
+            bench_batch_cell, name, n, repeats, lanes, cache_dir=cache_dir
+        )
         for name, _factory, _build_word in CASES
         for n in sizes
     ]

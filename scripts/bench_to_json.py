@@ -22,6 +22,15 @@ rows are reported under ``engines_new`` instead of failing, so a payload
 with a freshly added tier still compares cleanly against an older
 baseline.
 
+Cache mode: ``--cache DIR`` (or ``$REPRO_CACHE_DIR``) routes each cell's
+three-tier correctness cross-check through the content-addressed result
+store in :mod:`repro.cache` — a warm rerun re-verifies unchanged cells
+without executing a single engine step.  Timings are **never** cached:
+every invocation re-measures every cell, cache or not, so the artifact
+stays an honest trajectory point.  ``--no-cache`` forces the scratch
+path; ``--cache-stats PATH`` dumps the store's disk stats for CI
+artifacts.
+
 Parallel mode: ``--jobs N`` dispatches the engine sweep over N worker
 processes (cell timings are still taken inside the worker running the
 cell) and additionally writes ``BENCH_parallel.json`` — serial vs.
@@ -63,6 +72,50 @@ from bench_engine import (  # noqa: E402  (path setup must come first)
 )
 
 QUICK_SIZES = (16, 64)
+
+
+def compare_against_baseline(gate, all_rows, baseline, tolerance):
+    """The ``--compare`` verdict as a plain dict, testable in isolation.
+
+    Guards the vacuous-pass trap: a baseline whose ``top_n_speedup`` is
+    missing, non-numeric or non-positive cannot anchor a regression
+    floor (``tolerance × 0 = 0`` passes any measurement), so such a
+    baseline yields ``baseline_invalid: True`` with ``floor: None`` and
+    ``regressed: False`` — the caller warns loudly instead of silently
+    blessing the run.
+    """
+    base_summary = baseline.get("summary", {})
+    base_engines = sorted(
+        {r.get("engine") for r in baseline.get("rows", ())} - {None}
+    )
+    run_engines = sorted({r.get("engine") for r in all_rows} - {None})
+    # engines this run has but the baseline predates: informational,
+    # never a comparison failure — a new tier has no baseline yet
+    engines_new = [e for e in run_engines if e not in base_engines]
+    base_speedup = base_summary.get("top_n_speedup")
+    baseline_invalid = (
+        not isinstance(base_speedup, (int, float))
+        or isinstance(base_speedup, bool)
+        or base_speedup <= 0
+    )
+    if baseline_invalid:
+        floor = None
+        regressed = False
+    else:
+        floor = tolerance * base_speedup
+        regressed = gate < floor
+    return {
+        "baseline_top_n_speedup": (
+            None if baseline_invalid else base_speedup
+        ),
+        "baseline_invalid": baseline_invalid,
+        "baseline_engines": base_engines,
+        "engines_new": engines_new,
+        "tolerance": tolerance,
+        "floor": round(floor, 2) if floor is not None else None,
+        "measured_top_n_speedup": round(gate, 2),
+        "regressed": regressed,
+    }
 
 
 def _timed(fn):
@@ -167,6 +220,24 @@ def main(argv=None):
         help="where --jobs > 1 writes the wall-clock record "
         "(default: BENCH_parallel.json at the repo root)",
     )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="result-store directory for the correctness cross-checks "
+        "(default: $REPRO_CACHE_DIR if set); timings are NEVER cached",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache / $REPRO_CACHE_DIR and verify from scratch",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        metavar="PATH",
+        help="write the cache's post-run disk stats as JSON (requires "
+        "an active cache)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -175,12 +246,18 @@ def main(argv=None):
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    cache_dir = None if args.no_cache else args.cache
+    if args.cache_stats and cache_dir is None:
+        parser.error("--cache-stats needs an active --cache directory")
+
     sizes = QUICK_SIZES if args.quick else SIZES
     rows = run_engine_benchmark(
-        sizes=sizes, repeats=args.repeats, jobs=args.jobs
+        sizes=sizes, repeats=args.repeats, jobs=args.jobs,
+        cache_dir=cache_dir,
     )
     batch_rows = run_batch_benchmark(
-        sizes=sizes, repeats=args.repeats, jobs=args.jobs
+        sizes=sizes, repeats=args.repeats, jobs=args.jobs,
+        cache_dir=cache_dir,
     )
     gate = top_speedup(rows)
     compiled_gates = {
@@ -234,30 +311,18 @@ def main(argv=None):
     regressed = False
     if args.compare:
         baseline = json.loads(Path(args.compare).read_text())
-        base_summary = baseline.get("summary", {})
-        base_engines = sorted(
-            {r.get("engine") for r in baseline.get("rows", ())} - {None}
+        comparison = compare_against_baseline(
+            gate, all_rows, baseline, args.tolerance
         )
-        run_engines = sorted({r.get("engine") for r in all_rows} - {None})
-        # engines this run has but the baseline predates: informational,
-        # never a comparison failure — a new tier has no baseline yet
-        engines_new = [e for e in run_engines if e not in base_engines]
-        base_speedup = base_summary.get("top_n_speedup")
-        if base_speedup is not None:
-            floor = args.tolerance * base_speedup
-            regressed = gate < floor
-        else:
-            floor = None
-        payload["comparison"] = {
-            "baseline": args.compare,
-            "baseline_top_n_speedup": base_speedup,
-            "baseline_engines": base_engines,
-            "engines_new": engines_new,
-            "tolerance": args.tolerance,
-            "floor": round(floor, 2) if floor is not None else None,
-            "measured_top_n_speedup": round(gate, 2),
-            "regressed": regressed,
-        }
+        payload["comparison"] = dict(comparison, baseline=args.compare)
+        regressed = comparison["regressed"]
+        if comparison["baseline_invalid"]:
+            print(
+                f"WARNING: baseline {args.compare} has no positive "
+                f"top_n_speedup — the regression floor would be vacuous; "
+                f"comparison recorded as baseline_invalid, not as a pass",
+                file=sys.stderr,
+            )
 
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     compiled_note = ", ".join(
@@ -283,14 +348,30 @@ def main(argv=None):
             f"{sweeps['engine']['speedup']:.2f}x at --jobs {args.jobs} "
             f"({record['cpu_count']} cores; informational, non-gating)"
         )
-    if args.compare:
-        verdict = "REGRESSION" if regressed else "ok"
+    if args.cache_stats:
+        from repro.cache import ResultStore
+
+        stats = ResultStore(cache_dir).stats()
+        Path(args.cache_stats).write_text(json.dumps(stats, indent=2) + "\n")
         print(
-            f"compare vs {args.compare}: baseline "
-            f"{payload['comparison']['baseline_top_n_speedup']:.1f}x, floor "
-            f"{payload['comparison']['floor']:.1f}x "
-            f"(tolerance {args.tolerance}) -> {verdict}"
+            f"wrote {args.cache_stats}: {stats['entries']} cache entries "
+            f"under {cache_dir}"
         )
+    if args.compare:
+        comparison = payload["comparison"]
+        if comparison["baseline_invalid"]:
+            print(
+                f"compare vs {args.compare}: baseline invalid "
+                f"(no positive top_n_speedup) -> no verdict"
+            )
+        else:
+            verdict = "REGRESSION" if regressed else "ok"
+            print(
+                f"compare vs {args.compare}: baseline "
+                f"{comparison['baseline_top_n_speedup']:.1f}x, floor "
+                f"{comparison['floor']:.1f}x "
+                f"(tolerance {args.tolerance}) -> {verdict}"
+            )
     if regressed:
         return 1
     if not args.quick:

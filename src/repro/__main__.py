@@ -4,14 +4,24 @@ With no arguments, runs the theorem registry at small scale and prints a
 one-line verdict per numbered result — a thirty-second smoke test of the
 whole reproduction.  Exit status is nonzero if any check fails.
 
-``python -m repro audit [--quick] [--output PATH] [-v]`` runs the
-contract-audit harness instead: every upper-bound algorithm is swept across
-decades of N under an instrumented tracker, and the measured
+``python -m repro audit [--quick] [--output PATH] [-v] [--cache DIR]``
+runs the contract-audit harness instead: every upper-bound algorithm is
+swept across decades of N under an instrumented tracker, and the measured
 ``(scans, peak_internal_bits, tapes_used)`` is checked against the claimed
 (r, s, t) envelope at every size.  The full record is written as JSON
 (default ``AUDIT_contracts.json``); exit status is nonzero if any measured
 envelope escapes its claim, the event stream disagrees with the counters,
-or enforcement denied a charge.
+or enforcement denied a charge.  With ``--cache DIR`` (or
+``$REPRO_CACHE_DIR``) sweep cells are memoized in the content-addressed
+result store of :mod:`repro.cache`: a warm rerun writes the same bytes
+without re-running a single check, and ``--no-cache`` forces the scratch
+path.
+
+``python -m repro cache {stats,gc,verify} --dir DIR`` administers a
+result store: ``stats`` prints disk-derived entry counts, ``gc`` drops
+quarantined/stale/unparseable files, and ``verify`` recomputes a seeded
+sample of entries from their provenance stamps and diffs the canonical
+bytes against what is stored.
 
 ``python -m repro trace <algorithm|machine> [--n N] [--chrome out.json]
 [--jsonl out.jsonl] [--metrics]`` runs one target under an
@@ -29,6 +39,7 @@ exploration instead of a single run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ._version import __version__
@@ -56,16 +67,30 @@ def _cmd_verify() -> int:
     return 1 if failures else 0
 
 
-def _cmd_audit(quick: bool, output: str, verbose: bool, jobs: int) -> int:
+def _cmd_audit(
+    quick: bool,
+    output: str,
+    verbose: bool,
+    jobs: int,
+    cache_dir: "str | None" = None,
+    cache_stats: "str | None" = None,
+) -> int:
     from .observability.audit import run_contract_audit, write_audit_json
+
+    cache = None
+    if cache_dir is not None:
+        from .cache import ResultStore
+
+        cache = ResultStore(cache_dir)
 
     mode = "quick" if quick else "full"
     workers = f", {jobs} worker processes" if jobs != 1 else ""
+    cached = f", cache at {cache_dir}" if cache is not None else ""
     print(
-        f"repro {__version__} — contract audit ({mode} sweep{workers}): "
-        "measured (scans, bits, tapes) vs. claimed envelopes\n"
+        f"repro {__version__} — contract audit ({mode} sweep{workers}"
+        f"{cached}): measured (scans, bits, tapes) vs. claimed envelopes\n"
     )
-    run = run_contract_audit(quick=quick, jobs=jobs)
+    run = run_contract_audit(quick=quick, jobs=jobs, cache=cache)
     for line in run.summary_lines():
         print(line)
     if verbose:
@@ -87,7 +112,53 @@ def _cmd_audit(quick: bool, output: str, verbose: bool, jobs: int) -> int:
         f"\n{total} contract checks across {len(run.contracts)} algorithms "
         f"-> {output}: " + ("ALL WITHIN CLAIMED ENVELOPES" if run.ok else "VIOLATIONS FOUND")
     )
+    if cache is not None:
+        counters = cache.counter_snapshot()
+        print(
+            f"cache: {counters['hits']} hits, {counters['misses']} misses, "
+            f"{counters['writes']} writes, {counters['invalid']} invalid"
+        )
+        if cache_stats:
+            import json as _json
+
+            with open(cache_stats, "w") as handle:
+                _json.dump(counters, handle, indent=2)
+                handle.write("\n")
+            print(f"cache counters -> {cache_stats}")
     return 0 if run.ok else 1
+
+
+def _cmd_cache(action: str, cache_dir: str, sample: int, seed: int) -> int:
+    import json as _json
+
+    from .cache import ResultStore, verify_entries
+
+    store = ResultStore(cache_dir)
+    if action == "stats":
+        print(_json.dumps(store.stats(), indent=2))
+        return 0
+    if action == "gc":
+        report = store.gc()
+        print(
+            f"gc {cache_dir}: removed {report['removed']} files "
+            f"({report['reclaimed_bytes']} bytes), kept {report['kept']} "
+            f"entries"
+        )
+        return 0
+    # verify: recompute a seeded sample of entries from their provenance
+    # stamps and diff the canonical bytes against what is stored
+    report = verify_entries(store, sample=sample, seed=seed)
+    for item in report["results"]:
+        flag = {"ok": "ok ", "MISMATCH": "BAD", "unsupported": "?? "}[
+            item["verdict"]
+        ]
+        print(f"  [{flag}] {item['kind']:<18} {item['key'][:16]}")
+    print(
+        f"\nverified {report['checked']} sampled entries: {report['ok']} ok, "
+        f"{report['mismatched']} mismatched, {report['unsupported']} "
+        f"unsupported"
+    )
+    return 1 if report["mismatched"] else 0
 
 
 #: Machine trace targets: library factory + the bench_engine word builder.
@@ -277,6 +348,52 @@ def main(argv=None) -> int:
         help="worker processes for the sweep (default 1 = serial; results "
         "and the JSON artifact are byte-identical at any value)",
     )
+    audit.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="memoize sweep cells in a content-addressed result store "
+        "(default: $REPRO_CACHE_DIR if set); the JSON artifact is "
+        "byte-identical with or without it",
+    )
+    audit.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache / $REPRO_CACHE_DIR and recompute everything",
+    )
+    audit.add_argument(
+        "--cache-stats",
+        metavar="PATH",
+        help="write this run's hit/miss/write/invalid counters as JSON "
+        "(requires an active cache)",
+    )
+    cache = sub.add_parser(
+        "cache", help="inspect, collect or spot-check a result store"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "gc", "verify"),
+        help="stats: disk-derived entry counts; gc: drop quarantined, "
+        "stale-version and unparseable files; verify: recompute a sample "
+        "of entries from their provenance stamps and diff byte-for-byte",
+    )
+    cache.add_argument(
+        "--dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="the store directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--sample",
+        type=int,
+        default=8,
+        help="verify: how many entries to spot-check (default 8)",
+    )
+    cache.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="verify: sample-selection seed (default 0)",
+    )
     trace = sub.add_parser(
         "trace",
         help="run one algorithm/machine under an EngineProbe and export spans",
@@ -328,7 +445,23 @@ def main(argv=None) -> int:
     if args.command == "audit":
         if args.jobs < 1:
             parser.error("--jobs must be >= 1")
-        return _cmd_audit(args.quick, args.output, args.verbose, args.jobs)
+        cache_dir = None if args.no_cache else args.cache
+        if args.cache_stats and cache_dir is None:
+            parser.error("--cache-stats needs an active --cache directory")
+        return _cmd_audit(
+            args.quick,
+            args.output,
+            args.verbose,
+            args.jobs,
+            cache_dir,
+            args.cache_stats,
+        )
+    if args.command == "cache":
+        if args.dir is None:
+            parser.error("cache commands need --dir or $REPRO_CACHE_DIR")
+        if args.sample < 1:
+            parser.error("--sample must be >= 1")
+        return _cmd_cache(args.action, args.dir, args.sample, args.seed)
     if args.command == "trace":
         if args.jobs < 1:
             parser.error("--jobs must be >= 1")

@@ -10,6 +10,20 @@ from __future__ import annotations
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 
+def normalize_seed(seed: object) -> str:
+    """Canonical string form of a user-supplied seed.
+
+    The single choke point for every seed that feeds a derived stream or
+    a cache key: :func:`repro.parallel.derive_task_rng` /
+    :func:`~repro.parallel.derive_lane_rng` and
+    :func:`repro.cache.compose_key` all normalize through here, so the
+    int ``7`` and the string ``"7"`` — which have always produced the
+    same rng streams (the derivation f-strings coerce) — can never
+    produce *different* cache keys for identical trial blocks.
+    """
+    return str(seed)
+
+
 def ceil_log2(x: int) -> int:
     """Return ``ceil(log2(x))`` for ``x >= 1`` (and 0 for ``x == 1``).
 

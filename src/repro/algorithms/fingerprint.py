@@ -351,6 +351,28 @@ class TrialSummary:
         return self.accepted / self.trials
 
 
+#: Cache-entry kind for one Monte Carlo trial block (one map task).
+MC_BLOCK_KIND = "fingerprint-mc"
+
+
+def mc_block_key(
+    m: int, n: int, kind: str, k: Optional[int], seed: object, base: int, count: int
+):
+    """The content-addressed key of one trial block.
+
+    A block's acceptance total is a pure function of the instance shape,
+    the trial kind, the prime range, the normalized batch seed and the
+    global lane range ``[base, base + count)`` — exactly the components
+    composed here (code version rides in automatically).
+    """
+    from ..cache import compose_key
+
+    return compose_key(
+        MC_BLOCK_KIND, m=m, n=n, kind=kind, k=k, seed=seed, base=base,
+        count=count,
+    )
+
+
 def monte_carlo_fingerprint_trials(
     m: int,
     n: int,
@@ -363,6 +385,7 @@ def monte_carlo_fingerprint_trials(
     trials_per_task: int = 16,
     registry=None,
     tracer=None,
+    cache=None,
 ) -> TrialSummary:
     """The Theorem 8(a) error-rate experiment as a deterministic batch.
 
@@ -372,6 +395,12 @@ def monte_carlo_fingerprint_trials(
     trial count and acceptance total are bit-identical for any ``jobs``
     *and* any ``trials_per_task`` — regrouping lanes into different task
     boundaries cannot move a single draw.
+
+    ``cache`` (a :class:`~repro.cache.ResultStore`) memoizes whole trial
+    blocks keyed by ``(m, n, kind, k, seed, lane range)``: blocks already
+    stored skip dispatch entirely, only the misses run, and the summary
+    is bit-identical either way (the per-lane streams are anchored to
+    global lane indices, never to which blocks happened to recompute).
     """
     if trials < 1:
         raise EncodingError(f"trials must be >= 1, got {trials}")
@@ -381,29 +410,55 @@ def monte_carlo_fingerprint_trials(
         )
     from ..parallel import BatchTask, run_batch
 
-    tasks = [
-        BatchTask.map(
-            fingerprint_mc_lanes,
-            range(start, min(start + trials_per_task, trials)),
-            m,
-            n,
-            kind,
-            k,
-            base_index=start,
-            seeded=True,
-        )
+    blocks = [
+        (start, min(start + trials_per_task, trials) - start)
         for start in range(0, trials, trials_per_task)
     ]
-    counts = run_batch(
-        tasks,
-        jobs=jobs,
-        seed=seed,
-        label="fingerprint-trials",
-        registry=registry,
-        tracer=tracer,
-    ).values()
+    accepted_by_base: dict = {}
+    pending = []
+    for base, count in blocks:
+        if cache is not None:
+            payload = cache.lookup(mc_block_key(m, n, kind, k, seed, base, count))
+            if payload is not None:
+                accepted_by_base[base] = payload["accepted"]
+                continue
+        pending.append((base, count))
+    if pending:
+        tasks = [
+            BatchTask.map(
+                fingerprint_mc_lanes,
+                range(base, base + count),
+                m,
+                n,
+                kind,
+                k,
+                base_index=base,
+                seeded=True,
+            )
+            for base, count in pending
+        ]
+        counts = run_batch(
+            tasks,
+            jobs=jobs,
+            seed=seed,
+            label="fingerprint-trials",
+            registry=registry,
+            tracer=tracer,
+        ).values()
+        for (base, count), accepted in zip(pending, counts):
+            if cache is not None:
+                cache.store(
+                    mc_block_key(m, n, kind, k, seed, base, count),
+                    {"accepted": accepted},
+                    engine="algorithm",
+                )
+            accepted_by_base[base] = accepted
     return TrialSummary(
-        m=m, n=n, kind=kind, trials=trials, accepted=sum(counts)
+        m=m,
+        n=n,
+        kind=kind,
+        trials=trials,
+        accepted=sum(accepted_by_base.values()),
     )
 
 

@@ -1,0 +1,320 @@
+"""The on-disk content-addressed result store.
+
+Layout: one JSON file per entry, sharded by the first two hex digits of
+the key (``cachedir/ab/cdef....json``) so no directory grows unbounded.
+Every entry carries a versioned schema, the provenance stamp of the
+:class:`~repro.cache.fingerprint.CacheKey` that produced it, and the
+payload — all serialised with :func:`~repro.cache.fingerprint.canonical_json`,
+so two processes computing the same key write byte-identical files.
+
+Durability and concurrency:
+
+* writes go to a process/thread-unique temp file in the shard directory
+  and land via ``os.replace`` — readers never observe a half-written
+  entry, and two processes racing the same key both win (identical
+  bytes, last rename is a no-op in content terms);
+* a corrupt, truncated, wrong-schema or mis-keyed entry is *quarantined*
+  (moved under ``cachedir/quarantine/``) and reported as a miss, so the
+  caller recomputes and overwrites — the cache can only ever serve
+  entries that parse and match their address;
+* hit/miss/write/invalid totals are :class:`~repro.observability.metrics.Counter`
+  instruments (labelled by entry kind) in a
+  :class:`~repro.observability.metrics.MetricsRegistry`, so cache
+  behaviour shows up in the same snapshot surface as every other metric.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from .._version import __version__
+from ..errors import ReproError
+from ..observability.metrics import MetricsRegistry
+from .fingerprint import CacheKey, canonical_json
+
+__all__ = ["ResultStore", "SCHEMA_VERSION"]
+
+#: Entry schema version: bump when the on-disk shape changes; entries
+#: with any other value are invalid (quarantined and recomputed).
+SCHEMA_VERSION = 1
+
+#: Shard directory name reserved for quarantined (corrupt) entries.
+QUARANTINE_DIR = "quarantine"
+
+
+class ResultStore:
+    """A persistent content-addressed store for cacheable results.
+
+    ``registry`` defaults to a private
+    :class:`~repro.observability.metrics.MetricsRegistry`; pass the
+    caller's to surface the counters next to its other instruments.
+    """
+
+    def __init__(self, root, *, registry: Optional[MetricsRegistry] = None):
+        self.root = Path(root)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter(
+            "cache_hits_total", "entries served from the result store"
+        )
+        self._misses = self.registry.counter(
+            "cache_misses_total", "lookups that found no usable entry"
+        )
+        self._writes = self.registry.counter(
+            "cache_writes_total", "entries written to the result store"
+        )
+        self._invalid = self.registry.counter(
+            "cache_invalid_total",
+            "corrupt/stale entries quarantined at lookup time",
+        )
+
+    # -- key → path ---------------------------------------------------------
+
+    def path_for(self, key: CacheKey) -> Path:
+        digest = key.digest
+        return self.root / digest[:2] / f"{digest[2:]}.json"
+
+    # -- counters -----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.total
+
+    @property
+    def misses(self) -> int:
+        return self._misses.total
+
+    @property
+    def writes(self) -> int:
+        return self._writes.total
+
+    @property
+    def invalid(self) -> int:
+        return self._invalid.total
+
+    def counter_snapshot(self) -> Dict[str, int]:
+        """The four live totals, JSON-ready (process-local, not on-disk)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "invalid": self.invalid,
+        }
+
+    # -- read path ----------------------------------------------------------
+
+    def lookup(self, key: CacheKey) -> Optional[Any]:
+        """Return the payload for ``key`` or ``None`` (a miss).
+
+        Any unusable entry — unparseable JSON (corrupt or truncated
+        mid-write), wrong schema version, digest that does not match its
+        address — is quarantined and counted ``invalid`` *and* ``miss``:
+        the caller's obligation is always the same, recompute.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, NotADirectoryError):
+            self._misses.inc(kind=key.kind)
+            return None
+        except (OSError, UnicodeDecodeError):
+            # unreadable bytes are a corrupt entry, not a plain miss
+            self._quarantine(path)
+            self._invalid.inc(kind=key.kind)
+            self._misses.inc(kind=key.kind)
+            return None
+        entry = self._parse_entry(text, key.digest)
+        if entry is None:
+            self._quarantine(path)
+            self._invalid.inc(kind=key.kind)
+            self._misses.inc(kind=key.kind)
+            return None
+        self._hits.inc(kind=key.kind)
+        return entry["payload"]
+
+    @staticmethod
+    def _parse_entry(text: str, expected_digest: str) -> Optional[Dict[str, Any]]:
+        try:
+            entry = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != SCHEMA_VERSION:
+            return None
+        if entry.get("key") != expected_digest:
+            return None
+        if "payload" not in entry or "provenance" not in entry:
+            return None
+        return entry
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unusable entry aside; never let it be served again.
+
+        Quarantined files keep their shard prefix in the name so a later
+        ``repro cache gc`` (or a human) can still see where they lived.
+        """
+        target_dir = self.root / QUARANTINE_DIR
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / f"{path.parent.name}-{path.name}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            # racing quarantiners: someone else already moved or removed
+            # it — either way the bad entry is out of the read path
+            pass
+
+    # -- write path ---------------------------------------------------------
+
+    def store(self, key: CacheKey, payload: Any, *, engine: Any = None) -> None:
+        """Write one entry atomically (write-to-temp, rename-into-place)."""
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key.digest,
+            "provenance": key.provenance(engine=engine),
+            "payload": payload,
+        }
+        try:
+            text = canonical_json(entry) + "\n"
+        except TypeError:
+            raise ReproError(
+                f"cache payload for kind {key.kind!r} is not JSON-serialisable"
+            )
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self._writes.inc(kind=key.kind)
+
+    def get_or_compute(
+        self, key: CacheKey, compute: Callable[[], Any], *, engine: Any = None
+    ) -> Any:
+        """Serve ``key`` from the store, or compute-and-store on a miss."""
+        payload = self.lookup(key)
+        if payload is not None:
+            return payload
+        payload = compute()
+        self.store(key, payload, engine=engine)
+        return payload
+
+    # -- maintenance (stats / gc / verify support) --------------------------
+
+    def entries(self) -> Iterator[Tuple[Path, Dict[str, Any]]]:
+        """Yield every *valid* entry as ``(path, entry_dict)``, sorted.
+
+        Invalid files encountered during the walk are skipped (not
+        quarantined — maintenance walks must stay read-only).
+        """
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir() or shard.name == QUARANTINE_DIR:
+                continue
+            for path in sorted(shard.glob("*.json")):
+                expected = shard.name + path.stem
+                try:
+                    entry = self._parse_entry(
+                        path.read_text(encoding="utf-8"), expected
+                    )
+                except OSError:
+                    continue
+                if entry is not None:
+                    yield path, entry
+
+    def stats(self) -> Dict[str, Any]:
+        """Disk-derived statistics: entry counts per kind, bytes, stale.
+
+        Pure function of the directory contents, so it works across
+        processes (worker-written entries count even though the workers'
+        hit/miss counters died with them).
+        """
+        per_kind: Dict[str, int] = {}
+        total = 0
+        stale = 0
+        total_bytes = 0
+        for path, entry in self.entries():
+            total += 1
+            total_bytes += path.stat().st_size
+            provenance = entry.get("provenance", {})
+            kind = provenance.get("kind", "?")
+            per_kind[kind] = per_kind.get(kind, 0) + 1
+            if provenance.get("repro_version") != __version__:
+                stale += 1
+        quarantined = 0
+        quarantine = self.root / QUARANTINE_DIR
+        if quarantine.is_dir():
+            quarantined = sum(1 for _ in quarantine.iterdir())
+        return {
+            "dir": str(self.root),
+            "schema": SCHEMA_VERSION,
+            "entries": total,
+            "entries_by_kind": dict(sorted(per_kind.items())),
+            "stale_version_entries": stale,
+            "quarantined_files": quarantined,
+            "total_bytes": total_bytes,
+        }
+
+    def gc(self) -> Dict[str, int]:
+        """Reclaim everything that can never be served again.
+
+        Kept: valid entries stamped with the current ``repro_version``.
+        Removed: quarantined files, stale-version entries (their keys
+        embed the old ``code`` component, so no lookup can ever reach
+        them), unparseable strays and leftover temp files.
+        """
+        removed = 0
+        kept = 0
+        reclaimed = 0
+        if not self.root.is_dir():
+            return {"removed": 0, "kept": 0, "reclaimed_bytes": 0}
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            in_quarantine = shard.name == QUARANTINE_DIR
+            for path in sorted(p for p in shard.iterdir() if p.is_file()):
+                drop = True
+                if not in_quarantine and path.suffix == ".json":
+                    try:
+                        entry = self._parse_entry(
+                            path.read_text(encoding="utf-8"),
+                            shard.name + path.stem,
+                        )
+                    except OSError:
+                        entry = None
+                    if (
+                        entry is not None
+                        and entry["provenance"].get("repro_version")
+                        == __version__
+                    ):
+                        drop = False
+                if drop:
+                    try:
+                        reclaimed += path.stat().st_size
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+                else:
+                    kept += 1
+            try:
+                shard.rmdir()  # only succeeds when the shard emptied out
+            except OSError:
+                pass
+        return {
+            "removed": removed,
+            "kept": kept,
+            "reclaimed_bytes": reclaimed,
+        }

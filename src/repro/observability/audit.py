@@ -154,6 +154,91 @@ class AuditRun:
         return lines
 
 
+# -- cache round trip ------------------------------------------------------
+
+#: Entry kind for one contract check at one sweep cell.
+AUDIT_CELL_KIND = "audit-cell"
+
+
+def audit_cell_key(contract: str, m: int, n: int):
+    """The content-addressed key of one audit cell.
+
+    A cell is a pure function of (contract name, m, n, code version):
+    its rng is derived from those coordinates alone (see
+    :func:`run_audit_cell`), so nothing else can change the outcome.
+    The code version rides in automatically via ``compose_key``.
+    """
+    from ..cache import compose_key
+
+    return compose_key(AUDIT_CELL_KIND, contract=contract, m=m, n=n)
+
+
+def check_to_payload(check: ContractCheck) -> Dict[str, Any]:
+    """A :class:`ContractCheck` as a JSON-stable cache payload.
+
+    Lossless for everything :meth:`ContractCheck.to_json_dict` reads, so
+    a check reconstructed by :func:`check_from_payload` renders the same
+    artifact bytes as the freshly computed one — the cache's
+    byte-identity gate rests on this round trip.
+    """
+    return {
+        "contract": check.contract,
+        "m": check.m,
+        "n": check.n,
+        "input_size": check.input_size,
+        "report": {
+            "reversals": check.report.reversals,
+            "scans": check.report.scans,
+            "peak_internal_bits": check.report.peak_internal_bits,
+            "tapes_used": check.report.tapes_used,
+            "reversals_per_tape": {
+                str(tape): count
+                for tape, count in sorted(check.report.reversals_per_tape.items())
+            },
+            "steps": check.report.steps,
+        },
+        "claimed": {
+            "max_scans": check.claimed.max_scans,
+            "max_internal_bits": check.claimed.max_internal_bits,
+            "max_tapes": check.claimed.max_tapes,
+        },
+        "events": check.events,
+        "denied": check.denied,
+        "event_stream_consistent": check.event_stream_consistent,
+    }
+
+
+def check_from_payload(payload: Dict[str, Any]) -> ContractCheck:
+    """Rebuild a :class:`ContractCheck` from its cache payload."""
+    report = payload["report"]
+    claimed = payload["claimed"]
+    return ContractCheck(
+        contract=payload["contract"],
+        m=payload["m"],
+        n=payload["n"],
+        input_size=payload["input_size"],
+        report=ResourceReport(
+            reversals=report["reversals"],
+            scans=report["scans"],
+            peak_internal_bits=report["peak_internal_bits"],
+            tapes_used=report["tapes_used"],
+            reversals_per_tape={
+                int(tape): count
+                for tape, count in report["reversals_per_tape"].items()
+            },
+            steps=report["steps"],
+        ),
+        claimed=ResourceBudget(
+            max_scans=claimed["max_scans"],
+            max_internal_bits=claimed["max_internal_bits"],
+            max_tapes=claimed["max_tapes"],
+        ),
+        events=payload["events"],
+        denied=payload["denied"],
+        event_stream_consistent=payload["event_stream_consistent"],
+    )
+
+
 # -- instance helpers ------------------------------------------------------
 
 
@@ -425,6 +510,7 @@ def run_contract_audit(
     chunk_size: Optional[int] = None,
     registry=None,
     tracer=None,
+    cache=None,
 ) -> AuditRun:
     """Sweep every contract; returns the full measured-vs-claimed record.
 
@@ -434,6 +520,14 @@ def run_contract_audit(
     seeds its own rng from its coordinates, so the result — and the JSON
     artifact written from it — is byte-identical to the serial sweep for
     any ``jobs`` and to the old one-task-per-cell grouping.
+
+    ``cache`` (a :class:`~repro.cache.ResultStore`) memoizes per check:
+    cells whose content-addressed key is already stored skip their
+    contract runner entirely (zero engine work) and only the misses are
+    dispatched — with a warm cache the whole audit is lookups.  The
+    assembled record is byte-identical with the cache on, off, cold or
+    warm; the store's hit/miss counters prove which path served each
+    cell.
     """
     cells = tuple(sweep) if sweep is not None else (
         QUICK_SWEEP if quick else FULL_SWEEP
@@ -442,24 +536,57 @@ def run_contract_audit(
 
     from ..parallel import BatchTask, run_batch
 
-    tasks = [
-        BatchTask.map(run_audit_cells, cells, spec) for spec in specs
-    ]
-    sweeps = run_batch(
-        tasks,
-        jobs=jobs,
-        chunk_size=chunk_size,
-        label="audit",
-        registry=registry,
-        tracer=tracer,
-    ).values()
+    cached_checks: Dict[Tuple[str, int, int], ContractCheck] = {}
+    missing: Dict[str, List[Tuple[int, int]]] = {}
+    if cache is not None:
+        for spec in specs:
+            for m, n in cells:
+                payload = cache.lookup(audit_cell_key(spec.name, m, n))
+                if payload is None:
+                    missing.setdefault(spec.name, []).append((m, n))
+                else:
+                    cached_checks[(spec.name, m, n)] = check_from_payload(
+                        payload
+                    )
+        run_specs = [spec for spec in specs if missing.get(spec.name)]
+        spec_cells = {spec.name: tuple(missing[spec.name]) for spec in run_specs}
+    else:
+        run_specs = list(specs)
+        spec_cells = {spec.name: cells for spec in run_specs}
+
+    sweeps: List[List[ContractCheck]] = []
+    if run_specs:
+        tasks = [
+            BatchTask.map(run_audit_cells, spec_cells[spec.name], spec)
+            for spec in run_specs
+        ]
+        sweeps = run_batch(
+            tasks,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            label="audit",
+            registry=registry,
+            tracer=tracer,
+        ).values()
+    for spec, checks in zip(run_specs, sweeps):
+        for check in checks:
+            if cache is not None:
+                cache.store(
+                    audit_cell_key(check.contract, check.m, check.n),
+                    check_to_payload(check),
+                    engine="audit",
+                )
+            cached_checks[(spec.name, check.m, check.n)] = check
+
     outcomes = []
-    for spec, checks in zip(specs, sweeps):
+    for spec in specs:
         outcomes.append(
             ContractOutcome(
                 name=spec.name,
                 description=spec.description,
-                checks=tuple(checks),
+                checks=tuple(
+                    cached_checks[(spec.name, m, n)] for m, n in cells
+                ),
             )
         )
     return AuditRun(

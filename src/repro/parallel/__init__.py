@@ -25,6 +25,7 @@ from .batch import (
     TaskOutcome,
     derive_lane_rng,
     derive_task_rng,
+    normalize_seed,
 )
 from .executors import (
     ParallelExecutor,
@@ -43,6 +44,7 @@ __all__ = [
     "run_batch",
     "derive_task_rng",
     "derive_lane_rng",
+    "normalize_seed",
     "default_jobs",
     "ERROR_EXCEPTION",
     "ERROR_WORKER_CRASH",

@@ -42,7 +42,10 @@ import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from .._util import normalize_seed
+
 __all__ = [
+    "normalize_seed",
     "BatchTask",
     "TaskError",
     "TaskOutcome",
@@ -72,9 +75,12 @@ def derive_task_rng(seed: Any, index: int) -> random.Random:
     String-keyed like the audit harness's per-cell seeding, so the stream
     is stable across Python versions, worker counts, chunk sizes and
     executors — the determinism contract of the whole runtime rests on
-    this one line.
+    this one line.  The seed goes through
+    :func:`~repro._util.normalize_seed`, the same choke point cache-key
+    composition uses, so equal logical seeds (``7`` vs ``"7"``) yield
+    equal streams *and* equal cache keys.
     """
-    return random.Random(f"batch:{seed}:{index}")
+    return random.Random(f"batch:{normalize_seed(seed)}:{index}")
 
 
 def derive_lane_rng(seed: Any, index: int) -> random.Random:
@@ -85,9 +91,10 @@ def derive_lane_rng(seed: Any, index: int) -> random.Random:
     ``(batch seed, lane index)`` — splitting the same inputs into more
     or fewer map tasks leaves every lane's randomness untouched.  Keyed
     in a distinct namespace from :func:`derive_task_rng` so a sweep that
-    mixes per-task and per-lane seeding never aliases streams.
+    mixes per-task and per-lane seeding never aliases streams; the seed
+    is normalized through the same choke point as cache keys.
     """
-    return random.Random(f"batch:{seed}:lane:{index}")
+    return random.Random(f"batch:{normalize_seed(seed)}:lane:{index}")
 
 
 @dataclass(frozen=True)

@@ -207,6 +207,35 @@ class TestMachinePickling:
         assert clone == machine
         assert _accepts(clone, word) == before
 
+    def test_no_underscore_attribute_survives_pickle(self):
+        """The generic strip covers every derived cache, present and future.
+
+        Warm *all* known memo layers — including the cache layer's
+        machine fingerprint — then assert no underscore-prefixed
+        ``__dict__`` entry whatsoever rides the pickle.  A new memo attr
+        added under an underscore name is covered automatically; one
+        added under a bare name would trip the inverse check below.
+        """
+        from repro.cache import machine_fingerprint
+        from repro.machines.batch_engine import try_compile_batch
+        from repro.machines.compiled_engine import try_compile
+
+        machine = equality_machine()
+        _accepts(machine, "01#01")
+        try_compile(machine)
+        try_compile_batch(machine)
+        machine_fingerprint(machine)
+        warmed = {k for k in machine.__dict__ if k.startswith("_")}
+        # every documented cache attr is actually warmable — the doc
+        # tuple cannot drift ahead of (or behind) reality silently
+        assert warmed == set(type(machine)._CACHE_ATTRS)
+        clone = pickle.loads(pickle.dumps(machine))
+        leaked = [k for k in clone.__dict__ if k.startswith("_")]
+        assert leaked == []
+        assert clone == machine
+        # the fingerprint memo rebuilds to the same digest after the trip
+        assert machine_fingerprint(clone) == machine_fingerprint(machine)
+
     def test_unpickled_machine_runs_compiled_bit_identically(self):
         from repro.machines import compiled_engine, fast_engine
         from repro.machines.compiled_engine import try_compile

@@ -201,7 +201,7 @@ def bench_cell(name, n, repeats, cache_dir=None):
 
 
 def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None,
-                         cache_dir=None):
+                         cache_dir=None, ledger=None):
     """Time both engines over the library sweep; returns a list of rows.
 
     Every row is cross-checked: the streaming engine's final configuration
@@ -222,7 +222,8 @@ def run_engine_benchmark(sizes=SIZES, repeats=3, jobs=1, registry=None,
         for n in sizes
     ]
     return run_batch(
-        tasks, jobs=jobs, label="engine-bench", registry=registry
+        tasks, jobs=jobs, label="engine-bench", registry=registry,
+        ledger=ledger,
     ).values()
 
 
@@ -336,7 +337,7 @@ def bench_batch_cell(name, n, repeats, lanes=BATCH_LANES, cache_dir=None):
 
 
 def run_batch_benchmark(sizes=SIZES, repeats=3, lanes=BATCH_LANES, jobs=1,
-                        registry=None, cache_dir=None):
+                        registry=None, cache_dir=None, ledger=None):
     """Time the batch tier over the library sweep; returns a list of rows.
 
     Same contract as :func:`run_engine_benchmark`: every row is
@@ -355,7 +356,8 @@ def run_batch_benchmark(sizes=SIZES, repeats=3, lanes=BATCH_LANES, jobs=1,
         for n in sizes
     ]
     return run_batch(
-        tasks, jobs=jobs, label="batch-bench", registry=registry
+        tasks, jobs=jobs, label="batch-bench", registry=registry,
+        ledger=ledger,
     ).values()
 
 

@@ -11,16 +11,25 @@ claimed in the repo are reproducible with one command:
     python scripts/bench_to_json.py --quick         # CI smoke (small n)
     python scripts/bench_to_json.py -o out.json
 
-Bench-regression mode: ``--compare BENCH_engine.json`` additionally checks
-this run's top-N speedup against the checked-in baseline and reports a
-regression when it falls below ``tolerance × baseline`` (default 0.8 —
-timing noise on shared runners makes a tighter bound flaky).  The verdict
-rides in the JSON payload under ``comparison`` and in the exit status, so
-CI can surface it non-gatingly as an artifact.  Comparison is tolerant of
-tier growth: engines present in this run but absent from the baseline's
-rows are reported under ``engines_new`` instead of failing, so a payload
+Bench-regression mode: ``--compare BENCH_engine.json`` checks this run
+against the checked-in baseline through
+:func:`repro.observability.report.compare_bench`: the overall top-N
+speedup gate plus one verdict per (engine, workload) cell, each compared
+at the largest input size present in both payloads and judged against
+``tolerance × baseline`` (default 0.8 — timing noise on shared runners
+makes a tighter bound flaky).  A regression names its culprit on stderr
+(which engine, which workload, measured vs. floor); the full detail
+rides in the JSON payload under ``comparison`` (flat historical keys
+plus ``rows``/``regressions``) and in the exit status, so CI can
+surface it non-gatingly as an artifact.  Comparison is tolerant of tier
+growth: engines present in this run but absent from the baseline's rows
+are reported under ``engines_new`` instead of failing, so a payload
 with a freshly added tier still compares cleanly against an older
 baseline.
+
+Ledger mode: ``--ledger PATH`` journals both sweeps (task outcomes,
+heartbeats, stalls) to a JSONL sweep ledger; summarize it afterwards
+with ``python -m repro report summarize PATH``.
 
 Cache mode: ``--cache DIR`` (or ``$REPRO_CACHE_DIR``) routes each cell's
 three-tier correctness cross-check through the content-addressed result
@@ -77,6 +86,12 @@ QUICK_SIZES = (16, 64)
 def compare_against_baseline(gate, all_rows, baseline, tolerance):
     """The ``--compare`` verdict as a plain dict, testable in isolation.
 
+    Delegates to :func:`repro.observability.report.compare_bench` — the
+    noise-aware per-engine/per-workload detector — and keeps this
+    script's historical flat keys on top of its ``rows`` /
+    ``regressions`` detail, so old consumers of the payload's
+    ``comparison`` block keep parsing it.
+
     Guards the vacuous-pass trap: a baseline whose ``top_n_speedup`` is
     missing, non-numeric or non-positive cannot anchor a regression
     floor (``tolerance × 0 = 0`` passes any measurement), so such a
@@ -84,7 +99,13 @@ def compare_against_baseline(gate, all_rows, baseline, tolerance):
     ``regressed: False`` — the caller warns loudly instead of silently
     blessing the run.
     """
-    base_summary = baseline.get("summary", {})
+    from repro.observability.report import compare_bench
+
+    detail = compare_bench(
+        {"summary": {"top_n_speedup": gate}, "rows": list(all_rows)},
+        baseline,
+        tolerance=tolerance,
+    )
     base_engines = sorted(
         {r.get("engine") for r in baseline.get("rows", ())} - {None}
     )
@@ -92,29 +113,17 @@ def compare_against_baseline(gate, all_rows, baseline, tolerance):
     # engines this run has but the baseline predates: informational,
     # never a comparison failure — a new tier has no baseline yet
     engines_new = [e for e in run_engines if e not in base_engines]
-    base_speedup = base_summary.get("top_n_speedup")
-    baseline_invalid = (
-        not isinstance(base_speedup, (int, float))
-        or isinstance(base_speedup, bool)
-        or base_speedup <= 0
-    )
-    if baseline_invalid:
-        floor = None
-        regressed = False
-    else:
-        floor = tolerance * base_speedup
-        regressed = gate < floor
     return {
-        "baseline_top_n_speedup": (
-            None if baseline_invalid else base_speedup
-        ),
-        "baseline_invalid": baseline_invalid,
+        "baseline_top_n_speedup": detail["top"]["baseline"],
+        "baseline_invalid": detail["baseline_invalid"],
         "baseline_engines": base_engines,
         "engines_new": engines_new,
         "tolerance": tolerance,
-        "floor": round(floor, 2) if floor is not None else None,
+        "floor": detail["top"]["floor"],
         "measured_top_n_speedup": round(gate, 2),
-        "regressed": regressed,
+        "regressed": detail["regressed"],
+        "rows": detail["rows"],
+        "regressions": detail["regressions"],
     }
 
 
@@ -238,6 +247,12 @@ def main(argv=None):
         help="write the cache's post-run disk stats as JSON (requires "
         "an active cache)",
     )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append sweep/task records for both benchmark sweeps to this "
+        "JSONL ledger (read it back with `repro report summarize`)",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -250,15 +265,30 @@ def main(argv=None):
     if args.cache_stats and cache_dir is None:
         parser.error("--cache-stats needs an active --cache directory")
 
+    ledger = None
+    if args.ledger:
+        from repro.observability.ledger import LedgerWriter
+
+        ledger = LedgerWriter(args.ledger)
+
     sizes = QUICK_SIZES if args.quick else SIZES
-    rows = run_engine_benchmark(
-        sizes=sizes, repeats=args.repeats, jobs=args.jobs,
-        cache_dir=cache_dir,
-    )
-    batch_rows = run_batch_benchmark(
-        sizes=sizes, repeats=args.repeats, jobs=args.jobs,
-        cache_dir=cache_dir,
-    )
+    try:
+        rows = run_engine_benchmark(
+            sizes=sizes, repeats=args.repeats, jobs=args.jobs,
+            cache_dir=cache_dir, ledger=ledger,
+        )
+        batch_rows = run_batch_benchmark(
+            sizes=sizes, repeats=args.repeats, jobs=args.jobs,
+            cache_dir=cache_dir, ledger=ledger,
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
+    if ledger is not None:
+        print(
+            f"sweep ledger -> {args.ledger} "
+            f"({ledger.records_written} records)"
+        )
     gate = top_speedup(rows)
     compiled_gates = {
         name: round(compiled_top_speedup(rows, name), 2)
@@ -372,6 +402,10 @@ def main(argv=None):
                 f"{comparison['floor']:.1f}x "
                 f"(tolerance {args.tolerance}) -> {verdict}"
             )
+        # name exactly what fell below the floor and by how much —
+        # "REGRESSION" with no culprit is not actionable
+        for line in comparison["regressions"]:
+            print(f"  regression: {line}", file=sys.stderr)
     if regressed:
         return 1
     if not args.quick:

@@ -17,6 +17,16 @@ result store of :mod:`repro.cache`: a warm rerun writes the same bytes
 without re-running a single check, and ``--no-cache`` forces the scratch
 path.
 
+``python -m repro report {summarize,compare,history,strip}`` works the
+observability artifacts: ``summarize`` rolls one or more sweep ledgers
+(written by ``audit --ledger`` or ``bench_to_json.py --ledger``) into a
+deterministic per-sweep digest, ``compare`` renders a noise-aware
+per-engine/per-workload verdict of one bench payload against a baseline
+(exit 1 on regression, 2 on an unusable baseline), ``history`` appends
+timestamp-free payload summaries to ``BENCH_history.jsonl``, and
+``strip`` projects a ledger down to the deterministic lines the CI
+determinism gate diffs.
+
 ``python -m repro cache {stats,gc,verify} --dir DIR`` administers a
 result store: ``stats`` prints disk-derived entry counts, ``gc`` drops
 quarantined/stale/unparseable files, and ``verify`` recomputes a seeded
@@ -74,14 +84,21 @@ def _cmd_audit(
     jobs: int,
     cache_dir: "str | None" = None,
     cache_stats: "str | None" = None,
+    ledger_path: "str | None" = None,
 ) -> int:
     from .observability.audit import run_contract_audit, write_audit_json
+
+    ledger = None
+    if ledger_path is not None:
+        from .observability.ledger import LedgerWriter
+
+        ledger = LedgerWriter(ledger_path)
 
     cache = None
     if cache_dir is not None:
         from .cache import ResultStore
 
-        cache = ResultStore(cache_dir)
+        cache = ResultStore(cache_dir, ledger=ledger)
 
     mode = "quick" if quick else "full"
     workers = f", {jobs} worker processes" if jobs != 1 else ""
@@ -90,7 +107,13 @@ def _cmd_audit(
         f"repro {__version__} — contract audit ({mode} sweep{workers}"
         f"{cached}): measured (scans, bits, tapes) vs. claimed envelopes\n"
     )
-    run = run_contract_audit(quick=quick, jobs=jobs, cache=cache)
+    try:
+        run = run_contract_audit(
+            quick=quick, jobs=jobs, cache=cache, ledger=ledger
+        )
+    finally:
+        if ledger is not None:
+            ledger.close()
     for line in run.summary_lines():
         print(line)
     if verbose:
@@ -125,6 +148,11 @@ def _cmd_audit(
                 _json.dump(counters, handle, indent=2)
                 handle.write("\n")
             print(f"cache counters -> {cache_stats}")
+    if ledger is not None:
+        print(
+            f"sweep ledger -> {ledger_path} "
+            f"({ledger.records_written} records)"
+        )
     return 0 if run.ok else 1
 
 
@@ -159,6 +187,78 @@ def _cmd_cache(action: str, cache_dir: str, sample: int, seed: int) -> int:
         f"unsupported"
     )
     return 1 if report["mismatched"] else 0
+
+
+def _cmd_report(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .cache.fingerprint import canonical_json
+
+    if args.report_command == "summarize":
+        from .observability.report import render_summary, summarize_ledgers
+
+        summary = summarize_ledgers(args.ledgers)
+        if args.json:
+            print(canonical_json(summary))
+        else:
+            for line in render_summary(summary):
+                print(line)
+        return 0
+
+    if args.report_command == "compare":
+        from .observability.report import compare_bench, render_comparison
+
+        run = _json.loads(Path(args.run).read_text(encoding="utf-8"))
+        baseline = _json.loads(
+            Path(args.baseline).read_text(encoding="utf-8")
+        )
+        comparison = compare_bench(run, baseline, tolerance=args.tolerance)
+        if args.output:
+            Path(args.output).write_text(canonical_json(comparison) + "\n")
+        if args.json:
+            print(canonical_json(comparison))
+        else:
+            print(
+                f"repro {__version__} — bench comparison: {args.run} vs "
+                f"baseline {args.baseline} (tolerance {args.tolerance})"
+            )
+            for line in render_comparison(comparison):
+                print(line)
+        if comparison["baseline_invalid"]:
+            return 2
+        return 1 if comparison["regressed"] else 0
+
+    if args.report_command == "history":
+        from .observability.report import append_history, history_record
+
+        appended = 0
+        for payload_path in args.payloads:
+            payload = _json.loads(
+                Path(payload_path).read_text(encoding="utf-8")
+            )
+            record = history_record(
+                payload, source=os.path.basename(payload_path)
+            )
+            if append_history(args.file, record):
+                appended += 1
+                print(f"appended {payload_path} -> {args.file}")
+            else:
+                print(f"unchanged: {payload_path} already in {args.file}")
+        print(f"{appended}/{len(args.payloads)} payloads appended")
+        return 0
+
+    # strip: the deterministic projection the CI determinism gate diffs
+    from .observability.ledger import strip_nondeterministic
+
+    lines = strip_nondeterministic(args.ledger)
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"stripped ledger -> {args.output} ({len(lines)} lines)")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 #: Machine trace targets: library factory + the bench_engine word builder.
@@ -367,6 +467,78 @@ def main(argv=None) -> int:
         help="write this run's hit/miss/write/invalid counters as JSON "
         "(requires an active cache)",
     )
+    audit.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append sweep/task/cache records to this JSONL ledger "
+        "(read it back with `repro report summarize`)",
+    )
+    report = sub.add_parser(
+        "report",
+        help="summarize sweep ledgers, compare bench runs, keep history",
+    )
+    report_sub = report.add_subparsers(dest="report_command")
+    summarize = report_sub.add_parser(
+        "summarize", help="deterministic rollup of one or more ledgers"
+    )
+    summarize.add_argument(
+        "ledgers", nargs="+", help="JSONL ledger files to aggregate"
+    )
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="print the rollup as canonical JSON instead of text",
+    )
+    compare = report_sub.add_parser(
+        "compare",
+        help="noise-aware bench comparison (exit 1 on regression, "
+        "2 on an unusable baseline)",
+    )
+    compare.add_argument("run", help="bench JSON payload for this run")
+    compare.add_argument(
+        "--baseline", required=True, help="bench JSON payload to compare to"
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.8,
+        help="fraction of the baseline a measurement may drop to before "
+        "it counts as a regression (default 0.8)",
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the comparison as canonical JSON instead of text",
+    )
+    compare.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the comparison JSON here",
+    )
+    history = report_sub.add_parser(
+        "history",
+        help="append bench payload summaries to an append-only trajectory",
+    )
+    history.add_argument(
+        "payloads", nargs="+", help="bench JSON payloads to record"
+    )
+    history.add_argument(
+        "--file",
+        default="BENCH_history.jsonl",
+        help="the history file (default: BENCH_history.jsonl); appends "
+        "are idempotent — an identical record is never duplicated",
+    )
+    strip = report_sub.add_parser(
+        "strip",
+        help="project a ledger to its deterministic lines (wall-clock "
+        "sections and stall records dropped)",
+    )
+    strip.add_argument("ledger", help="JSONL ledger file to strip")
+    strip.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the stripped lines here instead of stdout",
+    )
     cache = sub.add_parser(
         "cache", help="inspect, collect or spot-check a result store"
     )
@@ -455,7 +627,18 @@ def main(argv=None) -> int:
             args.jobs,
             cache_dir,
             args.cache_stats,
+            args.ledger,
         )
+    if args.command == "report":
+        if args.report_command is None:
+            parser.error(
+                "report needs a subcommand: summarize, compare, history, strip"
+            )
+        if args.report_command == "compare" and not (
+            0.0 < args.tolerance <= 1.0
+        ):
+            parser.error("--tolerance must be in (0, 1]")
+        return _cmd_report(args)
     if args.command == "cache":
         if args.dir is None:
             parser.error("cache commands need --dir or $REPRO_CACHE_DIR")

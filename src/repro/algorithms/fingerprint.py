@@ -386,6 +386,7 @@ def monte_carlo_fingerprint_trials(
     registry=None,
     tracer=None,
     cache=None,
+    ledger=None,
 ) -> TrialSummary:
     """The Theorem 8(a) error-rate experiment as a deterministic batch.
 
@@ -401,6 +402,9 @@ def monte_carlo_fingerprint_trials(
     stored skip dispatch entirely, only the misses run, and the summary
     is bit-identical either way (the per-lane streams are anchored to
     global lane indices, never to which blocks happened to recompute).
+    ``ledger`` (a :class:`~repro.observability.ledger.LedgerWriter`)
+    journals the dispatched blocks as ``fingerprint-trials`` sweep
+    records; cache hits surface through the store's own attached ledger.
     """
     if trials < 1:
         raise EncodingError(f"trials must be >= 1, got {trials}")
@@ -444,6 +448,7 @@ def monte_carlo_fingerprint_trials(
             label="fingerprint-trials",
             registry=registry,
             tracer=tracer,
+            ledger=ledger,
         ).values()
         for (base, count), accepted in zip(pending, counts):
             if cache is not None:

@@ -54,9 +54,19 @@ class ResultStore:
     caller's to surface the counters next to its other instruments.
     """
 
-    def __init__(self, root, *, registry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        root,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        ledger=None,
+    ):
         self.root = Path(root)
         self.registry = registry if registry is not None else MetricsRegistry()
+        # duck-typed LedgerWriter (never imported here — the ledger
+        # module imports this package's fingerprint layer); every event
+        # site pays one ``is None`` test when nothing is attached
+        self._ledger = ledger
         self._hits = self.registry.counter(
             "cache_hits_total", "entries served from the result store"
         )
@@ -70,6 +80,20 @@ class ResultStore:
             "cache_invalid_total",
             "corrupt/stale entries quarantined at lookup time",
         )
+
+    def attach_ledger(self, ledger) -> None:
+        """Journal every hit/miss/write/invalid to a sweep ledger.
+
+        ``ledger`` duck-types
+        :class:`~repro.observability.ledger.LedgerWriter`; events carry
+        the entry kind and the content-addressed key digest, both
+        deterministic, so cache lines survive the determinism strip.
+        """
+        self._ledger = ledger
+
+    def _event(self, event: str, key: CacheKey) -> None:
+        if self._ledger is not None:
+            self._ledger.cache_event(event, key.kind, key.digest)
 
     # -- key → path ---------------------------------------------------------
 
@@ -119,20 +143,26 @@ class ResultStore:
             text = path.read_text(encoding="utf-8")
         except (FileNotFoundError, NotADirectoryError):
             self._misses.inc(kind=key.kind)
+            self._event("miss", key)
             return None
         except (OSError, UnicodeDecodeError):
             # unreadable bytes are a corrupt entry, not a plain miss
             self._quarantine(path)
             self._invalid.inc(kind=key.kind)
             self._misses.inc(kind=key.kind)
+            self._event("invalid", key)
+            self._event("miss", key)
             return None
         entry = self._parse_entry(text, key.digest)
         if entry is None:
             self._quarantine(path)
             self._invalid.inc(kind=key.kind)
             self._misses.inc(kind=key.kind)
+            self._event("invalid", key)
+            self._event("miss", key)
             return None
         self._hits.inc(kind=key.kind)
+        self._event("hit", key)
         return entry["payload"]
 
     @staticmethod
@@ -198,6 +228,7 @@ class ResultStore:
                 except OSError:
                     pass
         self._writes.inc(kind=key.kind)
+        self._event("write", key)
 
     def get_or_compute(
         self, key: CacheKey, compute: Callable[[], Any], *, engine: Any = None

@@ -42,6 +42,50 @@ class SkeletonCensus:
             return True
         return math.log2(self.distinct_skeletons) <= self.bound_log2
 
+    def to_payload(self) -> Dict[str, object]:
+        """The census as a JSON-stable cache payload (all scalar fields)."""
+        return {
+            "machine_m": self.machine_m,
+            "machine_k": self.machine_k,
+            "machine_t": self.machine_t,
+            "reversal_bound": self.reversal_bound,
+            "inputs_enumerated": self.inputs_enumerated,
+            "distinct_skeletons": self.distinct_skeletons,
+            "bound_log2": self.bound_log2,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SkeletonCensus":
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+#: Entry kind for one full census in the content-addressed result store.
+CENSUS_KIND = "skeleton-census"
+
+
+def census_key(cache_key: object, alphabet: Sequence[object], r: int, nlm: NLM):
+    """The content-addressed key of one exhaustive census.
+
+    NLM transition functions are closures — there is no content
+    fingerprint to derive, so the caller supplies ``cache_key``, an
+    identity token naming the machine *family* (mirroring the
+    ``machine_factory`` requirement of the parallel path).  The token is
+    composed with everything else that determines the census: the
+    alphabet (by repr, in order), the reversal bound and the machine's
+    (m, k, t) shape; the code version rides in automatically.
+    """
+    from ..cache import compose_key
+
+    return compose_key(
+        CENSUS_KIND,
+        census=str(cache_key),
+        alphabet=[repr(value) for value in alphabet],
+        r=r,
+        m=nlm.m,
+        k=nlm.k,
+        t=nlm.t,
+    )
+
 
 def decode_input(
     alphabet: Sequence[object], m: int, index: int
@@ -89,6 +133,9 @@ def enumerate_skeletons(
     chunk_size: Optional[int] = None,
     registry=None,
     tracer=None,
+    cache=None,
+    cache_key: Optional[object] = None,
+    ledger=None,
 ) -> SkeletonCensus:
     """Run a deterministic NLM on *every* input over ``alphabet``.
 
@@ -100,6 +147,14 @@ def enumerate_skeletons(
     path needs a picklable ``machine_factory`` (a module-level callable
     or ``functools.partial`` rebuilding the machine); the census is
     identical to the serial one — set union is order-blind.
+
+    ``cache`` (a :class:`~repro.cache.ResultStore`) memoizes the whole
+    census; because a closure-built NLM has no content fingerprint, it
+    requires ``cache_key``, a caller-supplied identity token for the
+    machine family (see :func:`census_key`).  Hits skip the enumeration
+    entirely; the store's hit/miss events reach the sweep ledger through
+    its attached writer.  ``ledger`` additionally journals the parallel
+    dispatch as a ``skeleton-census`` sweep.
     """
     if not nlm.is_deterministic:
         raise MachineError("exhaustive enumeration expects a deterministic NLM")
@@ -108,6 +163,18 @@ def enumerate_skeletons(
         raise MachineError(
             f"|alphabet|^m = {total} exceeds max_inputs = {max_inputs}"
         )
+    key = None
+    if cache is not None:
+        if cache_key is None:
+            raise MachineError(
+                "census caching needs a cache_key identity token (NLM "
+                "transition functions are closures and cannot be "
+                "content-fingerprinted)"
+            )
+        key = census_key(cache_key, alphabet, r, nlm)
+        payload = cache.lookup(key)
+        if payload is not None:
+            return SkeletonCensus.from_payload(payload)
     skeletons: set = set()
     if jobs == 1 or total == 0:
         for values in itertools.product(alphabet, repeat=nlm.m):
@@ -140,9 +207,10 @@ def enumerate_skeletons(
             label="skeleton-census",
             registry=registry,
             tracer=tracer,
+            ledger=ledger,
         ).values():
             skeletons |= part
-    return SkeletonCensus(
+    census = SkeletonCensus(
         machine_m=nlm.m,
         machine_k=nlm.k,
         machine_t=nlm.t,
@@ -151,6 +219,9 @@ def enumerate_skeletons(
         distinct_skeletons=len(skeletons),
         bound_log2=lemma32_skeleton_bound_log2(nlm.m, nlm.k, nlm.t, r),
     )
+    if key is not None:
+        cache.store(key, census.to_payload(), engine="census")
+    return census
 
 
 def skeletons_independent_of_value_length(

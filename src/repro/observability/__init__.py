@@ -26,6 +26,15 @@ Layered bottom-up:
   of N and checks every measured envelope against its claimed one.  (This
   submodule imports the algorithm packages, so it is loaded lazily — the
   tracker itself only needs :mod:`events`.)
+* :mod:`~repro.observability.ledger` — the durable layer above a single
+  run: a :class:`LedgerWriter` journals sweeps as canonical-JSON lines
+  (task outcomes, heartbeats, stalls, cache events, registry snapshots)
+  with every wall-clock field isolated in a marked ``wall`` section, so
+  stripped ledgers of identical serial runs are byte-identical;
+* :mod:`~repro.observability.report` — rollups and regression verdicts
+  over those records, behind ``python -m repro report``: deterministic
+  ledger summaries, the noise-aware per-engine/per-workload bench
+  comparator, and the append-only ``BENCH_history.jsonl`` trajectory.
 """
 
 from .events import (
@@ -55,19 +64,34 @@ from .sinks import (
 )
 from .trace import EngineProbe, Span, Tracer
 
-#: Audit names resolved lazily via __getattr__ (the audit module imports
-#: repro.algorithms / repro.queries, which import repro.extmem — eager
-#: loading here would cycle through the tracker's events import).
-_AUDIT_EXPORTS = {
-    "AuditRun",
-    "CONTRACTS",
-    "ContractCheck",
-    "ContractOutcome",
-    "ContractSpec",
-    "FULL_SWEEP",
-    "QUICK_SWEEP",
-    "run_contract_audit",
-    "write_audit_json",
+#: Names resolved lazily via __getattr__, mapped to their submodule.
+#: The audit module imports repro.algorithms / repro.queries (which
+#: import repro.extmem — eager loading here would cycle through the
+#: tracker's events import); the ledger and report modules import
+#: repro.cache (whose store imports this package's metrics — eager
+#: loading would re-enter a partially initialized package).
+_LAZY_EXPORTS = {
+    "AuditRun": "audit",
+    "CONTRACTS": "audit",
+    "ContractCheck": "audit",
+    "ContractOutcome": "audit",
+    "ContractSpec": "audit",
+    "FULL_SWEEP": "audit",
+    "QUICK_SWEEP": "audit",
+    "run_contract_audit": "audit",
+    "write_audit_json": "audit",
+    "LEDGER_SCHEMA": "ledger",
+    "LedgerWriter": "ledger",
+    "iter_ledger": "ledger",
+    "load_ledger": "ledger",
+    "strip_record": "ledger",
+    "strip_nondeterministic": "ledger",
+    "summarize_ledgers": "report",
+    "render_summary": "report",
+    "compare_bench": "report",
+    "render_comparison": "report",
+    "history_record": "report",
+    "append_history": "report",
 }
 
 __all__ = [
@@ -95,12 +119,14 @@ __all__ = [
     "Span",
     "Tracer",
     "EngineProbe",
-] + sorted(_AUDIT_EXPORTS)
+] + sorted(_LAZY_EXPORTS)
 
 
 def __getattr__(name):
-    if name in _AUDIT_EXPORTS:
-        from . import audit
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(audit, name)
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

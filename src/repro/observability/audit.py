@@ -511,6 +511,7 @@ def run_contract_audit(
     registry=None,
     tracer=None,
     cache=None,
+    ledger=None,
 ) -> AuditRun:
     """Sweep every contract; returns the full measured-vs-claimed record.
 
@@ -528,6 +529,16 @@ def run_contract_audit(
     assembled record is byte-identical with the cache on, off, cold or
     warm; the store's hit/miss counters prove which path served each
     cell.
+
+    ``ledger`` (a :class:`~repro.observability.ledger.LedgerWriter`)
+    journals the run durably on two layers: the batch runtime writes one
+    ``task-outcome`` per dispatched map task (label ``audit``, one per
+    contract), and this function writes a deterministic per-cell sweep
+    (label ``audit-cells``) — one ``task-outcome`` per contract check,
+    stamped ``{contract, m, n, source: cache|computed}`` — that
+    reconciles exactly with the checks in ``AUDIT_contracts.json`` and,
+    via its ``sweep-end`` cache counters, with the store's hit/miss
+    totals.
     """
     cells = tuple(sweep) if sweep is not None else (
         QUICK_SWEEP if quick else FULL_SWEEP
@@ -553,6 +564,7 @@ def run_contract_audit(
     else:
         run_specs = list(specs)
         spec_cells = {spec.name: cells for spec in run_specs}
+    hit_keys = frozenset(cached_checks)
 
     sweeps: List[List[ContractCheck]] = []
     if run_specs:
@@ -567,6 +579,7 @@ def run_contract_audit(
             label="audit",
             registry=registry,
             tracer=tracer,
+            ledger=ledger,
         ).values()
     for spec, checks in zip(run_specs, sweeps):
         for check in checks:
@@ -577,6 +590,38 @@ def run_contract_audit(
                     engine="audit",
                 )
             cached_checks[(spec.name, check.m, check.n)] = check
+
+    if ledger is not None:
+        # The reconciliation layer: one deterministic outcome record per
+        # contract check, in spec × cell order regardless of jobs or
+        # cache state, each stamped with what served it — these lines
+        # line up one-to-one with the checks in the JSON artifact.
+        ledger.sweep_start(
+            "audit-cells", tasks=len(specs) * len(cells), jobs=jobs
+        )
+        index = 0
+        for spec in specs:
+            for m, n in cells:
+                check = cached_checks[(spec.name, m, n)]
+                source = (
+                    "cache" if (spec.name, m, n) in hit_keys else "computed"
+                )
+                ledger.record_outcome(
+                    "audit-cells",
+                    index=index,
+                    ok=check.ok,
+                    detail={
+                        "contract": spec.name,
+                        "m": m,
+                        "n": n,
+                        "source": source,
+                    },
+                )
+                index += 1
+        ledger.sweep_end(
+            "audit-cells",
+            cache=cache.counter_snapshot() if cache is not None else None,
+        )
 
     outcomes = []
     for spec in specs:

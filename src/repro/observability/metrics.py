@@ -24,6 +24,7 @@ hot path:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -150,6 +151,29 @@ class Histogram(_Instrument):
     def count(self, **labels: Any) -> int:
         cell = self._cells.get(_label_key(labels))
         return cell["n"] if cell else 0
+
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """Bucketed quantile: the smallest bucket upper bound holding the
+        nearest-rank sample, or ``None`` for an empty cell.
+
+        Resolution is the bucket grid — exact enough for threshold
+        decisions (the ledger's stall detector), free of per-sample
+        storage.  A rank landing in the ``+Inf`` overflow slot reports
+        the largest finite bound (the tightest statement the buckets
+        can make).
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        cell = self._cells.get(_label_key(labels))
+        if cell is None or cell["n"] == 0:
+            return None
+        target = math.ceil(q * cell["n"])
+        running = 0
+        for bound, count in zip(self.buckets, cell["counts"]):
+            running += count
+            if running >= target:
+                return bound
+        return self.buckets[-1]
 
     def sum(self, **labels: Any) -> float:
         cell = self._cells.get(_label_key(labels))

@@ -144,24 +144,46 @@ class JsonlFileSink(EventSink):
             self._stream.close()
 
 
-def replay_jsonl(lines: Iterable[str]) -> Iterator[ResourceEvent]:
+def replay_jsonl(
+    lines: Iterable[str], *, registry=None
+) -> Iterator[ResourceEvent]:
     """Parse a JSONL stream (as written by :class:`JsonlFileSink`) back into
     :class:`ResourceEvent` objects — the inverse of ``to_json_dict``.
 
     Lines whose ``kind`` is not a tracker event kind (e.g. the ``span``
-    records an :class:`~repro.observability.trace.EngineProbe` writes when
-    both layers share one JSONL sink) are skipped, so a mixed capture
-    still replays its resource-event layer losslessly.
+    records an :class:`~repro.observability.trace.EngineProbe` writes, or
+    the sweep-ledger records a
+    :class:`~repro.observability.ledger.LedgerWriter` appends, when the
+    layers share one JSONL file) are skipped losslessly — the line is
+    left untouched in the source and nothing of the event layer is
+    consumed by it.  Pass ``registry`` (a :class:`MetricsRegistry`) to
+    surface the split: ``replay_events_total`` counts replayed events by
+    kind, ``replay_skipped_total`` counts skipped lines by their foreign
+    kind (``unknown`` when the line has none).
     """
     from .events import EVENT_KINDS
 
+    replayed = skipped = None
+    if registry is not None:
+        replayed = registry.counter(
+            "replay_events_total", "resource events replayed from JSONL"
+        )
+        skipped = registry.counter(
+            "replay_skipped_total",
+            "non-event JSONL lines skipped during replay, by foreign kind",
+        )
     for line in lines:
         line = line.strip()
         if not line:
             continue
         raw = json.loads(line)
-        if raw.get("kind") not in EVENT_KINDS:
+        kind = raw.get("kind") if isinstance(raw, dict) else None
+        if kind not in EVENT_KINDS:
+            if skipped is not None:
+                skipped.inc(kind=kind if kind is not None else "unknown")
             continue
+        if replayed is not None:
+            replayed.inc(kind=kind)
         yield ResourceEvent(
             seq=raw["seq"],
             kind=raw["kind"],

@@ -40,6 +40,12 @@ Observability: pass ``registry`` (a
 span per sweep, ``batch_tasks_dispatched`` / ``batch_tasks_completed`` /
 ``batch_tasks_failed`` / ``batch_worker_restarts`` counters and a
 ``batch_task_seconds`` latency histogram, all labelled ``batch=<label>``.
+Pass ``ledger`` (a :class:`~repro.observability.ledger.LedgerWriter`,
+duck-typed — this module never imports it) to additionally journal the
+sweep durably: one ``sweep-start``, one ``task-outcome`` per
+:class:`~repro.parallel.batch.TaskOutcome` (with heartbeat/stall
+telemetry), one ``worker-restart`` per pool rebuild and one
+``sweep-end`` carrying the registry snapshot.
 """
 
 from __future__ import annotations
@@ -99,11 +105,14 @@ def _chunked(
 
 
 class _Instruments:
-    """The batch's metrics/tracing hooks, no-ops when nothing is attached."""
+    """The batch's metrics/tracing/ledger hooks, no-ops when nothing is
+    attached — each layer costs one ``is None`` test per call site."""
 
-    def __init__(self, registry, tracer, label: str):
+    def __init__(self, registry, tracer, label: str, ledger=None):
         self.label = label
         self.tracer = tracer
+        self.ledger = ledger
+        self.registry = registry
         self.span = None
         if registry is not None:
             self.dispatched = registry.counter(
@@ -132,6 +141,8 @@ class _Instruments:
             self.span = self.tracer.begin(
                 f"batch:{self.label}", CATEGORY_BATCH, tasks=tasks, jobs=jobs
             )
+        if self.ledger is not None:
+            self.ledger.sweep_start(self.label, tasks=tasks, jobs=jobs)
 
     def close_span(self, result: BatchResult) -> None:
         if self.span is not None:
@@ -142,6 +153,15 @@ class _Instruments:
                 worker_restarts=result.worker_restarts,
             )
             self.span = None
+        if self.ledger is not None:
+            self.ledger.sweep_end(
+                self.label,
+                metrics=(
+                    self.registry.snapshot()
+                    if self.registry is not None
+                    else None
+                ),
+            )
 
     def on_dispatched(self, count: int) -> None:
         if self.dispatched is not None:
@@ -154,10 +174,14 @@ class _Instruments:
             else:
                 self.failed.inc(batch=self.label)
             self.latency.observe(outcome.seconds, batch=self.label)
+        if self.ledger is not None:
+            self.ledger.task_outcome(self.label, outcome)
 
     def on_restart(self) -> None:
         if self.dispatched is not None:
             self.restarts.inc(batch=self.label)
+        if self.ledger is not None:
+            self.ledger.worker_restart(self.label)
 
 
 class SerialExecutor:
@@ -174,10 +198,11 @@ class SerialExecutor:
         label: str = "batch",
         registry=None,
         tracer=None,
+        ledger=None,
         warmup: Optional[Callable[[], Any]] = None,
     ) -> BatchResult:
         tasks = tuple(tasks)
-        instruments = _Instruments(registry, tracer, label)
+        instruments = _Instruments(registry, tracer, label, ledger)
         instruments.open_span(len(tasks), 1)
         started = time.perf_counter()
         if warmup is not None:
@@ -283,10 +308,11 @@ class ParallelExecutor:
         label: str = "batch",
         registry=None,
         tracer=None,
+        ledger=None,
         warmup: Optional[Callable[[], Any]] = None,
     ) -> BatchResult:
         tasks = tuple(tasks)
-        instruments = _Instruments(registry, tracer, label)
+        instruments = _Instruments(registry, tracer, label, ledger)
         workers = min(self.jobs, max(1, len(tasks)))
         instruments.open_span(len(tasks), workers)
         started = time.perf_counter()
@@ -426,6 +452,7 @@ def run_batch(
     label: str = "batch",
     registry=None,
     tracer=None,
+    ledger=None,
     warmup: Optional[Callable[[], Any]] = None,
 ) -> BatchResult:
     """Run ``tasks`` serially (``jobs=1``, the default) or in parallel.
@@ -448,5 +475,6 @@ def run_batch(
         label=label,
         registry=registry,
         tracer=tracer,
+        ledger=ledger,
         warmup=warmup,
     )

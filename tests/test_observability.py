@@ -130,6 +130,49 @@ class TestSinks:
         events = list(replay_jsonl(path.read_text().splitlines()))
         assert events and events[-1].seq == len(events)
 
+    def test_replay_skips_span_and_ledger_lines_losslessly(self):
+        """Satellite: one JSONL file can interleave all three schemas —
+        tracker events, probe spans and sweep-ledger records — and the
+        event layer replays exactly, with the split counted."""
+        from repro.observability import MetricsRegistry
+        from repro.observability.ledger import LedgerWriter
+
+        stream = io.StringIO()
+        with JsonlFileSink(stream) as sink:
+            _tracked_run(sink)
+        event_lines = stream.getvalue().splitlines()
+        ledger_stream = io.StringIO()
+        with LedgerWriter(ledger_stream) as ledger:
+            ledger.sweep_start("mixed", tasks=1)
+            ledger.record_outcome("mixed", index=0, ok=True)
+            ledger.sweep_end("mixed")
+        ledger_lines = ledger_stream.getvalue().splitlines()
+        span_line = json.dumps({"kind": "span", "name": "x", "id": 1})
+        # interleave: span, ledger record, then events, then the rest
+        mixed = [span_line, ledger_lines[0]] + event_lines + ledger_lines[1:]
+
+        registry = MetricsRegistry()
+        replayed = list(replay_jsonl(mixed, registry=registry))
+        reference = RingBufferSink()
+        _tracked_run(reference)
+        assert replayed == reference.events()
+
+        snapshot = registry.snapshot()
+        total = lambda name: sum(  # noqa: E731
+            s["value"] for s in snapshot[name]["samples"]
+        )
+        assert total("replay_events_total") == len(replayed)
+        assert total("replay_skipped_total") == 1 + len(ledger_lines)
+        skipped_kinds = {
+            s["labels"]["kind"]
+            for s in snapshot["replay_skipped_total"]["samples"]
+        }
+        assert "span" in skipped_kinds
+        assert "sweep-start" in skipped_kinds
+        # a non-dict JSON line is skipped as "unknown", never a crash
+        assert not list(replay_jsonl(["[1, 2, 3]"], registry=registry))
+        assert registry.snapshot()["replay_skipped_total"]["samples"]
+
 
 class TestRunProfile:
     def test_phases_slice_the_run(self):

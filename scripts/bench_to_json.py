@@ -162,6 +162,8 @@ def parallel_payload(jobs, quick, repeats, sizes):
         + (" --quick" if quick else ""),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "process_cpu_count": getattr(os, "process_cpu_count", os.cpu_count)(),
+        "topology": {"executor": "parallel", "jobs": jobs, "shards": None},
         "jobs": jobs,
         "quick": quick,
         "unit": "seconds",

@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Kill a sweep mid-flight, resume it, prove the interruption invisible.
+
+The CI ``resume-identity`` gate runs this script with no arguments.  It
+orchestrates three child processes over the same 12-task seeded sweep:
+
+1. ``--phase full`` — the uninterrupted reference run, journaled to
+   ``full.jsonl``;
+2. ``--phase crash`` — the same run with ``REPRO_RESUME_KILL_AT=7`` in
+   the environment: task 7 calls ``os._exit(1)`` mid-sweep, so the
+   child dies exactly the way a preempted CI worker does and leaves a
+   ledger with a ``sweep-start``, seven ``task-outcome`` records and no
+   ``sweep-end``;
+3. ``--phase resume`` — ``run_batch(resume_from=crashed.jsonl)``,
+   journaled to ``resumed.jsonl``.
+
+The kill switch lives in the *environment*, not in the task payload, so
+the crashed run's sweep fingerprint is identical to the reference run's
+— resume must accept it.  The gate then asserts two identities:
+
+* the resumed run's **values** equal the uninterrupted run's values
+  (per-task rng streams are anchored to global task indices, so the
+  re-dispatched tail cannot drift);
+* the resumed **ledger strips byte-identical** to the uninterrupted
+  ledger (replayed outcomes are re-journaled in index order and the
+  ``sweep-resume`` marker is wall-only, so the interruption leaves no
+  deterministic trace).
+
+Exit status 0 iff both hold.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+KILL_ENV = "REPRO_RESUME_KILL_AT"
+KILL_AT = 7
+TASKS = 12
+SEED = 20060626  # PODS 2006
+
+
+def task_body(index, rng):
+    if os.environ.get(KILL_ENV) == str(index):
+        os._exit(1)  # a preempted worker: no exception, no sweep-end
+    return [rng.randrange(10**6) for _ in range(5)]
+
+
+def _tasks():
+    from repro.parallel import BatchTask
+
+    return [
+        BatchTask.call(task_body, i, seeded=True) for i in range(TASKS)
+    ]
+
+
+def run_phase(ledger_path, values_path, resume_from=None):
+    from repro.observability.ledger import LedgerWriter
+    from repro.parallel import run_batch
+
+    with LedgerWriter(ledger_path) as ledger:
+        result = run_batch(
+            _tasks(),
+            seed=SEED,
+            label="resume-identity",
+            ledger=ledger,
+            resume_from=resume_from,
+        )
+    if values_path:
+        Path(values_path).write_text(
+            json.dumps(result.values()) + "\n", encoding="utf-8"
+        )
+    return 0
+
+
+def orchestrate(workdir):
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    script = str(Path(__file__).resolve())
+    full_ledger = workdir / "full.jsonl"
+    crashed_ledger = workdir / "crashed.jsonl"
+    resumed_ledger = workdir / "resumed.jsonl"
+    full_values = workdir / "full-values.json"
+    resumed_values = workdir / "resumed-values.json"
+
+    def child(phase, ledger, values=None, resume_from=None, env=None):
+        cmd = [sys.executable, script, "--phase", phase, "--ledger", str(ledger)]
+        if values:
+            cmd += ["--values", str(values)]
+        if resume_from:
+            cmd += ["--resume-from", str(resume_from)]
+        merged = dict(os.environ)
+        merged.pop(KILL_ENV, None)
+        merged.update(env or {})
+        return subprocess.run(cmd, env=merged).returncode
+
+    rc = child("full", full_ledger, values=full_values)
+    if rc != 0:
+        print(f"FAIL: uninterrupted run exited {rc}", file=sys.stderr)
+        return 1
+    rc = child("crash", crashed_ledger, env={KILL_ENV: str(KILL_AT)})
+    if rc == 0:
+        print("FAIL: the crash run was supposed to die", file=sys.stderr)
+        return 1
+    from repro.observability.ledger import load_ledger
+
+    records, _ = load_ledger(crashed_ledger)
+    kinds = [r["kind"] for r in records]
+    if "sweep-end" in kinds:
+        print("FAIL: crashed ledger has a sweep-end", file=sys.stderr)
+        return 1
+    landed = kinds.count("task-outcome")
+    if not 0 < landed < TASKS:
+        print(
+            f"FAIL: crash landed {landed}/{TASKS} outcomes — not mid-sweep",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"crashed mid-sweep as planned: {landed}/{TASKS} outcomes "
+        "journaled, no sweep-end"
+    )
+    rc = child(
+        "resume", resumed_ledger, values=resumed_values,
+        resume_from=crashed_ledger,
+    )
+    if rc != 0:
+        print(f"FAIL: resume run exited {rc}", file=sys.stderr)
+        return 1
+
+    from repro.observability.ledger import strip_nondeterministic
+
+    full = json.loads(full_values.read_text(encoding="utf-8"))
+    resumed = json.loads(resumed_values.read_text(encoding="utf-8"))
+    if full != resumed:
+        print("FAIL: resumed values differ from the uninterrupted run",
+              file=sys.stderr)
+        return 1
+    stripped_full = strip_nondeterministic(full_ledger)
+    stripped_resumed = strip_nondeterministic(resumed_ledger)
+    if stripped_full != stripped_resumed:
+        for i, (a, b) in enumerate(zip(stripped_full, stripped_resumed)):
+            if a != b:
+                print(f"first divergence at stripped line {i}:",
+                      file=sys.stderr)
+                print(f"  full:    {a}", file=sys.stderr)
+                print(f"  resumed: {b}", file=sys.stderr)
+                break
+        print("FAIL: resumed ledger does not strip byte-identical",
+              file=sys.stderr)
+        return 1
+    print(
+        f"resume identity holds: {TASKS} values equal, "
+        f"{len(stripped_full)} stripped ledger lines byte-identical"
+    )
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--phase", choices=("full", "crash", "resume"),
+        help="child mode (the gate runs with no arguments)",
+    )
+    parser.add_argument("--ledger", help="JSONL ledger path for this phase")
+    parser.add_argument("--values", help="write the batch values here")
+    parser.add_argument("--resume-from", help="crashed ledger to resume")
+    parser.add_argument(
+        "--workdir", default="resume-identity",
+        help="orchestrator scratch directory (default: resume-identity/)",
+    )
+    args = parser.parse_args(argv)
+    if args.phase is None:
+        return orchestrate(args.workdir)
+    if not args.ledger:
+        parser.error("--phase needs --ledger")
+    return run_phase(args.ledger, args.values, resume_from=args.resume_from)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

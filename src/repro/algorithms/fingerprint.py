@@ -387,6 +387,8 @@ def monte_carlo_fingerprint_trials(
     tracer=None,
     cache=None,
     ledger=None,
+    executor=None,
+    resume_from=None,
 ) -> TrialSummary:
     """The Theorem 8(a) error-rate experiment as a deterministic batch.
 
@@ -405,6 +407,14 @@ def monte_carlo_fingerprint_trials(
     ``ledger`` (a :class:`~repro.observability.ledger.LedgerWriter`)
     journals the dispatched blocks as ``fingerprint-trials`` sweep
     records; cache hits surface through the store's own attached ledger.
+
+    ``executor`` (an :class:`~repro.parallel.ExecutorAdapter`) overrides
+    the jobs-based serial/pool choice — e.g. a
+    :class:`~repro.parallel.ShardExecutor` partitions the blocks along
+    content-addressed shard boundaries.  ``resume_from`` (a ledger path
+    or :class:`~repro.parallel.ResumeState`) replays the blocks a prior
+    interrupted run already journaled and dispatches only the rest; the
+    summary is bit-identical to an uninterrupted run.
     """
     if trials < 1:
         raise EncodingError(f"trials must be >= 1, got {trials}")
@@ -449,6 +459,8 @@ def monte_carlo_fingerprint_trials(
             registry=registry,
             tracer=tracer,
             ledger=ledger,
+            executor=executor,
+            resume_from=resume_from,
         ).values()
         for (base, count), accepted in zip(pending, counts):
             if cache is not None:

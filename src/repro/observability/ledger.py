@@ -13,11 +13,20 @@ are designed to replay the ``task-outcome`` records directly.
 Record kinds (all schema-versioned via :data:`LEDGER_SCHEMA`):
 
 * ``sweep-start`` — label, task count, jobs, the timestamp-free
-  provenance stamp (``repro_version``);
+  provenance stamp (``repro_version``), plus — when the batch runtime
+  computed one — the sweep ``fingerprint`` the resume path verifies and
+  the ``shards`` topology of a sharded executor;
 * ``task-outcome`` — one per :class:`~repro.parallel.batch.TaskOutcome`:
   index, ok, attempts (retries = attempts - 1), the structured error if
   any, an optional ``detail`` dict (the audit stamps contract/cell/source
-  attribution here);
+  attribution here), and — for ``ok`` outcomes whose value survives an
+  exact canonical-JSON round trip — the ``value`` itself, which is what
+  lets ``run_batch(resume_from=…)`` reconstruct the outcome bit-identically
+  instead of re-running the task;
+* ``sweep-resume`` — a new run merged outcomes from a previous ledger:
+  the verified fingerprint plus reused/pending counts.  Dropped by
+  :func:`strip_record` — whether a sweep was interrupted is a
+  wall-clock accident, not a property of the work;
 * ``heartbeat`` — progress every ``heartbeat_every`` completed tasks:
   completed/total plus throughput and ETA;
 * ``stall`` — a task whose latency exceeded ``stall_factor`` × the
@@ -59,12 +68,14 @@ __all__ = [
     "LEDGER_KINDS",
     "WALL_ONLY_KINDS",
     "KIND_SWEEP_START",
+    "KIND_SWEEP_RESUME",
     "KIND_TASK_OUTCOME",
     "KIND_HEARTBEAT",
     "KIND_STALL",
     "KIND_WORKER_RESTART",
     "KIND_CACHE_EVENT",
     "KIND_SWEEP_END",
+    "journalable_value",
     "LedgerWriter",
     "iter_ledger",
     "load_ledger",
@@ -77,6 +88,7 @@ __all__ = [
 LEDGER_SCHEMA = 1
 
 KIND_SWEEP_START = "sweep-start"
+KIND_SWEEP_RESUME = "sweep-resume"
 KIND_TASK_OUTCOME = "task-outcome"
 KIND_HEARTBEAT = "heartbeat"
 KIND_STALL = "stall"
@@ -86,6 +98,7 @@ KIND_SWEEP_END = "sweep-end"
 
 LEDGER_KINDS: Tuple[str, ...] = (
     KIND_SWEEP_START,
+    KIND_SWEEP_RESUME,
     KIND_TASK_OUTCOME,
     KIND_HEARTBEAT,
     KIND_STALL,
@@ -94,10 +107,12 @@ LEDGER_KINDS: Tuple[str, ...] = (
     KIND_SWEEP_END,
 )
 
-#: Kinds whose very *existence* depends on wall-clock readings (a stall
-#: only happens when the host is slow); stripping drops them entirely,
-#: where ordinary records merely lose their ``wall`` section.
-WALL_ONLY_KINDS = frozenset({KIND_STALL})
+#: Kinds whose very *existence* depends on wall-clock accidents (a stall
+#: only happens when the host is slow; a resume only happens after an
+#: interrupted run); stripping drops them entirely, where ordinary
+#: records merely lose their ``wall`` section — so a resumed sweep
+#: strips byte-identical to an uninterrupted one.
+WALL_ONLY_KINDS = frozenset({KIND_STALL, KIND_SWEEP_RESUME})
 
 #: Same spread as the batch runtime's task-latency histogram: sweeps mix
 #: sub-millisecond bench cells with multi-second full-sweep audit cells.
@@ -113,6 +128,28 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
     10.0,
     60.0,
 )
+
+#: Sentinel distinguishing "no value journaled" from a journaled ``None``.
+_OMITTED = object()
+
+
+def journalable_value(value: Any) -> Any:
+    """``value`` if it survives an exact canonical-JSON round trip, else
+    the omission sentinel.
+
+    The resume path reconstructs ``ok`` outcomes from journaled values,
+    and the reconstruction must be *bit-identical* to the original —
+    so a value is journaled only when ``json.loads(canonical_json(v))``
+    compares equal to ``v``.  That rejects tuples (decode as lists),
+    NaN (never equal to itself), non-string dict keys (coerced by JSON)
+    and anything unserialisable; such outcomes are simply re-run on
+    resume, which is equally correct because tasks are deterministic.
+    """
+    try:
+        decoded = json.loads(canonical_json(value))
+    except (TypeError, ValueError):
+        return _OMITTED
+    return value if decoded == value else _OMITTED
 
 
 class LedgerWriter:
@@ -210,7 +247,21 @@ class LedgerWriter:
             self._sweeps[label] = state
         return state
 
-    def sweep_start(self, label: str, *, tasks: int, jobs: int = 1) -> None:
+    def sweep_start(
+        self,
+        label: str,
+        *,
+        tasks: int,
+        jobs: int = 1,
+        fingerprint: Optional[str] = None,
+        shards: Optional[int] = None,
+    ) -> None:
+        """Open a sweep.  ``fingerprint`` (the batch runtime's
+        :func:`~repro.parallel.shard.sweep_fingerprint`) is what a later
+        ``run_batch(resume_from=…)`` verifies before merging outcomes;
+        ``shards`` records a sharded executor's topology.  Both are
+        deterministic and omitted rather than journaled as ``null``, so
+        pre-existing record shapes are unchanged."""
         self._sweeps[label] = {
             "total": tasks,
             "ok": 0,
@@ -218,16 +269,47 @@ class LedgerWriter:
             "restarts": 0,
             "started": time.perf_counter(),
         }
-        self.record(
-            {
-                "schema": LEDGER_SCHEMA,
-                "kind": KIND_SWEEP_START,
-                "label": label,
-                "tasks": tasks,
-                "jobs": jobs,
-                "provenance": {"repro_version": __version__},
-            }
-        )
+        record: Dict[str, Any] = {
+            "schema": LEDGER_SCHEMA,
+            "kind": KIND_SWEEP_START,
+            "label": label,
+            "tasks": tasks,
+            "jobs": jobs,
+            "provenance": {"repro_version": __version__},
+        }
+        if fingerprint is not None:
+            record["fingerprint"] = fingerprint
+        if shards is not None:
+            record["shards"] = shards
+        self.record(record)
+
+    def sweep_resume(
+        self,
+        label: str,
+        *,
+        fingerprint: Optional[str],
+        tasks: int,
+        reused: int,
+        pending: int,
+    ) -> None:
+        """A new run merged this label's outcomes from a previous ledger.
+
+        Journaled for the operator (how much work the resume saved) and
+        dropped by :func:`strip_record`: whether a sweep was interrupted
+        is a scheduling accident, and a resumed run must strip to the
+        same bytes as an uninterrupted one.
+        """
+        record: Dict[str, Any] = {
+            "schema": LEDGER_SCHEMA,
+            "kind": KIND_SWEEP_RESUME,
+            "label": label,
+            "tasks": tasks,
+            "reused": reused,
+            "pending": pending,
+        }
+        if fingerprint is not None:
+            record["fingerprint"] = fingerprint
+        self.record(record)
 
     def record_outcome(
         self,
@@ -239,6 +321,7 @@ class LedgerWriter:
         seconds: float = 0.0,
         error: Optional[Dict[str, Any]] = None,
         detail: Optional[Dict[str, Any]] = None,
+        value: Any = _OMITTED,
     ) -> None:
         """One task's outcome, plus any heartbeat/stall it triggers.
 
@@ -246,6 +329,10 @@ class LedgerWriter:
         is deterministic; ``detail`` is the caller's structured
         attribution (the audit stamps ``{contract, m, n, source}`` so
         ledger lines reconcile against ``AUDIT_contracts.json``).
+        ``value`` — when passed — is journaled verbatim; it must already
+        be canonical-JSON-safe (:meth:`task_outcome` screens through
+        :func:`journalable_value`), and is what the resume path
+        reconstructs ``ok`` outcomes from.
         """
         state = self._state(label)
         record: Dict[str, Any] = {
@@ -260,6 +347,8 @@ class LedgerWriter:
         }
         if detail is not None:
             record["detail"] = detail
+        if value is not _OMITTED:
+            record["value"] = value
         self.record(record)
         # stall check against the latency distribution *before* this
         # sample — an outlier must not be allowed to raise its own bar
@@ -320,7 +409,13 @@ class LedgerWriter:
             )
 
     def task_outcome(self, label: str, outcome, *, detail=None) -> None:
-        """Adapter for a :class:`~repro.parallel.batch.TaskOutcome`."""
+        """Adapter for a :class:`~repro.parallel.batch.TaskOutcome`.
+
+        ``ok`` outcomes whose value survives an exact canonical-JSON
+        round trip are journaled *with* the value, making the line fully
+        replayable by ``run_batch(resume_from=…)``; everything else
+        journals without one and is simply re-run on resume.
+        """
         error = None
         if outcome.error is not None:
             error = {
@@ -328,6 +423,7 @@ class LedgerWriter:
                 "exception_type": outcome.error.exception_type,
                 "message": outcome.error.message,
             }
+        value = journalable_value(outcome.value) if outcome.ok else _OMITTED
         self.record_outcome(
             label,
             index=outcome.index,
@@ -336,6 +432,7 @@ class LedgerWriter:
             seconds=outcome.seconds,
             error=error,
             detail=detail,
+            value=value,
         )
 
     def worker_restart(self, label: str, count: int = 1) -> None:

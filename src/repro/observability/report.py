@@ -39,6 +39,7 @@ from .ledger import (
     KIND_HEARTBEAT,
     KIND_STALL,
     KIND_SWEEP_END,
+    KIND_SWEEP_RESUME,
     KIND_SWEEP_START,
     KIND_TASK_OUTCOME,
     KIND_WORKER_RESTART,
@@ -108,6 +109,8 @@ def summarize_ledgers(
                 "cache": None,
                 "_seconds": [],
                 "_stalls": 0,
+                "_resumes": 0,
+                "_reused": 0,
             },
         )
 
@@ -141,6 +144,10 @@ def summarize_ledgers(
             sweep(label)["heartbeats"] += 1
         elif kind == KIND_STALL:
             sweep(label)["_stalls"] += 1
+        elif kind == KIND_SWEEP_RESUME:
+            state = sweep(label)
+            state["_resumes"] += 1
+            state["_reused"] += record.get("reused") or 0
         elif kind == KIND_WORKER_RESTART:
             state = sweep(label)
             state["worker_restarts"] = max(
@@ -167,6 +174,8 @@ def summarize_ledgers(
         state = sweeps[label]
         seconds = sorted(state.pop("_seconds"))
         stalls = state.pop("_stalls")
+        resumes = state.pop("_resumes")
+        reused = state.pop("_reused")
         entry: Dict[str, Any] = {
             key: state[key]
             for key in (
@@ -184,6 +193,8 @@ def summarize_ledgers(
             entry["sources"] = dict(sorted(state["sources"].items()))
         if state["cache"] is not None:
             entry["cache"] = state["cache"]
+        if resumes:
+            entry["resumes"] = {"count": resumes, "reused": reused}
         latency = None
         if seconds:
             latency = {
@@ -243,6 +254,12 @@ def render_summary(summary: Dict[str, Any]) -> List[str]:
                 "    cache counters: "
                 + ", ".join(f"{k}={cache[k]}" for k in sorted(cache))
             )
+        if "resumes" in sweep:
+            resumes = sweep["resumes"]
+            lines.append(
+                f"    resumed {resumes['count']}x, "
+                f"{resumes['reused']} outcomes replayed from the ledger"
+            )
         wall = sweep.get("wall", {})
         latency = wall.get("latency_seconds")
         if latency is not None:
@@ -293,6 +310,131 @@ def _metric_cells(
     return cells
 
 
+def _parallel_env(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The host facts a wall-clock speedup is a function of."""
+    return {
+        "cpu_count": payload.get("cpu_count"),
+        "process_cpu_count": payload.get(
+            "process_cpu_count", payload.get("cpu_count")
+        ),
+        "jobs": payload.get("jobs"),
+        "topology": payload.get("topology"),
+    }
+
+
+def _compare_parallel(
+    run: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    tolerance: float,
+) -> Dict[str, Any]:
+    """Verdicts for two ``parallel`` bench payloads (wall-clock sweeps).
+
+    A parallel speedup is a property of the host's core count, not of
+    the code, so cells measured on hosts with different core counts are
+    ``incomparable`` — never ``regressed``.  The recorded
+    ``environment`` block says exactly which facts disagreed.
+    """
+    run_sweeps = run.get("sweeps") or {}
+    base_sweeps = baseline.get("sweeps") or {}
+    base_speeds = [
+        s.get("speedup")
+        for s in base_sweeps.values()
+        if _is_number(s.get("speedup"))
+    ]
+    baseline_invalid = not base_speeds
+    run_env = _parallel_env(run)
+    base_env = _parallel_env(baseline)
+    comparable = (
+        not baseline_invalid
+        and run_env["cpu_count"] == base_env["cpu_count"]
+        and run_env["process_cpu_count"] == base_env["process_cpu_count"]
+    )
+    rows: List[Dict[str, Any]] = []
+    for label in sorted(set(run_sweeps) | set(base_sweeps)):
+        row: Dict[str, Any] = {
+            "engine": "parallel",
+            "workload": label,
+            "metric": "speedup",
+            "n": "-",
+        }
+        base_speed = (base_sweeps.get(label) or {}).get("speedup")
+        run_speed = (run_sweeps.get(label) or {}).get("speedup")
+        if not _is_number(base_speed):
+            row.update(
+                baseline=None,
+                measured=run_speed if _is_number(run_speed) else None,
+                floor=None,
+                verdict="new",
+            )
+        elif not _is_number(run_speed):
+            row.update(
+                baseline=base_speed, measured=None, floor=None,
+                verdict="missing",
+            )
+        elif not comparable:
+            row.update(
+                baseline=base_speed, measured=run_speed, floor=None,
+                verdict="incomparable",
+            )
+        else:
+            floor = round(tolerance * base_speed, 4)
+            row.update(
+                n="-",
+                baseline=base_speed,
+                measured=run_speed,
+                floor=floor,
+                ratio=(
+                    round(run_speed / base_speed, 4) if base_speed else None
+                ),
+                verdict="regressed" if run_speed < floor else "ok",
+            )
+        rows.append(row)
+    run_speeds = [
+        s.get("speedup")
+        for s in run_sweeps.values()
+        if _is_number(s.get("speedup"))
+    ]
+    top: Dict[str, Any] = {
+        "metric": "min_sweep_speedup",
+        "baseline": None if baseline_invalid else round(min(base_speeds), 4),
+        "measured": round(min(run_speeds), 4) if run_speeds else None,
+        "floor": None,
+    }
+    if baseline_invalid:
+        top["verdict"] = "baseline-invalid"
+    elif not run_speeds:
+        top["verdict"] = "missing"
+    elif not comparable:
+        top["verdict"] = "incomparable"
+    else:
+        top["floor"] = round(tolerance * top["baseline"], 4)
+        top["verdict"] = (
+            "regressed" if top["measured"] < top["floor"] else "ok"
+        )
+    regressions = [
+        f"{row['engine']}/{row['workload']}: {row['metric']} "
+        f"{row['measured']} < floor {row['floor']} "
+        f"(baseline {row['baseline']}, tolerance {tolerance})"
+        for row in rows
+        if row["verdict"] == "regressed"
+    ]
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "tolerance": tolerance,
+        "baseline_invalid": baseline_invalid,
+        "environment": {
+            "run": run_env,
+            "baseline": base_env,
+            "comparable": comparable,
+        },
+        "top": top,
+        "rows": rows,
+        "regressed": any(row["verdict"] == "regressed" for row in rows),
+        "regressions": regressions,
+    }
+
+
 def compare_bench(
     run: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -308,9 +450,21 @@ def compare_bench(
     what fell below the floor and by how much.  ``baseline_invalid``
     (missing/non-numeric/non-positive ``top_n_speedup``) is propagated
     explicitly — it can never read as a pass.
+
+    ``parallel`` bench payloads (wall-clock serial-vs-parallel sweeps)
+    are compared cell-by-cell on their sweep speedups instead, with an
+    ``environment`` block recording both hosts' core counts; cells from
+    hosts with different core counts come back ``incomparable``, never
+    ``regressed`` — a wall-clock ratio measured on a different machine
+    is not a regression signal.
     """
     if not 0.0 < tolerance <= 1.0:
         raise ValueError(f"tolerance must be in (0, 1], got {tolerance}")
+    if (
+        run.get("benchmark") == "parallel"
+        or baseline.get("benchmark") == "parallel"
+    ):
+        return _compare_parallel(run, baseline, tolerance=tolerance)
     base_top = (baseline.get("summary") or {}).get("top_n_speedup")
     baseline_invalid = not _is_number(base_top) or base_top <= 0
     measured_top = (run.get("summary") or {}).get("top_n_speedup")
@@ -424,6 +578,16 @@ def render_comparison(comparison: Dict[str, Any]) -> List[str]:
     }
     lines = []
     top = comparison["top"]
+    env = comparison.get("environment")
+    if env is not None and not env["comparable"] and not comparison[
+        "baseline_invalid"
+    ]:
+        lines.append(
+            "  note: wall-clock sweeps measured on different hosts "
+            f"(run: {env['run']['cpu_count']} cores, baseline: "
+            f"{env['baseline']['cpu_count']} cores) — speedup cells are "
+            "incomparable, not regressions"
+        )
     if comparison["baseline_invalid"]:
         lines.append(
             "  [?? ] baseline invalid: no positive top_n_speedup — "

@@ -1,20 +1,42 @@
 """Deterministic parallel batch runtime for sweeps, trials and censuses.
 
-One API — :func:`run_batch` — two executors:
+One API — :func:`run_batch` — pluggable executor adapters
+(:class:`ExecutorAdapter`: ``submit`` / ``collect`` / ``shutdown`` plus
+:class:`ExecutorCapabilities` flags):
 
 * :class:`SerialExecutor` — in-process, the default everywhere and the
-  oracle the parallel path is differentially tested against;
+  oracle the parallel paths are differentially tested against;
 * :class:`ParallelExecutor` — ``ProcessPoolExecutor``-backed fan-out with
   worker-crash containment (quarantine retries, structured
-  ``worker-crash`` errors) and per-worker warm-up.
+  ``worker-crash`` errors) and per-worker warm-up;
+* :class:`ShardExecutor` — the same pool chunked along content-addressed
+  shard boundaries (:func:`plan_shards` / ``repro shard plan``), so an
+  in-process run executes the exact units a CI matrix spreads over K
+  jobs.
 
 The determinism contract — per-task ``random.Random`` streams derived
 from ``(batch seed, task index)``, outcomes ordered by task index,
 chunking invisible in results — makes ``jobs=K`` a pure wall-clock knob:
 ``python -m repro audit --jobs 4`` writes the same bytes as the serial
-run.  See DESIGN.md §6 ("The parallel runtime").
+run, and ``repro audit --shards 3 --shard-index i`` + ``repro shard
+collect`` reassembles them.  See DESIGN.md §6 ("The parallel runtime")
+and §10 ("The executor adapters").
+
+Sweeps journaled to a ledger carry a :func:`sweep_fingerprint` in their
+``sweep-start``; ``run_batch(resume_from=ledger)`` verifies it and
+re-dispatches only the indices that never landed ``ok`` — bit-identical
+to an uninterrupted run (:mod:`~repro.parallel.resume`).
 """
 
+from .adapters import (
+    ExecutorAdapter,
+    ExecutorCapabilities,
+    JOBS_ENV_VAR,
+    ParallelExecutor,
+    SerialExecutor,
+    default_jobs,
+    run_batch,
+)
 from .batch import (
     ERROR_DISPATCH,
     ERROR_EXCEPTION,
@@ -27,11 +49,14 @@ from .batch import (
     derive_task_rng,
     normalize_seed,
 )
-from .executors import (
-    ParallelExecutor,
-    SerialExecutor,
-    default_jobs,
-    run_batch,
+from .resume import ResumeState, load_resume_state, resolve_resume
+from .shard import (
+    ShardExecutor,
+    ShardSpec,
+    plan_shards,
+    shard_indices,
+    sweep_fingerprint,
+    task_fingerprint,
 )
 
 __all__ = [
@@ -39,13 +64,25 @@ __all__ = [
     "TaskError",
     "TaskOutcome",
     "BatchResult",
+    "ExecutorAdapter",
+    "ExecutorCapabilities",
     "SerialExecutor",
     "ParallelExecutor",
+    "ShardExecutor",
+    "ShardSpec",
+    "plan_shards",
+    "shard_indices",
+    "task_fingerprint",
+    "sweep_fingerprint",
+    "ResumeState",
+    "load_resume_state",
+    "resolve_resume",
     "run_batch",
     "derive_task_rng",
     "derive_lane_rng",
     "normalize_seed",
     "default_jobs",
+    "JOBS_ENV_VAR",
     "ERROR_EXCEPTION",
     "ERROR_WORKER_CRASH",
     "ERROR_DISPATCH",

@@ -1,480 +1,32 @@
-"""Serial and multiprocess batch executors sharing one ``run_batch`` API.
+"""Back-compat shim: the executors live in :mod:`repro.parallel.adapters`.
 
-:class:`SerialExecutor` runs every task in-process, in order — the
-default everywhere and the oracle the parallel path is tested against.
-:class:`ParallelExecutor` fans the same tasks out over a
-``concurrent.futures.ProcessPoolExecutor`` and reassembles outcomes by
-task index, so the two are interchangeable:
-
-    result = run_batch(tasks, jobs=4, seed=0)   # == run_batch(tasks) bit-for-bit
-
-Determinism contract (what the differential tests pin):
-
-* per-task randomness comes only from
-  :func:`~repro.parallel.batch.derive_task_rng` — a function of the batch
-  seed and the task *index*, never of the worker or completion order;
-* outcomes are ordered by task index regardless of completion order;
-* chunking (``chunk_size``) affects dispatch overhead only, never results.
-
-Worker-crash containment: a Python exception inside a task is caught in
-the worker and returned as a structured :class:`~repro.parallel.batch.TaskError`
-— it never breaks the pool.  A worker that *dies* (SIGKILL, segfault,
-``os._exit``) breaks the pool; the executor then rebuilds it and enters a
-quarantine pass that re-runs every unfinished task one at a time in a
-single-worker pool, so the culprit is identified exactly: the task whose
-solo run keeps killing its worker is retried up to ``max_retries`` times
-and then reported as a ``worker-crash`` error, while innocent tasks that
-merely shared the broken pool complete normally.  The batch always
-finishes with one outcome per task, in order.
-
-Compiled-machine caches are never pickled (see
-``TuringMachine.__getstate__``): workers receive bare machines and
-rebuild ``_compiled_steps`` / ``_transition_index`` lazily on first use.
-For hot sweeps a picklable ``warmup`` callable can be passed to
-``run_batch`` — it runs once per worker process (and once, in-process,
-for the serial executor) before any task.
-
-Observability: pass ``registry`` (a
-:class:`~repro.observability.metrics.MetricsRegistry`) and/or ``tracer``
-(a :class:`~repro.observability.trace.Tracer`) to get a ``batch:<label>``
-span per sweep, ``batch_tasks_dispatched`` / ``batch_tasks_completed`` /
-``batch_tasks_failed`` / ``batch_worker_restarts`` counters and a
-``batch_task_seconds`` latency histogram, all labelled ``batch=<label>``.
-Pass ``ledger`` (a :class:`~repro.observability.ledger.LedgerWriter`,
-duck-typed — this module never imports it) to additionally journal the
-sweep durably: one ``sweep-start``, one ``task-outcome`` per
-:class:`~repro.parallel.batch.TaskOutcome` (with heartbeat/stall
-telemetry), one ``worker-restart`` per pool rebuild and one
-``sweep-end`` carrying the registry snapshot.
+The PR that introduced the executor-adapter protocol split this module
+three ways — :mod:`~repro.parallel.adapters` (the protocol, the serial
+and process-pool adapters, the shared ``run_batch`` lifecycle),
+:mod:`~repro.parallel.shard` (content-addressed sharding) and
+:mod:`~repro.parallel.resume` (ledger-driven resume).  Import from the
+package root (``repro.parallel``) going forward; this module re-exports
+the old names so existing imports keep working.
 """
 
-from __future__ import annotations
-
-import multiprocessing
-import os
-import time
-from concurrent.futures import BrokenExecutor, FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
-
-from ..errors import ReproError
-from .batch import (
-    ERROR_DISPATCH,
-    ERROR_WORKER_CRASH,
-    BatchResult,
-    BatchTask,
-    TaskError,
-    TaskOutcome,
-    execute_chunk,
-    execute_one,
+from .adapters import (  # noqa: F401
+    CATEGORY_BATCH,
+    JOBS_ENV_VAR,
+    LATENCY_BUCKETS,
+    ExecutorAdapter,
+    ExecutorCapabilities,
+    ParallelExecutor,
+    SerialExecutor,
+    _Instruments,
+    default_jobs,
+    run_batch,
 )
 
-__all__ = ["SerialExecutor", "ParallelExecutor", "run_batch", "default_jobs"]
-
-#: Span category for batch sweeps (mirrors the constants in
-#: :mod:`~repro.observability.trace` without importing it eagerly).
-CATEGORY_BATCH = "batch"
-
-#: Latency buckets in seconds: batch cells range from sub-millisecond
-#: benchmark steps to multi-second full-sweep audit cells.
-LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.001,
-    0.005,
-    0.01,
-    0.05,
-    0.1,
-    0.5,
-    1.0,
-    5.0,
-    10.0,
-    60.0,
-)
-
-
-def default_jobs() -> int:
-    """The worker count ``jobs=None`` resolves to: every visible core."""
-    return os.cpu_count() or 1
-
-
-def _chunked(
-    indexed: Sequence[Tuple[int, BatchTask]], chunk_size: int
-) -> List[List[Tuple[int, BatchTask]]]:
-    return [
-        list(indexed[i : i + chunk_size])
-        for i in range(0, len(indexed), chunk_size)
-    ]
-
-
-class _Instruments:
-    """The batch's metrics/tracing/ledger hooks, no-ops when nothing is
-    attached — each layer costs one ``is None`` test per call site."""
-
-    def __init__(self, registry, tracer, label: str, ledger=None):
-        self.label = label
-        self.tracer = tracer
-        self.ledger = ledger
-        self.registry = registry
-        self.span = None
-        if registry is not None:
-            self.dispatched = registry.counter(
-                "batch_tasks_dispatched",
-                "tasks handed to an executor (retries re-count)",
-            )
-            self.completed = registry.counter(
-                "batch_tasks_completed", "tasks that returned a value"
-            )
-            self.failed = registry.counter(
-                "batch_tasks_failed", "tasks that ended in a structured error"
-            )
-            self.restarts = registry.counter(
-                "batch_worker_restarts", "process-pool rebuilds after a crash"
-            )
-            self.latency = registry.histogram(
-                "batch_task_seconds",
-                "per-task wall clock measured inside the worker",
-                buckets=LATENCY_BUCKETS,
-            )
-        else:
-            self.dispatched = None
-
-    def open_span(self, tasks: int, jobs: int) -> None:
-        if self.tracer is not None:
-            self.span = self.tracer.begin(
-                f"batch:{self.label}", CATEGORY_BATCH, tasks=tasks, jobs=jobs
-            )
-        if self.ledger is not None:
-            self.ledger.sweep_start(self.label, tasks=tasks, jobs=jobs)
-
-    def close_span(self, result: BatchResult) -> None:
-        if self.span is not None:
-            self.tracer.end(
-                self.span,
-                completed=sum(1 for o in result.outcomes if o.ok),
-                failed=len(result.errors),
-                worker_restarts=result.worker_restarts,
-            )
-            self.span = None
-        if self.ledger is not None:
-            self.ledger.sweep_end(
-                self.label,
-                metrics=(
-                    self.registry.snapshot()
-                    if self.registry is not None
-                    else None
-                ),
-            )
-
-    def on_dispatched(self, count: int) -> None:
-        if self.dispatched is not None:
-            self.dispatched.inc(count, batch=self.label)
-
-    def on_outcome(self, outcome: TaskOutcome) -> None:
-        if self.dispatched is not None:
-            if outcome.ok:
-                self.completed.inc(batch=self.label)
-            else:
-                self.failed.inc(batch=self.label)
-            self.latency.observe(outcome.seconds, batch=self.label)
-        if self.ledger is not None:
-            self.ledger.task_outcome(self.label, outcome)
-
-    def on_restart(self) -> None:
-        if self.dispatched is not None:
-            self.restarts.inc(batch=self.label)
-        if self.ledger is not None:
-            self.ledger.worker_restart(self.label)
-
-
-class SerialExecutor:
-    """In-process batch execution: the default path and the test oracle."""
-
-    jobs = 1
-
-    def run_batch(
-        self,
-        tasks: Sequence[BatchTask],
-        *,
-        seed: Any = 0,
-        chunk_size: Optional[int] = None,  # accepted for API parity; unused
-        label: str = "batch",
-        registry=None,
-        tracer=None,
-        ledger=None,
-        warmup: Optional[Callable[[], Any]] = None,
-    ) -> BatchResult:
-        tasks = tuple(tasks)
-        instruments = _Instruments(registry, tracer, label, ledger)
-        instruments.open_span(len(tasks), 1)
-        started = time.perf_counter()
-        if warmup is not None:
-            warmup()
-        outcomes = []
-        for index, task in enumerate(tasks):
-            instruments.on_dispatched(1)
-            outcome = execute_one(index, task, seed)
-            instruments.on_outcome(outcome)
-            outcomes.append(outcome)
-        result = BatchResult(
-            outcomes=tuple(outcomes),
-            jobs=1,
-            worker_restarts=0,
-            elapsed_seconds=time.perf_counter() - started,
-        )
-        instruments.close_span(result)
-        return result
-
-
-def _warmup_initializer(warmup: Optional[Callable[[], Any]]) -> None:
-    if warmup is not None:
-        warmup()
-
-
-class ParallelExecutor:
-    """Multiprocess batch execution over a ``ProcessPoolExecutor``.
-
-    ``jobs=None`` means one worker per visible core.  ``start_method``
-    defaults to ``fork`` where available (cheap workers that inherit
-    ``sys.path``) and falls back to ``spawn``; either way task arguments
-    and results cross the process boundary pickled, so machines ship
-    *without* their compiled caches.
-    """
-
-    def __init__(
-        self,
-        jobs: Optional[int] = None,
-        *,
-        max_retries: int = 2,
-        start_method: Optional[str] = None,
-    ):
-        if jobs is not None and jobs < 1:
-            raise ReproError(f"jobs must be >= 1, got {jobs}")
-        if max_retries < 0:
-            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
-        self.jobs = jobs if jobs is not None else default_jobs()
-        self.max_retries = max_retries
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        self._context = multiprocessing.get_context(start_method)
-
-    # -- pool plumbing -----------------------------------------------------
-
-    def _new_pool(
-        self, workers: int, warmup: Optional[Callable[[], Any]]
-    ) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=self._context,
-            initializer=_warmup_initializer,
-            initargs=(warmup,),
-        )
-
-    @staticmethod
-    def _dispatch_error(index: int, exc: BaseException, attempts: int) -> TaskOutcome:
-        return TaskOutcome(
-            index=index,
-            ok=False,
-            error=TaskError(
-                kind=ERROR_DISPATCH,
-                exception_type=type(exc).__name__,
-                message=str(exc),
-            ),
-            attempts=attempts,
-        )
-
-    @staticmethod
-    def _crash_error(index: int, attempts: int) -> TaskOutcome:
-        return TaskOutcome(
-            index=index,
-            ok=False,
-            error=TaskError(
-                kind=ERROR_WORKER_CRASH,
-                exception_type="BrokenProcessPool",
-                message=(
-                    f"worker died while running task {index} "
-                    f"({attempts} attempts)"
-                ),
-            ),
-            attempts=attempts,
-        )
-
-    # -- the batch ---------------------------------------------------------
-
-    def run_batch(
-        self,
-        tasks: Sequence[BatchTask],
-        *,
-        seed: Any = 0,
-        chunk_size: Optional[int] = None,
-        label: str = "batch",
-        registry=None,
-        tracer=None,
-        ledger=None,
-        warmup: Optional[Callable[[], Any]] = None,
-    ) -> BatchResult:
-        tasks = tuple(tasks)
-        instruments = _Instruments(registry, tracer, label, ledger)
-        workers = min(self.jobs, max(1, len(tasks)))
-        instruments.open_span(len(tasks), workers)
-        started = time.perf_counter()
-        outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
-        restarts = 0
-        if tasks:
-            indexed = list(enumerate(tasks))
-            if chunk_size is None:
-                # a few chunks per worker: large enough to amortize IPC,
-                # small enough to balance uneven cells
-                chunk_size = max(1, -(-len(tasks) // (workers * 4)))
-            elif chunk_size < 1:
-                raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
-            chunks = _chunked(indexed, chunk_size)
-            restarts = self._run_chunks(
-                chunks, seed, workers, warmup, outcomes, instruments
-            )
-        result = BatchResult(
-            outcomes=tuple(outcomes),  # type: ignore[arg-type]
-            jobs=workers,
-            worker_restarts=restarts,
-            elapsed_seconds=time.perf_counter() - started,
-        )
-        instruments.close_span(result)
-        return result
-
-    def _run_chunks(
-        self,
-        chunks: List[List[Tuple[int, BatchTask]]],
-        seed: Any,
-        workers: int,
-        warmup: Optional[Callable[[], Any]],
-        outcomes: List[Optional[TaskOutcome]],
-        instruments: _Instruments,
-    ) -> int:
-        """Optimistic pass over all chunks; quarantine whatever a crash
-        leaves unfinished.  Returns the pool-restart count."""
-        pool = self._new_pool(workers, warmup)
-        broken = False
-        try:
-            futures = {}
-            for chunk in chunks:
-                instruments.on_dispatched(len(chunk))
-                futures[pool.submit(execute_chunk, (seed, chunk))] = chunk
-            pending = set(futures)
-            unfinished: List[Tuple[int, BatchTask]] = []
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    chunk = futures[future]
-                    try:
-                        records = future.result()
-                    except BrokenExecutor:
-                        broken = True
-                        unfinished.extend(chunk)
-                    except Exception as exc:
-                        # the chunk could not cross the process boundary
-                        # (unpicklable task or result); every task in it
-                        # gets the same structured dispatch error
-                        for index, _task in chunk:
-                            outcome = self._dispatch_error(index, exc, 1)
-                            outcomes[index] = outcome
-                            instruments.on_outcome(outcome)
-                    else:
-                        for outcome in records:
-                            outcomes[outcome.index] = outcome
-                            instruments.on_outcome(outcome)
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
-        if not broken:
-            return 0
-        instruments.on_restart()
-        unfinished.sort(key=lambda pair: pair[0])
-        return 1 + self._quarantine(
-            unfinished, seed, warmup, outcomes, instruments
-        )
-
-    def _quarantine(
-        self,
-        remaining: List[Tuple[int, BatchTask]],
-        seed: Any,
-        warmup: Optional[Callable[[], Any]],
-        outcomes: List[Optional[TaskOutcome]],
-        instruments: _Instruments,
-    ) -> int:
-        """Post-crash recovery: one task at a time in a one-worker pool.
-
-        Solo execution attributes crashes exactly — only the task whose
-        own run breaks the pool is charged an attempt, so an innocent
-        task can never exhaust another task's retries.
-        """
-        restarts = 0
-        pool = self._new_pool(1, warmup)
-        try:
-            for index, task in remaining:
-                attempts = 0
-                while True:
-                    attempts += 1
-                    instruments.on_dispatched(1)
-                    future = pool.submit(execute_chunk, (seed, [(index, task)]))
-                    try:
-                        outcome = future.result()[0]
-                        outcome = TaskOutcome(
-                            index=outcome.index,
-                            ok=outcome.ok,
-                            value=outcome.value,
-                            error=outcome.error,
-                            attempts=attempts,
-                            seconds=outcome.seconds,
-                        )
-                    except BrokenExecutor:
-                        restarts += 1
-                        instruments.on_restart()
-                        pool.shutdown(wait=True, cancel_futures=True)
-                        pool = self._new_pool(1, warmup)
-                        if attempts > self.max_retries:
-                            outcome = self._crash_error(index, attempts)
-                        else:
-                            continue
-                    except Exception as exc:
-                        outcome = self._dispatch_error(index, exc, attempts)
-                    outcomes[index] = outcome
-                    instruments.on_outcome(outcome)
-                    break
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
-        return restarts
-
-
-def run_batch(
-    tasks: Sequence[BatchTask],
-    *,
-    jobs: int = 1,
-    seed: Any = 0,
-    chunk_size: Optional[int] = None,
-    max_retries: int = 2,
-    label: str = "batch",
-    registry=None,
-    tracer=None,
-    ledger=None,
-    warmup: Optional[Callable[[], Any]] = None,
-) -> BatchResult:
-    """Run ``tasks`` serially (``jobs=1``, the default) or in parallel.
-
-    The convenience entry point every call site uses: picks
-    :class:`SerialExecutor` or :class:`ParallelExecutor` from ``jobs``
-    (``jobs=0`` or ``None``-like negative values are rejected; pass
-    ``jobs=default_jobs()`` for one worker per core) and forwards the
-    shared keyword surface.  Results are bit-identical across any
-    ``jobs`` for tasks that follow the determinism contract.
-    """
-    if jobs == 1:
-        executor = SerialExecutor()
-    else:
-        executor = ParallelExecutor(jobs, max_retries=max_retries)
-    return executor.run_batch(
-        tasks,
-        seed=seed,
-        chunk_size=chunk_size,
-        label=label,
-        registry=registry,
-        tracer=tracer,
-        ledger=ledger,
-        warmup=warmup,
-    )
+__all__ = [
+    "ExecutorAdapter",
+    "ExecutorCapabilities",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "run_batch",
+    "default_jobs",
+]

@@ -1,0 +1,191 @@
+"""Resume a sweep from its ledger: re-run only what never landed.
+
+PR 8's sweep ledger journals one ``task-outcome`` line per completed
+task, flushed as it happens — so a crashed sweep leaves behind exactly
+the work it finished.  This module turns such a ledger back into
+dispatchable state:
+
+* :func:`load_resume_state` parses a ledger (path, lines or pre-loaded
+  records) into a :class:`ResumeState`: the journaled sweep fingerprint,
+  task count, and every outcome that landed ``ok`` *with* a journaled
+  value.  The ledger reader already tolerates a truncated final line (a
+  crash mid-write), and a ledger with no ``sweep-end`` is the normal
+  crashed-run case, not an error;
+* :func:`resolve_resume` applies the safety policy before any merge:
+  the current batch's :func:`~repro.parallel.shard.sweep_fingerprint`
+  must equal the journaled one — same tasks, same order, same seed,
+  same code version — otherwise resuming is refused with
+  :class:`~repro.errors.ReproError`.  No fingerprint on either side
+  also refuses: an unverifiable resume is a silent-corruption machine.
+
+Reuse policy — which outcomes count as *landed*:
+
+* ``ok`` outcomes whose record carries a ``value`` field (the writer
+  journals values that survive an exact canonical-JSON round trip).
+  These are reconstructed bit-identically;
+* ``ok`` outcomes *without* a journaled value (unserialisable results,
+  e.g. the census's frozensets) are re-run — cheap insurance that keeps
+  the merged outcome list bit-identical, since tasks are deterministic;
+* failed outcomes are re-run: a resume is a retry.
+
+Resume-after-resume is idempotent: a resumed run journals the same
+``task-outcome`` lines (replayed reused ones included), so resuming
+from *its* ledger reuses everything and dispatches nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Optional, Union
+
+from ..errors import ReproError
+from .batch import TaskOutcome
+
+__all__ = ["ResumeState", "load_resume_state", "resolve_resume"]
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """What a previous run's ledger proves about one sweep label.
+
+    ``completed`` maps task index → reconstructed ``ok`` outcome
+    (journaled value present); ``seen`` is every index with *any*
+    outcome record (failures included); ``finished`` records whether a
+    ``sweep-end`` landed (an uninterrupted run) — informational, the
+    merge policy only consults ``completed``.
+    """
+
+    label: str
+    fingerprint: Optional[str]
+    total: Optional[int]
+    completed: Dict[int, TaskOutcome]
+    seen: FrozenSet[int]
+    finished: bool
+
+    @property
+    def found_sweep(self) -> bool:
+        return self.total is not None or bool(self.seen) or self.finished
+
+
+def load_resume_state(
+    source: Union[str, Path, Iterable[str], "ResumeState"],
+    *,
+    label: str = "batch",
+) -> ResumeState:
+    """Parse one sweep label's resumable state out of a ledger.
+
+    ``source`` is a ledger path or an iterable of its lines (a
+    :class:`ResumeState` passes through unchanged, so callers can load
+    once and resume many labels).  A repeated ``sweep-start`` for the
+    same label restarts that label's journal — only outcomes after the
+    *last* start count, mirroring how the writer resets its tallies.
+    """
+    if isinstance(source, ResumeState):
+        return source
+    from ..observability.ledger import (
+        KIND_SWEEP_END,
+        KIND_SWEEP_START,
+        KIND_TASK_OUTCOME,
+        load_ledger,
+    )
+
+    records, _skipped = load_ledger(source)
+    fingerprint: Optional[str] = None
+    total: Optional[int] = None
+    finished = False
+    started = False
+    completed: Dict[int, TaskOutcome] = {}
+    seen: set = set()
+    for record in records:
+        if record.get("label") != label:
+            continue
+        kind = record.get("kind")
+        if kind == KIND_SWEEP_START:
+            started = True
+            fingerprint = record.get("fingerprint")
+            total = record.get("tasks")
+            finished = False
+            completed.clear()
+            seen.clear()
+        elif kind == KIND_TASK_OUTCOME:
+            index = record.get("index")
+            if not isinstance(index, int):
+                continue
+            seen.add(index)
+            if record.get("ok") and "value" in record:
+                completed[index] = TaskOutcome(
+                    index=index,
+                    ok=True,
+                    value=record["value"],
+                    attempts=record.get("attempts", 1),
+                )
+            else:
+                # a later failure/valueless record supersedes any
+                # earlier reconstruction for the same index
+                completed.pop(index, None)
+        elif kind == KIND_SWEEP_END:
+            finished = True
+    if not started:
+        # outcomes without their sweep-start cannot be verified either
+        completed.clear()
+    return ResumeState(
+        label=label,
+        fingerprint=fingerprint if started else None,
+        total=total,
+        completed=dict(completed),
+        seen=frozenset(seen),
+        finished=finished,
+    )
+
+
+def resolve_resume(
+    resume_from: Union[str, Path, Iterable[str], ResumeState],
+    *,
+    label: str,
+    fingerprint: Optional[str],
+    total: int,
+) -> Dict[int, TaskOutcome]:
+    """The outcomes a new run may reuse, after every safety check.
+
+    ``fingerprint`` is the *current* batch's sweep fingerprint; it must
+    exist and match the journaled one exactly.  Refusal is always a
+    :class:`~repro.errors.ReproError` naming what differed — a resume
+    that silently merged foreign work would corrupt artifacts that CI
+    diffs byte-for-byte.
+    """
+    state = load_resume_state(resume_from, label=label)
+    if not state.found_sweep:
+        raise ReproError(
+            f"cannot resume label {label!r}: the ledger has no sweep-start "
+            "record for it (wrong file, wrong label, or an empty journal)"
+        )
+    if state.fingerprint is None:
+        raise ReproError(
+            f"cannot resume label {label!r}: the ledger's sweep-start has no "
+            "sweep fingerprint, so the journaled outcomes cannot be verified "
+            "against this batch (ledger written before fingerprinting, or "
+            "the original tasks were unaddressable)"
+        )
+    if fingerprint is None:
+        raise ReproError(
+            f"cannot resume label {label!r}: this batch has no sweep "
+            "fingerprint (a task carries a closure or unaddressable value), "
+            "so journaled outcomes cannot be verified against it"
+        )
+    if state.fingerprint != fingerprint:
+        raise ReproError(
+            f"refusing to resume label {label!r}: sweep fingerprint mismatch "
+            f"(ledger {state.fingerprint[:16]}…, batch {fingerprint[:16]}…) — "
+            "the tasks, seed or code version changed since that run"
+        )
+    if state.total is not None and state.total != total:
+        raise ReproError(
+            f"refusing to resume label {label!r}: the ledger journals "
+            f"{state.total} tasks, this batch has {total}"
+        )
+    return {
+        index: outcome
+        for index, outcome in state.completed.items()
+        if 0 <= index < total
+    }

@@ -1,4 +1,4 @@
-"""Engine benchmark — reference vs. streaming vs. compiled vs. batch.
+"""Engine benchmark — reference vs. streaming vs. compiled vs. batch vs. SIMD.
 
 Unlike the E1–E20 experiments (which regenerate paper claims), this module
 tracks the repo's own performance trajectory: it times
@@ -23,9 +23,19 @@ Micro-step-dominated machines (parity, majority) are benched but not
 gated: their time is genuine table dispatch, which batching cannot
 shrink.
 
-Importable: :func:`run_engine_benchmark` / :func:`run_batch_benchmark`
-return the result rows as plain dicts; ``scripts/bench_to_json.py`` wraps
-them to regenerate ``BENCH_engine.json``, the perf trajectory artifact.
+The SIMD sweep (:func:`run_simd_benchmark`) times the fifth tier against
+the batch tier on the same shape at :data:`SIMD_LANES` lanes — the scale
+where NumPy state-cohort kernels amortize array-dispatch overhead.  The
+gate is again per-input wall-clock on the sweep-dominated machines:
+SIMD ≥ 2× batch at the top N, every lane cross-checked bit-identical to
+a serial compiled run first.  Requires the ``repro[simd]`` extra; the
+sweep is skipped (not failed) when NumPy is absent, since the fallback
+path is the batch tier itself.
+
+Importable: :func:`run_engine_benchmark` / :func:`run_batch_benchmark` /
+:func:`run_simd_benchmark` return the result rows as plain dicts;
+``scripts/bench_to_json.py`` wraps them to regenerate
+``BENCH_engine.json``, the perf trajectory artifact.
 """
 
 import random
@@ -35,6 +45,7 @@ from repro.machines import (
     copy_machine,
     copy_reverse_machine,
     equality_machine,
+    is_simd_available,
     majority_machine,
     parity_machine,
     run_deterministic_batch,
@@ -73,6 +84,13 @@ COMPILED_GATE_SPEEDUP = 2.0  # compiled over *streaming*, at top N
 BATCH_LANES = 256
 BATCH_GATE_MACHINES = ("copy", "equality")
 BATCH_GATE_SPEEDUP = 5.0  # batch over *compiled*, per input, at top N
+
+#: SIMD-tier sweep shape: the census-scale lane count where state-cohort
+#: kernels amortize NumPy dispatch overhead (well past the auto
+#: crossover, which sits at 32 lanes).
+SIMD_LANES = 1024
+SIMD_GATE_MACHINES = ("copy", "equality")
+SIMD_GATE_SPEEDUP = 2.0  # simd over *batch*, per input, at top N
 
 STEP_LIMIT = 1_000_000
 
@@ -246,14 +264,17 @@ def _batch_words(name, n, lanes=BATCH_LANES):
     return words
 
 
-def verify_batch_cell(name, n, lanes=BATCH_LANES, cache_dir=None):
+def verify_batch_cell(name, n, lanes=BATCH_LANES, cache_dir=None,
+                      engine="batch"):
     """The correctness half of one batch cell: per-lane cross-check.
 
-    Every lane of the batch tier is verified bit-identical to its
-    compiled twin.  Like :func:`verify_cell`, the verdict is a pure
-    function of (machine, word population, step limit, code), so with
+    Every lane of the ``engine`` tier (``"batch"`` or ``"simd"``) is
+    verified bit-identical to its compiled twin.  Like
+    :func:`verify_cell`, the verdict is a pure function of (machine,
+    word population, step limit, engine tier, code), so with
     ``cache_dir`` an unchanged cell's re-verification is a single store
-    lookup.
+    lookup — the tier under test is part of the key, so a batch-tier
+    verdict can never be served for a SIMD-tier question.
     """
     factory, _build_word = CASE_MAP[name]
     machine = factory()
@@ -261,7 +282,7 @@ def verify_batch_cell(name, n, lanes=BATCH_LANES, cache_dir=None):
 
     def compute():
         outcomes = run_deterministic_batch(
-            machine, words, step_limit=STEP_LIMIT
+            machine, words, step_limit=STEP_LIMIT, engine=engine
         )
         for word, outcome in zip(words, outcomes):
             twin = compiled_engine.run_deterministic(
@@ -273,7 +294,7 @@ def verify_batch_cell(name, n, lanes=BATCH_LANES, cache_dir=None):
                 or outcome.result.statistics != twin.statistics
             ):
                 raise AssertionError(
-                    f"batch engine mismatch on {name} at n={n} lane "
+                    f"{engine} engine mismatch on {name} at n={n} lane "
                     f"{outcome.index}"
                 )
         return {"verified_identical": True}
@@ -291,6 +312,7 @@ def verify_batch_cell(name, n, lanes=BATCH_LANES, cache_dir=None):
         lanes=lanes,
         words=digest_of(words),
         step_limit=STEP_LIMIT,
+        engines=f"{engine}+compiled",
     )
     return store.get_or_compute(key, compute, engine="bench")
 
@@ -320,7 +342,7 @@ def bench_batch_cell(name, n, repeats, lanes=BATCH_LANES, cache_dir=None):
     )
     batch_seconds = _best_of(
         lambda: run_deterministic_batch(
-            machine, words, step_limit=STEP_LIMIT
+            machine, words, step_limit=STEP_LIMIT, engine="batch"
         ),
         repeats,
     )
@@ -379,6 +401,102 @@ def batch_tier_rows(rows):
             "seconds": r["batch_seconds_per_input"],
             "compiled_seconds_per_input": r["compiled_seconds_per_input"],
             "speedup_vs_compiled": round(r["batch_speedup"], 2),
+            "verified_identical": r["verified_identical"],
+        }
+        for r in rows
+    ]
+
+
+def bench_simd_cell(name, n, repeats, lanes=SIMD_LANES, cache_dir=None):
+    """One SIMD sweep cell: per-lane cross-check, then best-of timings.
+
+    Times the SIMD tier against the batch tier on the identical word
+    population — the conversion this sweep measures is Python per-lane
+    dispatch → NumPy state-cohort kernels, so the baseline is the tier
+    the SIMD engine replaces, not the serial compiled loop.  Every SIMD
+    lane is verified bit-identical to its compiled twin first (through
+    the cache when ``cache_dir`` is set); timings are never cached.
+    """
+    factory, _build_word = CASE_MAP[name]
+    machine = factory()
+    words = _batch_words(name, n, lanes)
+    verified = verify_batch_cell(
+        name, n, lanes, cache_dir=cache_dir, engine="simd"
+    )
+    batch_seconds = _best_of(
+        lambda: run_deterministic_batch(
+            machine, words, step_limit=STEP_LIMIT, engine="batch"
+        ),
+        repeats,
+    )
+    simd_seconds = _best_of(
+        lambda: run_deterministic_batch(
+            machine, words, step_limit=STEP_LIMIT, engine="simd"
+        ),
+        repeats,
+    )
+    return {
+        "machine": name,
+        "n": n,
+        "input_length": len(words[0]),
+        "lanes": lanes,
+        "batch_seconds_per_input": batch_seconds / lanes,
+        "simd_seconds_per_input": simd_seconds / lanes,
+        "simd_speedup": batch_seconds / simd_seconds,
+        "verified_identical": verified["verified_identical"],
+    }
+
+
+def run_simd_benchmark(sizes=SIZES, repeats=3, lanes=SIMD_LANES, jobs=1,
+                       registry=None, cache_dir=None, ledger=None):
+    """Time the SIMD tier over the library sweep; returns a list of rows.
+
+    Same contract as :func:`run_batch_benchmark`: every row is
+    lane-cross-checked against the compiled tier before timing, rows
+    come back in sweep order at any ``jobs``, and each cell times inside
+    whichever process runs it.  Raises when NumPy is absent — callers
+    (the gating benchmark test, ``bench_to_json.py``) skip the sweep via
+    :func:`repro.machines.is_simd_available` instead, because without
+    NumPy the SIMD entry points *are* the batch tier and the comparison
+    would time a tier against itself.
+    """
+    if not is_simd_available():
+        raise RuntimeError(
+            "the SIMD sweep needs NumPy (pip install repro[simd])"
+        )
+    from repro.parallel import BatchTask, run_batch
+
+    tasks = [
+        BatchTask.call(
+            bench_simd_cell, name, n, repeats, lanes, cache_dir=cache_dir
+        )
+        for name, _factory, _build_word in CASES
+        for n in sizes
+    ]
+    return run_batch(
+        tasks, jobs=jobs, label="simd-bench", registry=registry,
+        ledger=ledger,
+    ).values()
+
+
+def simd_top_speedup(rows, machine):
+    """SIMD-over-batch per-input speedup of ``machine`` at the top n."""
+    candidates = [r for r in rows if r["machine"] == machine]
+    return max(candidates, key=lambda r: r["n"])["simd_speedup"]
+
+
+def simd_tier_rows(rows):
+    """SIMD sweep cells as ``engine="simd"`` rows for the JSON artifact."""
+    return [
+        {
+            "machine": r["machine"],
+            "n": r["n"],
+            "input_length": r["input_length"],
+            "engine": "simd",
+            "lanes": r["lanes"],
+            "seconds": r["simd_seconds_per_input"],
+            "batch_seconds_per_input": r["batch_seconds_per_input"],
+            "speedup_vs_batch": round(r["simd_speedup"], 2),
             "verified_identical": r["verified_identical"],
         }
         for r in rows
@@ -519,7 +637,51 @@ def test_batch_engine_speedup(benchmark):
     words = _batch_words("equality", SIZES[-1])
     result = benchmark(
         lambda: run_deterministic_batch(
-            machine, words, step_limit=STEP_LIMIT
+            machine, words, step_limit=STEP_LIMIT, engine="batch"
+        )
+    )
+    assert all(outcome.ok for outcome in result)
+
+
+def test_simd_engine_speedup(benchmark):
+    import pytest
+
+    if not is_simd_available():
+        pytest.skip("SIMD sweep needs NumPy (repro[simd])")
+    rows = run_simd_benchmark()
+    table = emit_table(
+        "SIMD — state-cohort kernels vs. lock-step batch, per input",
+        (
+            "machine", "n", "N", "lanes", "batch s/in", "simd s/in",
+            "simd/batch",
+        ),
+        [
+            (
+                r["machine"],
+                r["n"],
+                r["input_length"],
+                r["lanes"],
+                f"{r['batch_seconds_per_input']:.6f}",
+                f"{r['simd_seconds_per_input']:.6f}",
+                f"{r['simd_speedup']:.1f}x",
+            )
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["table"] = table
+
+    # the acceptance gate: SIMD >= 2x batch per input on the
+    # sweep-dominated machines at the top N and SIMD_LANES lanes, every
+    # lane verified bit-identical to its compiled twin before timing
+    for machine_name in SIMD_GATE_MACHINES:
+        assert simd_top_speedup(rows, machine_name) >= SIMD_GATE_SPEEDUP
+    assert all(r["verified_identical"] for r in rows)
+
+    machine = equality_machine()
+    words = _batch_words("equality", SIZES[-1], SIMD_LANES)
+    result = benchmark(
+        lambda: run_deterministic_batch(
+            machine, words, step_limit=STEP_LIMIT, engine="simd"
         )
     )
     assert all(outcome.ok for outcome in result)

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
 """Regenerate BENCH_engine.json — the engine-benchmark trajectory point.
 
-Runs the serial engine sweep (reference vs. streaming vs. compiled) and
-the batch-tier sweep (lock-step lanes vs. a compiled serial loop) from
-``benchmarks/bench_engine.py`` and writes one row per tier (each row
-carries an ``engine`` field) plus a summary to JSON, so the speedups
-claimed in the repo are reproducible with one command:
+Runs the serial engine sweep (reference vs. streaming vs. compiled), the
+batch-tier sweep (lock-step lanes vs. a compiled serial loop) and — when
+NumPy is importable — the SIMD-tier sweep (state-cohort kernels vs. the
+batch tier at 1024 lanes) from ``benchmarks/bench_engine.py`` and writes
+one row per tier (each row carries an ``engine`` field, plus derived
+``inputs_per_second`` / ``steps_per_second`` throughput) and a summary
+to JSON, so the speedups claimed in the repo are reproducible with one
+command:
 
     python scripts/bench_to_json.py                 # full sweep
     python scripts/bench_to_json.py --quick         # CI smoke (small n)
@@ -70,6 +73,9 @@ from bench_engine import (  # noqa: E402  (path setup must come first)
     COMPILED_GATE_SPEEDUP,
     GATE_MACHINE,
     GATE_SPEEDUP,
+    SIMD_GATE_MACHINES,
+    SIMD_GATE_SPEEDUP,
+    SIMD_LANES,
     SIZES,
     batch_tier_rows,
     batch_top_speedup,
@@ -77,10 +83,37 @@ from bench_engine import (  # noqa: E402  (path setup must come first)
     per_tier_rows,
     run_batch_benchmark,
     run_engine_benchmark,
+    run_simd_benchmark,
+    simd_tier_rows,
+    simd_top_speedup,
     top_speedup,
 )
+from repro.machines import is_simd_available  # noqa: E402
 
 QUICK_SIZES = (16, 64)
+
+
+def with_throughput(rows):
+    """Add per-row ``inputs_per_second`` / ``steps_per_second`` fields.
+
+    Derived, never measured separately: ``seconds`` on every tier row is
+    wall-clock per input, so its reciprocal is input throughput, and
+    rows that carry the run length (the serial tiers) additionally get
+    engine steps per second — the cross-tier normalizer, since a cheaper
+    second on a shorter run is not a win.  Rows without a positive
+    timing (or without ``run_length``) simply omit the fields.
+    """
+    out = []
+    for r in rows:
+        row = dict(r)
+        seconds = row.get("seconds")
+        if isinstance(seconds, (int, float)) and seconds > 0:
+            row["inputs_per_second"] = round(1.0 / seconds, 1)
+            run_length = row.get("run_length")
+            if isinstance(run_length, (int, float)):
+                row["steps_per_second"] = round(run_length / seconds, 1)
+        out.append(row)
+    return out
 
 
 def compare_against_baseline(gate, all_rows, baseline, tolerance):
@@ -283,6 +316,12 @@ def main(argv=None):
             sizes=sizes, repeats=args.repeats, jobs=args.jobs,
             cache_dir=cache_dir, ledger=ledger,
         )
+        simd_rows = []
+        if is_simd_available():
+            simd_rows = run_simd_benchmark(
+                sizes=sizes, repeats=args.repeats, jobs=args.jobs,
+                cache_dir=cache_dir, ledger=ledger,
+            )
     finally:
         if ledger is not None:
             ledger.close()
@@ -300,7 +339,15 @@ def main(argv=None):
         name: round(batch_top_speedup(batch_rows, name), 2)
         for name in BATCH_GATE_MACHINES
     }
-    all_rows = per_tier_rows(rows) + batch_tier_rows(batch_rows)
+    simd_gates = {
+        name: round(simd_top_speedup(simd_rows, name), 2)
+        for name in SIMD_GATE_MACHINES
+    } if simd_rows else {}
+    all_rows = with_throughput(
+        per_tier_rows(rows)
+        + batch_tier_rows(batch_rows)
+        + simd_tier_rows(simd_rows)
+    )
     payload = {
         "benchmark": "engine",
         "description": (
@@ -310,7 +357,9 @@ def main(argv=None):
             "engine (dense transition tables + macro-step run "
             "compression) vs. batch engine (one compilation, lock-step "
             "lanes over structure-of-arrays tapes, timed per input on "
-            "whole random-input batches); one row per tier, keyed by the "
+            "whole random-input batches) vs. SIMD engine (the batch "
+            "layout as NumPy arrays, state-cohort kernels advancing "
+            "every live lane at once); one row per tier, keyed by the "
             "'engine' field"
         ),
         "command": "python scripts/bench_to_json.py",
@@ -335,6 +384,14 @@ def main(argv=None):
             "batch_lanes": BATCH_LANES,
             # batch over compiled, per input, per gated machine at top N
             "batch_top_n_speedup": batch_gates,
+            "simd_gate_machines": list(SIMD_GATE_MACHINES),
+            "simd_gate_speedup_required": SIMD_GATE_SPEEDUP,
+            "simd_lanes": SIMD_LANES,
+            # NumPy importable in this run; without it the SIMD sweep is
+            # skipped (the fallback path IS the batch tier)
+            "simd_available": bool(simd_rows),
+            # simd over batch, per input, per gated machine at top N
+            "simd_top_n_speedup": simd_gates,
             "all_cells_verified_identical": all(
                 r["verified_identical"] for r in all_rows
             ),
@@ -363,10 +420,21 @@ def main(argv=None):
     batch_note = ", ".join(
         f"{name} {value:.1f}x" for name, value in batch_gates.items()
     )
+    simd_note = (
+        "; simd over batch per input (%d lanes): %s" % (
+            SIMD_LANES,
+            ", ".join(
+                f"{name} {value:.1f}x" for name, value in simd_gates.items()
+            ),
+        )
+        if simd_gates
+        else "; simd sweep skipped (NumPy absent)"
+    )
     print(
         f"wrote {args.output}: streaming {gate:.1f}x over reference on "
         f"{GATE_MACHINE}; compiled over streaming: {compiled_note}; "
-        f"batch over compiled per input ({BATCH_LANES} lanes): {batch_note}"
+        f"batch over compiled per input ({BATCH_LANES} lanes): "
+        f"{batch_note}{simd_note}"
     )
     if args.jobs > 1:
         record = parallel_payload(args.jobs, args.quick, args.repeats, sizes)
@@ -438,6 +506,18 @@ def main(argv=None):
             print(
                 f"WARNING: batch speedup below the {BATCH_GATE_SPEEDUP}x "
                 f"gate on {', '.join(batch_below)}",
+                file=sys.stderr,
+            )
+            return 1
+        simd_below = [
+            name
+            for name, value in simd_gates.items()
+            if value < SIMD_GATE_SPEEDUP
+        ]
+        if simd_below:
+            print(
+                f"WARNING: simd speedup below the {SIMD_GATE_SPEEDUP}x "
+                f"gate on {', '.join(simd_below)}",
                 file=sys.stderr,
             )
             return 1

@@ -455,6 +455,7 @@ def monte_carlo_fingerprint_trials(
             tasks,
             jobs=jobs,
             seed=seed,
+            chunk_size="auto",
             label="fingerprint-trials",
             registry=registry,
             tracer=tracer,

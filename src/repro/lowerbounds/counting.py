@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 from ..errors import MachineError
 from ..listmachine.bounds import lemma32_skeleton_bound_log2
@@ -130,7 +130,7 @@ def enumerate_skeletons(
     max_inputs: int = 100_000,
     jobs: int = 1,
     machine_factory: Optional[Callable[[], NLM]] = None,
-    chunk_size: Optional[int] = None,
+    chunk_size: Union[int, str, None] = None,
     registry=None,
     tracer=None,
     cache=None,
@@ -200,8 +200,12 @@ def enumerate_skeletons(
             )
         from ..parallel import BatchTask, run_batch
 
-        if chunk_size is None:
-            chunk_size = max(1, -(-total // (jobs * 4)))
+        if chunk_size is None or chunk_size == "auto":
+            # same deterministic heuristic as chunk_size="auto" in the
+            # adapters: ~4 ranges per worker
+            from ..parallel.adapters import auto_chunk_size
+
+            chunk_size = auto_chunk_size(total, jobs)
         alphabet = tuple(alphabet)
         tasks = [
             BatchTask.call(

@@ -836,21 +836,46 @@ class _BatchInstruments:
     inherit: how many lanes a batch dispatched, how many retired with a
     result, how many a budget denial retired, how many failed otherwise,
     and how much macro-step compression the dispatch loop achieved.
+
+    ``kind`` names the tier driving the run ("batch" or "simd") — it
+    prefixes the span so traces distinguish the tiers while the lane
+    counters stay shared.  The SIMD tier additionally reports its
+    per-round cohort occupancy through :meth:`cohort`: one count per
+    dispatch group (a state cohort or the fused micro-step group), so
+    the ``cohorts`` counter and the ``lanes-per-dispatch`` histogram
+    show how much lane sharing each round actually achieved.
     """
 
-    __slots__ = ("registry", "tracer", "span", "label")
+    __slots__ = ("registry", "tracer", "span", "label", "kind")
 
-    def __init__(self, registry, tracer, machine):
+    def __init__(self, registry, tracer, machine, kind="batch"):
         self.registry = registry
         self.tracer = tracer
         self.span = None
         self.label = machine.name
+        self.kind = kind
 
     def open(self, lanes: int) -> None:
         if self.tracer is not None:
             self.span = self.tracer.begin(
-                f"batch-run:{self.label}", _CATEGORY_ENGINE, lanes=lanes
+                f"{self.kind}-run:{self.label}", _CATEGORY_ENGINE,
+                lanes=lanes,
             )
+
+    def cohort(self, lanes: int) -> None:
+        if self.registry is not None:
+            label = self.label
+            self.registry.counter(
+                "batch_cohorts",
+                "state cohorts dispatched (one vectorized group per "
+                "round per distinct cell code, plus the micro group)",
+            ).inc(1, machine=label)
+            self.registry.histogram(
+                "batch_lanes_per_dispatch",
+                "live lanes sharing one cohort dispatch",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                         256.0, 512.0, 1024.0),
+            ).observe(float(lanes), machine=label)
 
     def close(self, outcomes, dispatches: int, steps: int) -> None:
         lanes = len(outcomes)

@@ -113,9 +113,13 @@ class _Macro:
     """
 
     kind = 1
-    __slots__ = ("pattern", "mask", "write_table", "blank_write")
+    __slots__ = ("pattern", "mask", "write_table", "blank_write", "emap")
 
     def __init__(self, delta: int, emap: Dict[int, int]):
+        #: eligible symbol id -> written symbol id; kept so downstream
+        #: tiers (the SIMD engine) can rebuild the sweep as array lookup
+        #: tables instead of re-deriving it from the regex/mask forms.
+        self.emap = dict(emap)
         if delta > 0:
             cls = b"".join(re.escape(bytes([s])) for s in sorted(emap))
             self.pattern = re.compile(b"[" + cls + b"]*")
@@ -142,9 +146,10 @@ class _SetRun:
     extend runs across the unwritten blank region beyond the buffer.
     """
 
-    __slots__ = ("pattern", "mask", "has_blank")
+    __slots__ = ("pattern", "mask", "has_blank", "syms")
 
     def __init__(self, syms, direction):
+        self.syms = frozenset(syms)
         self.has_blank = 0 in syms
         if direction > 0:
             if syms:

@@ -1,6 +1,6 @@
-"""Engine tier selection: one front door over the four execution engines.
+"""Engine tier selection: one front door over the five execution engines.
 
-The repo ships four implementations of the same run semantics, pinned
+The repo ships five implementations of the same run semantics, pinned
 bit-identical by the cross-engine differential tests:
 
 * ``reference`` (:mod:`repro.machines.execute`) — materializes the full
@@ -16,6 +16,10 @@ bit-identical by the cross-engine differential tests:
   inputs: lock-step lanes over structure-of-arrays tape columns,
   amortizing interning/snapshot/dispatch overhead across a whole batch.
   Batch-shaped only — it has no single-run entry point.
+* ``simd`` (:mod:`repro.machines.simd_engine`) — the batch layout held
+  as NumPy arrays, advancing every live lane at once with state-cohort
+  kernels.  Batch-shaped only; requires the optional ``repro[simd]``
+  extra and falls back to the batch tier byte-identically without it.
 
 :func:`run_deterministic` / :func:`run_with_choices` here accept an
 ``engine`` keyword (``"auto"`` | ``"reference"`` | ``"streaming"`` |
@@ -29,10 +33,14 @@ reports the tier that would actually execute, without running anything.
 :func:`run_deterministic_batch` / :func:`run_with_choices_batch` are the
 batch-shaped front door: one machine, a sequence of inputs, one
 :class:`~repro.machines.batch_engine.LaneOutcome` per input.  Their
-``engine`` keyword additionally accepts ``"batch"`` (what ``"auto"``
-picks); pinning a serial tier runs the batch lane-by-lane on that tier
-with the same contained-error surface, which is what the differential
-tests compare against.
+``engine`` keyword additionally accepts ``"batch"`` and ``"simd"``;
+``"auto"`` picks the SIMD tier for deterministic, tracker-free batches
+of at least :data:`~repro.machines.simd_engine.SIMD_CROSSOVER` lanes
+when NumPy is importable, and the batch tier otherwise —
+:func:`resolve_batch_engine` reports the choice without running
+anything.  Pinning a serial tier runs the batch lane-by-lane on that
+tier with the same contained-error surface, which is what the
+differential tests compare against.
 
 The reference engine predates resource bridging and stays the plain
 oracle: asking for ``engine="reference"`` together with a ``tracker``
@@ -44,7 +52,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
-from . import batch_engine, compiled_engine, execute, fast_engine
+from . import batch_engine, compiled_engine, execute, fast_engine, simd_engine
 from .batch_engine import LaneOutcome
 from ..errors import ReproError
 from .execute import DEFAULT_STEP_LIMIT, Run
@@ -55,7 +63,9 @@ from .tm import TuringMachine
 ENGINES = ("auto", "reference", "streaming", "compiled")
 
 #: The accepted values of the batch entry points' ``engine`` keyword.
-BATCH_ENGINES = ("auto", "batch", "reference", "streaming", "compiled")
+BATCH_ENGINES = (
+    "auto", "batch", "simd", "reference", "streaming", "compiled"
+)
 
 
 def _check_engine(engine: str, tracker) -> str:
@@ -175,6 +185,34 @@ def _check_batch_engine(engine: str, trackers) -> str:
     return engine
 
 
+def resolve_batch_engine(
+    machine: TuringMachine,
+    nlanes: int,
+    *,
+    engine: str = "auto",
+    trackers=None,
+) -> str:
+    """The batch tier that ``engine`` would dispatch, without running.
+
+    ``"auto"`` resolves to ``"simd"`` exactly when the SIMD tier would
+    vectorize the batch: NumPy importable, no per-lane trackers, at
+    least :data:`~repro.machines.simd_engine.SIMD_CROSSOVER` lanes and a
+    machine the compiler can lower.  Everything else resolves to itself
+    (a pinned ``"simd"`` handles its own byte-identical fallbacks);
+    validation matches the run functions.
+    """
+    engine = _check_batch_engine(engine, trackers)
+    if engine != "auto":
+        return engine
+    if (
+        trackers is None
+        and nlanes >= simd_engine.SIMD_CROSSOVER
+        and simd_engine.try_compile_simd(machine) is not None
+    ):
+        return "simd"
+    return "batch"
+
+
 def _serial_batch(tier, machine, words, choices_list, step_limit, trackers):
     """Run a batch lane-by-lane on a pinned serial tier.
 
@@ -227,13 +265,22 @@ def run_deterministic_batch(
     Returns one :class:`~repro.machines.batch_engine.LaneOutcome` per
     input, in input order; lane ``i``'s result or contained error is
     bit-identical to ``run_deterministic(machine, words[i], ...)`` on
-    any serial tier.  ``"auto"`` picks the batch tier; pinning
+    any serial tier.  ``"auto"`` picks the SIMD tier for deterministic,
+    tracker-free batches of at least ``SIMD_CROSSOVER`` lanes when NumPy
+    is importable, the batch tier otherwise; pinning
     ``"reference"``/``"streaming"``/``"compiled"`` runs the batch
     lane-by-lane on that tier (the differential baseline).
     """
     engine = _check_batch_engine(engine, trackers)
-    if engine in ("auto", "batch"):
-        return batch_engine.run_deterministic_batch(
+    if engine in ("auto", "batch", "simd"):
+        words = list(words)
+        tier = engine if engine != "auto" else resolve_batch_engine(
+            machine, len(words), trackers=trackers
+        )
+        runner = (
+            simd_engine if tier == "simd" else batch_engine
+        ).run_deterministic_batch
+        return runner(
             machine, words, step_limit=step_limit, trackers=trackers,
             registry=registry, tracer=tracer,
         )
@@ -265,8 +312,13 @@ def run_with_choices_batch(
     identically everywhere.
     """
     engine = _check_batch_engine(engine, trackers)
-    if engine in ("auto", "batch"):
-        return batch_engine.run_with_choices_batch(
+    if engine in ("auto", "batch", "simd"):
+        # choice lanes are inherently serial; the SIMD tier itself
+        # delegates them to the batch tier, so "auto" goes straight there
+        runner = (
+            simd_engine if engine == "simd" else batch_engine
+        ).run_with_choices_batch
+        return runner(
             machine, words, choices_list, step_limit=step_limit,
             trackers=trackers, registry=registry, tracer=tracer,
         )

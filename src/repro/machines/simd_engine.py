@@ -1,0 +1,1402 @@
+"""SIMD execution engine: NumPy state-cohort kernels over SoA lanes.
+
+The batch tier (:mod:`repro.machines.batch_engine`) already lays every
+input out as a lane over contiguous tape columns, but it still advances
+lanes one at a time in a Python loop — at census scale the per-lane
+interpreter dispatch is the dominant cost.  This module is the fifth
+tier: hold the tape columns, head positions, cell codes and per-lane
+statistics as NumPy arrays and advance *every live lane at once*.
+
+Each lock-step round is one dispatch per live lane:
+
+* lanes whose cell code carries no macro take one **vectorized
+  micro-step** — the ``(state, symbol) → (write, move, next_state)``
+  record is read from flat per-cell arrays by fancy indexing, writes
+  commit as scatters, the byte under each moved head is read back with
+  one gather, and the next cell code is ``full += jmp + byte * ms``
+  exactly as in the compiled tier;
+* lanes whose cell code carries a macro are partitioned into **state
+  cohorts** (``np.unique`` over the cell codes — same code means same
+  state, same reads, same sweep group) and each cohort executes its
+  whole self-loop or two-step-cycle sweep as array operations: the
+  maximal eligible run is found by row-block window scans over the
+  cohort's written prefixes (everything past a lane's written length is
+  blank and resolves arithmetically), membership is a chain of
+  per-symbol compares, writes move through per-lane row slices with
+  identity/constant translations specialized away, and the landing cell
+  codes come back with one gather.  Lanes whose sweep length comes out
+  0 fall through to the micro-step group, exactly like the serial
+  tiers.
+
+Sweeps may be **split**: a round caps two-step-cycle sweeps at
+``_SWEEP_CHUNK`` iterations so cohort matrices stay bounded.  Splitting
+is observationally identical — a sweep's only potential reversal is its
+first step, so running ``k₁`` iterations and re-dispatching for the rest
+yields the same statistics, positions and tape bytes as one ``k₁ + k₂``
+sweep (the landing cell re-enters the same sweep group, or falls back to
+micro-steps, which are always sound).
+
+Bit-identity is the same absolute contract as the batch tier's, pinned
+by the five-way differential in ``tests/test_cross_engine.py`` and the
+gating ``simd-identity`` CI job: every lane's result, contained error
+(type *and* message) and statistics are identical to a serial compiled
+run of that word.  The column layout keeps bytes beyond a lane's written
+prefix physically zero, so a read past the prefix *is* the implicit
+blank and the compiled tier's written-prefix semantics fall out of the
+layout; written lengths advance by the same trailing-blank-trim rule as
+``compiled_engine._write_seg``.
+
+Division of labor, chosen so the vector path never has to interleave
+Python-level charge calls into array code:
+
+* deterministic, tracker-free batches (the census/bench shape) run on
+  the vectorized path above;
+* lanes with an attached :class:`~repro.extmem.tracker.ResourceTracker`
+  run lane-by-lane **on the compiled tier itself** — the exact
+  reversal→internal→step charge order and ``charge_batch`` splits are
+  preserved literally, so denial points and tracker states cannot
+  drift;
+* choice-sequence batches delegate to the batch tier (choices may be
+  lazy, drawn from an RNG on access — inherently serial per lane);
+* machines the compiler cannot lower, and processes without NumPy,
+  delegate to the batch tier byte-identically (``pip install
+  repro[simd]`` provides NumPy; the engine is a strict optional
+  extra and every fallback is exercised in CI).
+
+The lowered program is cached on the machine under ``_simd_program``
+(stripped on pickle with the other derived caches).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:  # NumPy is the optional [simd] extra — every entry point falls back
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-less CI leg
+    _np = None
+
+from ..errors import MachineError, ReproError
+from . import batch_engine, compiled_engine
+from .batch_engine import (
+    LaneOutcome,
+    _BatchInstruments,
+    _check_trackers,
+    _decode_tape,
+    _encode_word,
+    try_compile_batch,
+)
+from .compiled_engine import _UNCOMPILABLE, _violation
+from .config import Configuration
+from .execute import DEFAULT_STEP_LIMIT, RunStatistics
+from .fast_engine import FastRun
+from .tm import TuringMachine
+
+__all__ = [
+    "SIMD_CROSSOVER",
+    "SimdProgram",
+    "is_simd_available",
+    "try_compile_simd",
+    "run_deterministic_batch",
+    "run_with_choices_batch",
+]
+
+#: Lane count at which ``engine="auto"`` starts preferring this tier over
+#: the batch tier.  Below it the per-round ndarray bookkeeping costs more
+#: than the Python dispatch it replaces (measured crossover on the bench
+#: machines is ~16-32 lanes; see EXPERIMENTS.md).
+SIMD_CROSSOVER = 32
+
+#: Cap on two-step-cycle sweep iterations per dispatch, so the cohort
+#: scan/write matrices stay at most ``lanes x _SWEEP_CHUNK``.  Splitting
+#: a sweep is observationally identical (module docstring).
+_SWEEP_CHUNK = 1 << 14
+
+#: Initial per-lane stride of the non-input columns (matches the batch
+#: tier); columns double on demand.
+_MIN_STRIDE = 16
+
+
+def is_simd_available() -> bool:
+    """True when NumPy imported, i.e. the vectorized path can run."""
+    return _np is not None
+
+
+# -- program lowering -------------------------------------------------------
+
+
+class _SimdMacro:
+    """A self-loop sweep group as lookup tables (kind 1).
+
+    ``elig_spec`` is the pre-chosen stop-mask strategy for the group's
+    eligible set (see :func:`_stop_spec`) — the scan kernels test small
+    sets with per-symbol compares, which vectorize far better than a
+    256-entry LUT gather.  ``wlut`` is the write translation as a uint8
+    LUT, ``blank_write`` the compiled tier's blank-frontier classifier.
+    """
+
+    kind = 1
+    __slots__ = ("elig_spec", "wlut", "blank_write")
+
+    def __init__(self, mac, program):
+        self.elig_spec = _stop_spec(mac.emap, program.nsyms)
+        self.wlut = (
+            _np.frombuffer(mac.write_table, dtype=_np.uint8)
+            if mac.write_table is not None else None
+        )
+        self.blank_write = mac.blank_write
+
+
+def _member_lut(syms):
+    lut = _np.zeros(256, dtype=bool)
+    for s in syms:
+        lut[s] = True
+    return lut
+
+
+def _lut_mode(tab, domain):
+    """Classify a uint8 translation table over its reachable domain.
+
+    ``("id", 0)`` when the table is the identity on every byte that can
+    reach it, ``("const", c)`` when it collapses the domain to one byte,
+    else ``("lut", 0)``.  The specializations replace whole-matrix LUT
+    gathers — the single most expensive per-element NumPy op on wide
+    cohorts — with a plain compare or nothing at all.
+    """
+    vals = {tab[s] for s in domain}
+    if all(tab[s] == s for s in domain):
+        return "id", 0
+    if len(vals) == 1:
+        return "const", next(iter(vals))
+    return "lut", 0
+
+
+class _SimdCycle:
+    """A two-step cycle sweep family as lookup tables (kind 2).
+
+    Beyond the raw tables this pre-classifies every translation for the
+    hot kernels: ``h_mode`` says whether the function predicate is the
+    identity or a constant on the eligible run set (compare directly —
+    no LUT gather), ``wa_mode``/``wb_mode`` do the same for the write
+    translations over all encodable symbols, and a side whose write is
+    the identity *onto its own source cells* is dropped outright
+    (``wa_src``/``wb_src`` forced to 0): rewriting a byte with itself
+    changes neither the tape nor the written length, because bytes at or
+    beyond the written length are zero by the tail invariant.
+    """
+
+    kind = 2
+    __slots__ = (
+        "mA", "dA", "mB", "dB", "msA", "msB", "cbase", "c1",
+        "e1_spec", "sb_spec",
+        "h", "h_mode", "h_const",
+        "wa_src", "wa", "wa_mode", "wa_const",
+        "wb_src", "wb", "wb_mode", "wb_const",
+    )
+
+    def __init__(self, mac, program):
+        self.mA = mac.mA
+        self.dA = mac.dA
+        self.mB = mac.mB
+        self.dB = mac.dB
+        self.msA = mac.msA
+        self.msB = mac.msB
+        self.cbase = mac.cbase
+        self.c1 = _np.frombuffer(mac.c1tab, dtype=_np.uint8).astype(bool)
+        self.e1_spec = _stop_spec(mac.e1run.syms, program.nsyms)
+        if mac.sbrun is not None:
+            self.sb_spec = _stop_spec(mac.sbrun.syms, program.nsyms)
+        else:
+            self.sb_spec = None
+        if mac.htab is not None:
+            self.h = _np.frombuffer(mac.htab, dtype=_np.uint8)
+            # h only ever sees bytes inside the eligible run set
+            self.h_mode, self.h_const = _lut_mode(
+                mac.htab, sorted(mac.e1run.syms)
+            )
+        else:
+            self.h = None
+            self.h_mode, self.h_const = "lut", 0
+        syms = range(program.nsyms)  # any tape byte can be a write source
+        self.wa_src = mac.wa_src
+        if mac.wa_tab is not None:
+            self.wa = _np.frombuffer(mac.wa_tab, dtype=_np.uint8)
+            self.wa_mode, self.wa_const = _lut_mode(mac.wa_tab, syms)
+        else:
+            self.wa = None
+            self.wa_mode, self.wa_const = "lut", 0
+        self.wb_src = mac.wb_src
+        if mac.wb_tab is not None:
+            self.wb = _np.frombuffer(mac.wb_tab, dtype=_np.uint8)
+            self.wb_mode, self.wb_const = _lut_mode(mac.wb_tab, syms)
+        else:
+            self.wb = None
+            self.wb_mode, self.wb_const = "lut", 0
+        if self.wa_src == 1 and self.wa_mode == "id":
+            self.wa_src = 0  # A-side writes its own bytes back: no-op
+        if self.wb_src == 2 and self.wb_mode == "id":
+            self.wb_src = 0  # B-side writes its own bytes back: no-op
+
+
+class SimdProgram:
+    """The compiled program's deterministic table as flat NumPy arrays.
+
+    One slot per cell code: ``valid`` marks cells with a transition,
+    ``nf``/``mover``/``delta``/``jmp``/``ms``/``mbase`` mirror the
+    ``_Rec`` fields, ``wmask[t]``/``wval[t]`` hold the per-tape write (a
+    cell writes at most one byte per tape), and ``macro_slot`` indexes
+    the lowered sweep object in ``macros`` (-1 for plain micro cells).
+    """
+
+    __slots__ = (
+        "bp", "program", "tape_count", "valid", "nf", "mover", "delta",
+        "jmp", "ms", "mbase", "macro_slot", "wmask", "wval", "macros",
+        "enc1",
+    )
+
+    def __init__(self, bp):
+        program = bp.program
+        self.bp = bp
+        self.program = program
+        # validity check and encoding fused into one translate: invalid
+        # latin-1 bytes map to the 0xff sentinel, so one pass + one find
+        # replaces the per-word two-translate dance for whole-batch
+        # interning.  Only sound while no symbol id can be 0xff.
+        self.enc1 = (
+            bytes(
+                0xFF if bp.valid_tab[i] else bp.enc_tab[i]
+                for i in range(256)
+            )
+            if program.nsyms <= 255 else None
+        )
+        cells = program.det_cells
+        size = len(cells)
+        T = program.tape_count
+        self.tape_count = T
+        self.valid = _np.zeros(size, dtype=bool)
+        self.nf = _np.zeros(size, dtype=bool)
+        self.mover = _np.full(size, -1, dtype=_np.int64)
+        self.delta = _np.zeros(size, dtype=_np.int64)
+        self.jmp = _np.zeros(size, dtype=_np.int64)
+        self.ms = _np.zeros(size, dtype=_np.int64)
+        self.mbase = _np.zeros(size, dtype=_np.int64)
+        self.macro_slot = _np.full(size, -1, dtype=_np.int64)
+        self.wmask = [_np.zeros(size, dtype=bool) for _ in range(T)]
+        self.wval = [_np.zeros(size, dtype=_np.uint8) for _ in range(T)]
+        self.macros: List = []
+        lowered = {}
+        for cell, rec in enumerate(cells):
+            if rec is None:
+                continue
+            nf, wchanges, mover, delta, jmp, ms, mac, mbase = rec
+            self.valid[cell] = True
+            self.nf[cell] = nf
+            self.mover[cell] = mover
+            self.delta[cell] = delta
+            self.jmp[cell] = jmp
+            self.ms[cell] = ms
+            self.mbase[cell] = mbase
+            for (t, wb) in wchanges:
+                self.wmask[t][cell] = True
+                self.wval[t][cell] = wb
+            if mac is not None:
+                slot = lowered.get(id(mac))
+                if slot is None:
+                    slot = len(self.macros)
+                    lowered[id(mac)] = slot
+                    self.macros.append(
+                        _SimdCycle(mac, program)
+                        if mac.kind == 2 else _SimdMacro(mac, program)
+                    )
+                self.macro_slot[cell] = slot
+
+
+def try_compile_simd(machine: TuringMachine) -> Optional[SimdProgram]:
+    """The machine's SIMD program, or ``None`` if the tier cannot run it.
+
+    ``None`` when NumPy is absent, when the compiled tier declines the
+    machine, or when the machine is nondeterministic (the deterministic
+    table is the only one this tier lowers).  The verdict is cached on
+    the machine under ``_simd_program`` and stripped on pickle; the
+    NumPy-availability test runs *before* the cache so test harnesses
+    simulating an absent NumPy see the fallback path.
+    """
+    if _np is None:
+        return None
+    cached = machine.__dict__.get("_simd_program")
+    if cached is not None:
+        return None if cached is _UNCOMPILABLE else cached
+    bp = try_compile_batch(machine)
+    sp = None
+    if bp is not None and bp.program.det_cells is not None:
+        sp = SimdProgram(bp)
+    object.__setattr__(
+        machine, "_simd_program", sp if sp is not None else _UNCOMPILABLE
+    )
+    return sp
+
+
+# -- lane state -------------------------------------------------------------
+
+
+class _LaneState:
+    """All lanes' tapes and head state as arrays (structure-of-arrays).
+
+    ``bufs[t]`` is the ``(nlanes, stride_t)`` uint8 column of tape ``t``;
+    bytes beyond a lane's written length stay physically zero (symbol id
+    0 is the blank), so clipped gathers that substitute 0 for
+    out-of-column indices read exactly what the serial tiers read.
+    """
+
+    __slots__ = ("bufs", "pos", "dirs", "revs", "space", "wlen", "full",
+                 "steps", "nlanes")
+
+    def __init__(self, sp, nlanes, enc_words, enc_blob=None):
+        program = sp.program
+        T = program.tape_count
+        self.nlanes = nlanes
+        stride0 = max([1] + [len(e) for e in enc_words if e is not None])
+        # one joined pad-to-stride blob loads every input column in a
+        # single C-level copy instead of a per-lane assignment loop;
+        # equal-length batches (the census/bench shape) arrive already
+        # joined from the bulk encoder and skip even the join
+        if enc_blob is not None and len(enc_blob) == nlanes * stride0:
+            blob = enc_blob  # uniform lengths: the blob *is* the layout
+        elif all(e is not None and len(e) == stride0 for e in enc_words):
+            blob = b"".join(enc_words)
+        else:
+            blob = b"".join(
+                (e or b"").ljust(stride0, b"\x00") for e in enc_words
+            )
+        # a bytearray copy is the one memcpy we must pay for mutability;
+        # frombuffer over it yields a writable array with no second copy
+        self.bufs = [
+            _np.frombuffer(bytearray(blob), dtype=_np.uint8)
+            .reshape(nlanes, stride0)
+        ] + [
+            _np.zeros((nlanes, _MIN_STRIDE), dtype=_np.uint8)
+            for _ in range(T - 1)
+        ]
+        self.pos = [_np.zeros(nlanes, dtype=_np.int64) for _ in range(T)]
+        self.dirs = [_np.zeros(nlanes, dtype=_np.int64) for _ in range(T)]
+        self.revs = [_np.zeros(nlanes, dtype=_np.int64) for _ in range(T)]
+        self.space = [_np.ones(nlanes, dtype=_np.int64) for _ in range(T)]
+        self.wlen = [_np.zeros(nlanes, dtype=_np.int64) for _ in range(T)]
+        ncodes = program.ncodes
+        base = program.initial_sid * ncodes
+        self.wlen[0][:] = [0 if e is None else len(e) for e in enc_words]
+        _np.maximum(self.space[0], self.wlen[0], out=self.space[0])
+        self.full = _np.asarray(
+            [
+                0 if e is None else base + (e[0] if e else 0)
+                for e in enc_words
+            ],
+            dtype=_np.int64,
+        )
+        self.steps = _np.zeros(nlanes, dtype=_np.int64)
+
+    def grow(self, t, needed):
+        old = self.bufs[t]
+        stride = old.shape[1]
+        new_stride = stride * 2
+        if new_stride < needed:
+            new_stride = needed
+        new = _np.zeros((self.nlanes, new_stride), dtype=_np.uint8)
+        new[:, :stride] = old
+        self.bufs[t] = new
+
+
+def _gather(buf, rows, idx):
+    """Byte under per-lane index ``idx``; blank (0) outside the column."""
+    S = buf.shape[1]
+    ok = (idx >= 0) & (idx < S)
+    vals = buf[rows, _np.clip(idx, 0, S - 1)]
+    return _np.where(ok, vals, 0).astype(_np.uint8)
+
+
+def _stop_spec(syms, nsyms):
+    """Pre-chosen cheapest stop-mask strategy for a member set.
+
+    Tape bytes are always symbol ids below ``nsyms``, so the stop set is
+    exactly the complement within the alphabet: the spec picks whichever
+    of range-test / AND-over-members / OR-over-complement needs the
+    fewest vector passes (a compare pass runs several times faster than
+    a 256-entry LUT gather on wide cohort blocks), keeping the LUT as
+    the fallback for improbably wide alphabets.  The range test exploits
+    uint8 wraparound: ``(W - lo) > span`` is out-of-``[lo, lo+span]`` in
+    two passes for any contiguous member set.  ``m0`` records blank
+    membership — it decides everything beyond a lane's written length.
+    """
+    members = tuple(sorted(set(syms)))
+    comp = tuple(s for s in range(nsyms) if s not in members)
+    options = []
+    if len(members) > 1 and members[-1] - members[0] + 1 == len(members):
+        options.append((2, "range", (members[0], len(members) - 1)))
+    if len(comp) <= 4:
+        options.append((max(1, 2 * len(comp) - 1), "or", comp))
+    if len(members) <= 4:
+        options.append((max(1, 2 * len(members) - 1), "and", members))
+    if options:
+        _cost, kind, payload = min(options, key=lambda o: o[0])
+    else:
+        kind, payload = "lut", _member_lut(members)
+    return (kind, payload, 0 in members)
+
+
+def _stops(W, spec):
+    """Non-membership (stop) mask over a byte block, per its spec."""
+    kind, payload, _m0 = spec
+    if kind == "range":
+        lo, span = payload
+        return (W - lo) > span  # uint8 wraparound: below lo goes huge
+    if kind == "or":
+        if not payload:
+            return _np.zeros(W.shape, dtype=bool)
+        mask = W == payload[0]
+        for s in payload[1:]:
+            mask |= W == s
+        return mask
+    if kind == "and":
+        if not payload:
+            return _np.ones(W.shape, dtype=bool)
+        mask = W != payload[0]
+        for s in payload[1:]:
+            mask &= W != s
+        return mask
+    return ~payload[W]
+
+
+_PROBE = 32  #: relative probe depth before absolute-column windows
+
+
+def _scan_first(buf, rows, start, d, bound, wl, spec):
+    """Per-lane first offset i (0 <= i <= bound) stopping a scan.
+
+    The scan visits ``start, start + d, ...`` and stops at the first
+    ``i`` with ``i == bound`` or the byte at ``start + d*i`` outside the
+    member set.  Bytes at or beyond a lane's written length ``wl`` are
+    blanks, and by the zeroed-tail invariant the physical bytes up to
+    the stride already read 0 — so the kernel only ever scans the
+    written data: everything past ``wl`` resolves arithmetically from
+    whether the blank is a member (``0 in syms``).
+
+    Two kernels, chosen by how the cohort's heads are spread:
+
+    * heads clustered (the lock-step common case): ascending (resp.
+      descending) *absolute-column* windows — each window is one
+      row-block copy ``buf[rows, cur:hi]`` plus compare passes, never an
+      index-matrix gather;
+    * heads spread out: one 32-deep *relative* probe first (a small
+      fancy gather) resolves every short run immediately, and only the
+      rare long-run survivors fall through to the absolute windows.
+    """
+    S = buf.shape[1]
+    m = rows.shape[0]
+    m0 = spec[2]
+    if d > 0:
+        if m0:
+            res = bound.copy()
+        else:
+            # no physical stop => the blank at wl stops it, or the bound
+            res = _np.minimum(bound, _np.maximum(wl - start, 0))
+        end = _np.minimum(wl, start + bound)
+        todo = _np.nonzero(start < end)[0]
+    else:
+        res = bound.copy()
+        if not m0:
+            blankstart = start >= wl
+            res[blankstart] = 0  # the head sits on a stopping blank
+            cand = ~blankstart
+        else:
+            cand = _np.ones(m, dtype=bool)
+        sp_ = _np.minimum(start, wl - 1)  # highest physical cell to scan
+        lo_l = _np.maximum(start - bound + 1, 0)
+        todo = _np.nonzero(cand & (sp_ >= lo_l) & (sp_ >= 0))[0]
+    if todo.size == 0:
+        return res
+    if int(start[todo].max() - start[todo].min()) > 2 * _PROBE:
+        # spread heads: probe the first _PROBE cells of every lane at
+        # once.  Out-of-column cells read as 0 (clip + mask), which *is*
+        # the blank, so a probe hit is always a real byte-level stop;
+        # a spurious past-the-bound hit only ever clamps to >= the
+        # arithmetic default and the minimum ignores it.
+        jj = _np.arange(_PROBE, dtype=_np.int64)
+        idx = start[todo][:, None] + d * jj[None, :]
+        clipped = _np.clip(idx, 0, S - 1)
+        vals = buf[rows[todo][:, None], clipped]
+        vals[clipped != idx] = 0
+        stopm = _stops(vals, spec)
+        # argmax already walks the block; a per-lane gather at its result
+        # tells hit-or-miss without a second any() pass
+        am = stopm.argmax(axis=1)
+        hitp = stopm[_np.arange(am.shape[0]), am]
+        if hitp.any():
+            hs = todo[hitp]
+            res[hs] = _np.minimum(res[hs], am[hitp])
+            todo = todo[~hitp]
+        if todo.size == 0:
+            return res
+    # start with a window covering the distance every lane is *known*
+    # to scan physically (to the nearest end) — lock-step cohorts whose
+    # runs all terminate at the same far boundary then resolve in one
+    # row-block pass instead of an escalation of partial windows
+    w = 8 * _PROBE
+    if d > 0:
+        cur = int(start[todo].min())
+        w = min(max(w, int(end[todo].min()) - cur), 8192)
+        while todo.size:
+            hi = min(cur + w, int(end[todo].max()))
+            W = buf[rows[todo], cur:hi]
+            stopm = _stops(W, spec)
+            cols = _np.arange(cur, hi, dtype=_np.int64)
+            if cur < int(start[todo].max()):
+                stopm &= cols[None, :] >= start[todo][:, None]
+            if hi > int(end[todo].min()):
+                stopm &= cols[None, :] < end[todo][:, None]
+            am = stopm.argmax(axis=1)
+            hit = stopm[_np.arange(am.shape[0]), am]
+            if hit.any():
+                ht = todo[hit]
+                firstcol = cur + am[hit]
+                res[ht] = _np.minimum(res[ht], firstcol - start[ht])
+                todo = todo[~hit]
+            if todo.size:
+                todo = todo[end[todo] > hi]
+            if todo.size:
+                cur = max(hi, int(start[todo].min()))
+                w = min(w * 8, 8192)
+    else:
+        cur = int(sp_[todo].max()) + 1
+        w = min(max(w, cur - int(lo_l[todo].max())), 8192)
+        while todo.size:
+            lo_w = max(cur - w, 0, int(lo_l[todo].min()))
+            W = buf[rows[todo], lo_w:cur]
+            stopm = _stops(W, spec)
+            cols = _np.arange(lo_w, cur, dtype=_np.int64)
+            if cur > int(sp_[todo].min()) + 1:
+                stopm &= cols[None, :] <= sp_[todo][:, None]
+            if lo_w < int(lo_l[todo].max()):
+                stopm &= cols[None, :] >= lo_l[todo][:, None]
+            width = cur - lo_w
+            am = stopm[:, ::-1].argmax(axis=1)
+            hit = stopm[_np.arange(am.shape[0]), (width - 1) - am]
+            if hit.any():
+                ht = todo[hit]
+                lastcol = lo_w + (width - 1) - am[hit]
+                res[ht] = _np.minimum(res[ht], start[ht] - lastcol)
+                todo = todo[~hit]
+            if todo.size:
+                todo = todo[lo_l[todo] < lo_w]
+            if todo.size:
+                cur = min(lo_w, int(sp_[todo].max()) + 1)
+                w = min(w * 8, 8192)
+    return res
+
+
+def _runlen_scan(buf, rows, pos, d, spec, wl, cap):
+    """Per-lane maximal member-run length at pos, pos+d, ... (<= cap).
+
+    The vector twin of ``compiled_engine._runlen`` on zeroed-tail
+    columns: a zero byte beyond the written prefix *is* the blank, so
+    blank membership already decides everything past ``wl`` and the
+    run extends past the column exactly when the set has the blank.
+    """
+    if d > 0:
+        bound = cap
+    else:
+        # the left end of the tape bounds the run like a blocker would
+        bound = _np.minimum(cap, pos + 1)
+    return _scan_first(buf, rows, pos, d, bound, wl, spec)
+
+
+def _capture(buf, rows, pos, kk, d, Kw):
+    """(lanes, Kw) segment matrix: ``seg[i, j]`` = byte at ``pos + j*d``.
+
+    Per-lane row slices (reversed for d < 0), zero-filled past the
+    column — zeros are blanks by the tail invariant.  Bytes past a
+    lane's own ``kk`` are junk the consumers never observe: the write
+    path stores only ``data[i, :kk]`` and the compare path masks columns
+    beyond each lane's run.  A Python loop of slice copies beats a 2D
+    fancy gather several-fold here (memcpy per row vs per-element
+    indexing), and when the cohort's heads sit on one column — the
+    lock-step common case — the whole matrix is a single row-block copy.
+    """
+    m = rows.shape[0]
+    seg = _np.zeros((m, Kw), dtype=_np.uint8)
+    S = buf.shape[1]
+    if m > 8 and Kw > 0 and int(pos.max()) == int(pos.min()):
+        p0 = int(pos[0])
+        if d > 0:
+            if p0 < S:
+                avail = min(Kw, S - p0)
+                if avail > 0:
+                    seg[:, :avail] = buf[rows, p0:p0 + avail]
+        else:
+            v = max(0, p0 - (S - 1))
+            if v < Kw:
+                pstart = p0 - v
+                lo = pstart - (Kw - v)
+                seg[:, v:Kw] = buf[
+                    rows, pstart:(lo if lo >= 0 else None):-1
+                ]
+        return seg
+    rows_l = rows.tolist()
+    pos_l = pos.tolist()
+    k_l = kk.tolist()
+    if d > 0:
+        for i in range(m):
+            p = pos_l[i]
+            kx = k_l[i]
+            if kx <= 0 or p >= S:
+                continue
+            avail = kx if p + kx <= S else S - p
+            seg[i, :avail] = buf[rows_l[i], p:p + avail]
+    else:
+        for i in range(m):
+            p = pos_l[i]
+            kx = k_l[i]
+            if kx <= 0:
+                continue
+            v = p - (S - 1)  # leading cells beyond the column read blank
+            if v < 0:
+                v = 0
+            if v >= kx:
+                continue
+            pstart = p - v
+            lo = pstart - (kx - v)
+            seg[i, v:kx] = buf[
+                rows_l[i], pstart:(lo if lo >= 0 else None):-1
+            ]
+    return seg
+
+
+def _scatter_rows(st, t, rows, pos, kk, d, data):
+    """Write ``data[i, :k]`` at ``pos, pos+d, ...`` per lane.
+
+    The per-lane twin of the batch tier's ``_write_seg_w``: row-slice
+    stores (reversed for d < 0), and the written length advances to one
+    past the last nonzero byte written at or beyond it — the
+    trailing-blank-trim rule.  The caller has grown the column so every
+    position is in bounds.
+    """
+    buf = st.bufs[t]
+    rows_l = rows.tolist()
+    pos_l = pos.tolist()
+    k_l = kk.tolist()
+    n_l = st.wlen[t][rows].tolist()
+    upd = False
+    if d > 0:
+        for i, r in enumerate(rows_l):
+            p = pos_l[i]
+            kx = k_l[i]
+            row = data[i, :kx]
+            buf[r, p:p + kx] = row
+            if p + kx > n_l[i]:
+                mtrim = len(row.tobytes().rstrip(b"\x00"))
+                if mtrim and p + mtrim > n_l[i]:
+                    n_l[i] = p + mtrim
+                    upd = True
+    else:
+        for i, r in enumerate(rows_l):
+            p = pos_l[i]
+            kx = k_l[i]
+            row = data[i, :kx]
+            buf[r, p - kx + 1:p + 1] = row[::-1]
+            if p >= n_l[i]:
+                stripped = row.tobytes().lstrip(b"\x00")
+                if stripped:
+                    j0 = kx - len(stripped)
+                    if p - j0 >= n_l[i]:
+                        n_l[i] = p - j0 + 1
+                        upd = True
+    if upd:
+        st.wlen[t][rows] = _np.asarray(n_l, dtype=_np.int64)
+
+
+# -- cohort sweeps ----------------------------------------------------------
+
+
+def _sweep1(sp, st, mac, lanes, code, guard):
+    """One self-loop sweep for a whole cohort; returns per-lane k.
+
+    Lanes with k == 0 are the caller's to micro-step, exactly as the
+    serial tiers fall through on an ineligible dispatch.
+    """
+    t = int(sp.mover[code])
+    d = int(sp.delta[code])
+    buf = st.bufs[t]
+    pos = st.pos[t][lanes]
+    blen = st.wlen[t][lanes]
+    limit = guard - st.steps[lanes]
+    k = _np.zeros(lanes.shape[0], dtype=_np.int64)
+    inpre = pos < blen
+    if d > 0:
+        if inpre.any():
+            rows = lanes[inpre]
+            p = pos[inpre]
+            # the match is bounded by the written prefix and the budget,
+            # so the scan never needs to look past either
+            bound = _np.minimum(blen[inpre] - p, limit[inpre])
+            k[inpre] = _scan_first(
+                buf, rows, p, 1, bound, blen[inpre], mac.elig_spec
+            )
+        if mac.blank_write == 0:
+            # blank frontier: every cell ahead is eligible and untouched
+            k[~inpre] = limit[~inpre]
+    else:
+        front = ~inpre
+        if mac.blank_write == 0:
+            k[front] = _np.where(
+                pos[front] > 0, pos[front] - blen[front] + 1, 0
+            )
+        scan = inpre & (pos > 0)
+        if scan.any():
+            rows = lanes[scan]
+            p = pos[scan]
+            bound = _np.minimum(limit[scan], p) + 1
+            k[scan] = _scan_first(
+                buf, rows, p, -1, bound, blen[scan], mac.elig_spec
+            )
+        k = _np.minimum(k, limit)
+        k = _np.minimum(k, pos)  # land on the wall; the micro-step raises
+    sw = k > 0
+    if not sw.any():
+        return k
+    sl = lanes[sw]
+    ks = k[sw]
+    ps = pos[sw]
+    bls = blen[sw]
+    if d > 0:
+        p2 = ps + ks
+        st.space[t][sl] = _np.maximum(st.space[t][sl], p2 + 1)
+    else:
+        p2 = ps - ks
+    rev = st.dirs[t][sl] == -d
+    st.revs[t][sl[rev]] += 1
+    st.dirs[t][sl] = d
+    if mac.wlut is not None:
+        wsel = ps < bls  # the serial sweep writes only inside the prefix
+        if wsel.any():
+            # in-prefix sweep writes never leave the column ([pos, p2)
+            # rightward, (p2, pos] leftward — both inside the prefix) and
+            # never extend the written length; translate each lane's row
+            # slice in place
+            rows_l = sl[wsel].tolist()
+            p_l = ps[wsel].tolist()
+            k_l = ks[wsel].tolist()
+            wlut = mac.wlut
+            if d > 0:
+                for r, p, kw in zip(rows_l, p_l, k_l):
+                    buf[r, p:p + kw] = wlut[buf[r, p:p + kw]]
+            else:
+                for r, p, kw in zip(rows_l, p_l, k_l):
+                    buf[r, p - kw + 1:p + 1] = wlut[buf[r, p - kw + 1:p + 1]]
+    st.pos[t][sl] = p2
+    st.steps[sl] += ks
+    land = _gather(buf, sl, p2).astype(_np.int64)
+    st.full[sl] = int(sp.mbase[code]) + land * int(sp.ms[code])
+    return k
+
+
+def _sweep2(sp, st, mac, lanes, guard):
+    """One two-step-cycle sweep for a whole cohort; returns per-lane k."""
+    mA, dA, mB, dB = mac.mA, mac.dA, mac.mB, mac.dB
+    bufA = st.bufs[mA]
+    bufB = st.bufs[mB]
+    pA = st.pos[mA][lanes]
+    pB = st.pos[mB][lanes]
+    kmax = (guard - st.steps[lanes]) // 2
+    if dA < 0:
+        kmax = _np.minimum(kmax, pA)
+    if dB < 0:
+        kmax = _np.minimum(kmax, pB)
+    kmax = _np.minimum(kmax, _SWEEP_CHUNK)
+    act = kmax > 0
+    q = pA + dA
+    act &= mac.c1[_gather(bufA, lanes, q)]
+    k = _np.zeros(lanes.shape[0], dtype=_np.int64)
+    if act.any():
+        al = lanes[act]
+        qa = q[act]
+        pAa = pA[act]
+        pBa = pB[act]
+        kma = kmax[act]
+        wlA = st.wlen[mA][al]
+        wlB = st.wlen[mB][al]
+        if mac.sb_spec is not None:
+            # rectangle predicate: the two sides limit k independently
+            runx = _runlen_scan(bufA, al, qa, dA, mac.e1_spec, wlA, kma)
+            nxt = pAa + (runx + 1) * dA
+            cont = mac.c1[_gather(bufA, al, nxt)].astype(_np.int64)
+            kx = _np.where(runx < kma, runx + cont, kma)
+            ky = _runlen_scan(
+                bufB, al, pBa + dB, dB, mac.sb_spec, wlB, kma
+            ) + 1
+            ka = _np.minimum(_np.minimum(kx, ky), kma)
+        else:
+            # function predicate y = h(x): align the two slices, compare.
+            # h only sees bytes inside the eligible run, so its
+            # pre-classified mode replaces the LUT gather with a direct
+            # (or constant) compare in the common cases.
+            r_e = _runlen_scan(bufA, al, qa, dA, mac.e1_spec, wlA, kma)
+            W = int(r_e.max()) if r_e.size else 0
+            if W > 0:
+                neq = None
+                if (
+                    dA > 0 and dB > 0
+                    and int(qa.max()) == int(qa.min())
+                    and int(pBa.max()) == int(pBa.min())
+                ):
+                    # lock-step cohort with in-column windows: compare
+                    # the two row blocks in place, no segment matrices.
+                    # Bytes past a lane's own run are masked below; bytes
+                    # past its written length are physical zeros, i.e.
+                    # exactly the blanks a capture would have produced.
+                    qa0 = int(qa[0])
+                    pb0 = int(pBa[0]) + dB
+                    if (
+                        qa0 + W <= bufA.shape[1]
+                        and pb0 + W <= bufB.shape[1]
+                    ):
+                        Y = bufB[al, pb0:pb0 + W]
+                        if mac.h_mode == "const":
+                            neq = Y != mac.h_const
+                        elif mac.h_mode == "id":
+                            neq = bufA[al, qa0:qa0 + W] != Y
+                        else:
+                            neq = mac.h[bufA[al, qa0:qa0 + W]] != Y
+                if neq is None:
+                    if mac.h_mode == "const":
+                        Gy = _capture(bufB, al, pBa + dB, r_e, dB, W)
+                        neq = Gy != mac.h_const
+                    elif mac.h_mode == "id":
+                        Gx = _capture(bufA, al, qa, r_e, dA, W)
+                        Gy = _capture(bufB, al, pBa + dB, r_e, dB, W)
+                        neq = Gx != Gy
+                    else:
+                        Gx = _capture(bufA, al, qa, r_e, dA, W)
+                        Gy = _capture(bufB, al, pBa + dB, r_e, dB, W)
+                        neq = mac.h[Gx] != Gy
+                if int(r_e.min()) < W:
+                    # lanes with shorter runs must not see later columns;
+                    # skipped when every lane has the full width
+                    jj = _np.arange(W, dtype=_np.int64)
+                    neq &= jj[None, :] < r_e[:, None]
+                am = neq.argmax(axis=1)
+                found = neq[_np.arange(am.shape[0]), am]
+                mm = _np.where(found, am, r_e)
+            else:
+                mm = _np.zeros_like(r_e)
+            nxt = pAa + (mm + 1) * dA
+            cont = mac.c1[_gather(bufA, al, nxt)].astype(_np.int64)
+            ka = _np.where(mm < kma, mm + cont, kma)
+        k[act] = ka
+    sw = k > 0
+    if not sw.any():
+        return k
+    sl = lanes[sw]
+    ks = k[sw]
+    pAs = pA[sw]
+    pBs = pB[sw]
+    revA = st.dirs[mA][sl] == -dA
+    st.revs[mA][sl[revA]] += 1
+    revB = st.dirs[mB][sl] == -dB
+    st.revs[mB][sl[revB]] += 1
+    st.dirs[mA][sl] = dA
+    st.dirs[mB][sl] = dB
+    if mac.wa_src or mac.wb_src:
+        # grow the written columns up front so every swept index is in
+        # bounds; capture every source slice before any write lands, so
+        # every read the sweep models happens before the write that
+        # could clobber it
+        Kw = int(ks.max())
+        for t, dd, wr in (
+            (mA, dA, mac.wa_src), (mB, dB, mac.wb_src)
+        ):
+            if not wr:
+                continue  # reads clip/zero-fill; only writes need room
+            pt = st.pos[t][sl]
+            need = int((pt + ks).max()) + 1 if dd > 0 else int(pt.max()) + 1
+            if need > st.bufs[t].shape[1]:
+                st.grow(t, need)
+        bufA = st.bufs[mA]
+        bufB = st.bufs[mB]
+        stream = None  # (src_buf, src_pos, dst_tape, dst_buf, dst_pos)
+        if dA > 0 and dB > 0:
+            if mac.wb_src == 1 and not mac.wa_src and mac.wb_mode == "id":
+                stream = (bufA, pAs, mB, bufB, pBs)
+            elif mac.wa_src == 2 and not mac.wb_src and mac.wa_mode == "id":
+                stream = (bufB, pBs, mA, bufA, pAs)
+        if stream is not None:
+            # the copy shape — one cross-tape identity write, both heads
+            # sweeping right: stream source bytes straight into the
+            # written tape row by row, no segment matrix, no
+            # translation.  The source tape is not written, so there is
+            # nothing to clobber.
+            sbuf, spos, dt, dbuf, dpos = stream
+            SS = sbuf.shape[1]
+            if (
+                sl.shape[0] > 8
+                and int(ks.max()) == int(ks.min())
+                and int(spos.max()) == int(spos.min())
+                and int(dpos.max()) == int(dpos.min())
+            ):
+                # fully lock-step cohort: the whole copy is one
+                # row-block assignment, and the written-length trim is
+                # two vector passes over the block just written
+                k0 = int(ks[0])
+                pa0 = int(spos[0])
+                pb0 = int(dpos[0])
+                avail = min(k0, max(SS - pa0, 0))
+                if avail:
+                    dbuf[sl, pb0:pb0 + avail] = sbuf[sl, pa0:pa0 + avail]
+                if avail < k0:
+                    dbuf[sl, pb0 + avail:pb0 + k0] = 0
+                n_arr = st.wlen[dt][sl]
+                grow = pb0 + k0 > n_arr
+                if avail and grow.any():
+                    nz = dbuf[sl, pb0:pb0 + avail] != 0
+                    anynz = nz.any(axis=1)
+                    mtrim = _np.where(
+                        anynz, avail - nz[:, ::-1].argmax(axis=1), 0
+                    )
+                    upd = grow & (mtrim > 0) & (pb0 + mtrim > n_arr)
+                    if upd.any():
+                        n_arr[upd] = pb0 + mtrim[upd]
+                        st.wlen[dt][sl] = n_arr
+            else:
+                rows_l = sl.tolist()
+                ps_l = spos.tolist()
+                pd_l = dpos.tolist()
+                k_l = ks.tolist()
+                n_l = st.wlen[dt][sl].tolist()
+                for i, r in enumerate(rows_l):
+                    pa = ps_l[i]
+                    pb = pd_l[i]
+                    kx = k_l[i]
+                    avail = SS - pa
+                    if avail >= kx:
+                        seg = sbuf[r, pa:pa + kx]
+                        dbuf[r, pb:pb + kx] = seg
+                    else:  # source runs past its column: the rest is blank
+                        if avail < 0:
+                            avail = 0
+                        seg = sbuf[r, pa:pa + avail]
+                        dbuf[r, pb:pb + avail] = seg
+                        dbuf[r, pb + avail:pb + kx] = 0
+                    if pb + kx > n_l[i]:
+                        mtrim = len(seg.tobytes().rstrip(b"\x00"))
+                        if mtrim and pb + mtrim > n_l[i]:
+                            n_l[i] = pb + mtrim
+                st.wlen[dt][sl] = _np.asarray(n_l, dtype=_np.int64)
+        else:
+            need_x = (
+                (mac.wa_src == 1 and mac.wa_mode != "const")
+                or (mac.wb_src == 1 and mac.wb_mode != "const")
+            )
+            need_y = (
+                (mac.wa_src == 2 and mac.wa_mode != "const")
+                or (mac.wb_src == 2 and mac.wb_mode != "const")
+            )
+            segx = _capture(bufA, sl, pAs, ks, dA, Kw) if need_x else None
+            segy = _capture(bufB, sl, pBs, ks, dB, Kw) if need_y else None
+
+            def _side(src_sel, mode, lut, const):
+                if mode == "const":
+                    return _np.full(
+                        (sl.shape[0], Kw), const, dtype=_np.uint8
+                    )
+                src = segx if src_sel == 1 else segy
+                return src if mode == "id" else lut[src]
+
+            if mac.wa_src:
+                data = _side(mac.wa_src, mac.wa_mode, mac.wa, mac.wa_const)
+                _scatter_rows(st, mA, sl, pAs, ks, dA, data)
+            if mac.wb_src:
+                data = _side(mac.wb_src, mac.wb_mode, mac.wb, mac.wb_const)
+                _scatter_rows(st, mB, sl, pBs, ks, dB, data)
+    pA2 = pAs + ks * dA
+    pB2 = pBs + ks * dB
+    st.pos[mA][sl] = pA2
+    st.pos[mB][sl] = pB2
+    if dA > 0:
+        st.space[mA][sl] = _np.maximum(st.space[mA][sl], pA2 + 1)
+    if dB > 0:
+        st.space[mB][sl] = _np.maximum(st.space[mB][sl], pB2 + 1)
+    st.steps[sl] += 2 * ks
+    xk = _gather(bufA, sl, pA2).astype(_np.int64)
+    yk = _gather(bufB, sl, pB2).astype(_np.int64)
+    st.full[sl] = mac.cbase + xk * mac.msA + yk * mac.msB
+    return k
+
+
+# -- the lock-step rounds ---------------------------------------------------
+
+
+def _encode_all(sp, words, outcomes, done):
+    """Intern every word at once; contained per-lane errors on failure.
+
+    The fast path joins the batch into one blob and runs the validity
+    check *and* the encoding as a single C-level translate (via the
+    fused ``enc1`` table) — instead of two per lane.  Any lane outside
+    latin-1 or the alphabet drops the whole batch to the per-lane
+    encoder, which diagnoses each offender with the compiled tier's
+    exact first-bad-character error.
+    """
+    bp = sp.bp
+    enc_words: List[Optional[bytes]] = [None] * len(words)
+    try:
+        blob = "".join(words).encode("latin-1")
+    except UnicodeEncodeError:
+        blob = None
+    if blob is not None and sp.enc1 is not None:
+        enc = blob.translate(sp.enc1)
+        if enc.find(0xFF) < 0:
+            off = 0
+            for lane, w in enumerate(words):
+                ln = len(w)
+                enc_words[lane] = enc[off:off + ln]
+                off += ln
+            return enc_words, enc
+    for lane, word in enumerate(words):
+        try:
+            enc_words[lane] = _encode_word(bp, word)
+        except ReproError as exc:
+            outcomes[lane] = LaneOutcome(lane, None, exc)
+            done[lane] = True
+    return enc_words, None
+
+
+def _retire_rows(sp, st, rows, outcomes, done):
+    """Snapshot every lane in ``rows`` as a final FastRun, in bulk.
+
+    One fancy-index copy per tape plus ``tolist()`` extractions replace
+    per-lane NumPy scalar reads — snapshots are the tail cost when a
+    whole batch retires in the same round.
+    """
+    program = sp.program
+    bp = sp.bp
+    T = program.tape_count
+    names = program.state_names
+    sids = (st.full[rows] // program.ncodes).tolist()
+    steps = st.steps[rows].tolist()
+    per_tape = []
+    for t in range(T):
+        wlv = st.wlen[t][rows]
+        wl = wlv.tolist()
+        mw = int(wlv.max()) if wlv.size else 0
+        # row-block + column-slice copies only the written prefixes
+        raw = st.bufs[t][rows, :mw].tobytes()
+        bad = bp.dec_bad
+        if not bad or not any(raw.find(b) >= 0 for b in bad):
+            # one C-level translate/decode for the whole block; the
+            # per-lane slices then come straight off one big str
+            txt = raw.translate(bp.dec_tab).decode("latin-1")
+            tapes = [
+                txt[i * mw:i * mw + wl[i]] for i in range(len(wl))
+            ]
+        else:  # some symbol needs the slow map; keep the exact decoder
+            tapes = [
+                _decode_tape(bp, raw[i * mw:i * mw + wl[i]])
+                for i in range(len(wl))
+            ]
+        per_tape.append((
+            st.pos[t][rows].tolist(), tapes,
+            st.revs[t][rows].tolist(), st.space[t][rows].tolist(),
+        ))
+    lanes_l = rows.tolist()
+    if T == 2:  # the library-machine shape; zip beats indexed genexprs
+        # the four result types are frozen dataclasses, whose generated
+        # __init__ pays one object.__setattr__ per field; filling
+        # __dict__ directly builds identical instances (same fields,
+        # same __eq__/__hash__, no __post_init__ to skip) at ~60% of
+        # the cost, which matters when a whole batch retires at once
+        c_new, r_new = Configuration.__new__, RunStatistics.__new__
+        f_new, l_new = FastRun.__new__, LaneOutcome.__new__
+        (pos0, tp0, rv0, sc0), (pos1, tp1, rv1, sc1) = per_tape
+        for i, lane in enumerate(lanes_l):
+            final = c_new(Configuration)
+            final.__dict__["state"] = names[sids[i]]
+            final.__dict__["positions"] = (pos0[i], pos1[i])
+            final.__dict__["tapes"] = (tp0[i], tp1[i])
+            stats = r_new(RunStatistics)
+            stats.__dict__["reversals_per_tape"] = (rv0[i], rv1[i])
+            stats.__dict__["space_per_tape"] = (sc0[i], sc1[i])
+            stats.__dict__["length"] = steps[i] + 1
+            run = f_new(FastRun)
+            run.__dict__["final"] = final
+            run.__dict__["statistics"] = stats
+            out = l_new(LaneOutcome)
+            out.__dict__["index"] = lane
+            out.__dict__["result"] = run
+            out.__dict__["error"] = None
+            outcomes[lane] = out
+    else:
+        for i, lane in enumerate(lanes_l):
+            final = Configuration(
+                names[sids[i]],
+                tuple(per_tape[t][0][i] for t in range(T)),
+                tuple(per_tape[t][1][i] for t in range(T)),
+            )
+            stats = RunStatistics(
+                tuple(per_tape[t][2][i] for t in range(T)),
+                tuple(per_tape[t][3][i] for t in range(T)),
+                steps[i] + 1,
+            )
+            outcomes[lane] = LaneOutcome(lane, FastRun(final, stats), None)
+    done[rows] = True
+
+
+def _micro_step(sp, st, M, outcomes, done, step_limit):
+    """One vectorized table micro-step for every lane in ``M``.
+
+    The op order per lane — writes, move (with reversal/space accounting
+    and the fall-off check), step count, final-state test — is the
+    compiled tier's; lanes only ever touch their own rows, so the vector
+    batching is unobservable.
+    """
+    program = sp.program
+    c = st.full[M]
+    mv = sp.mover[c]
+    dl = sp.delta[c]
+    # lanes whose move falls off the left end retire this step (their
+    # writes are unobservable once the lane errors, so skip them whole)
+    off = _np.zeros(M.shape[0], dtype=bool)
+    for t in range(sp.tape_count):
+        sel = (mv == t) & (dl < 0)
+        if sel.any():
+            off[sel] = st.pos[t][M[sel]] == 0
+    if off.any():
+        ncodes = program.ncodes
+        for i in _np.nonzero(off)[0]:
+            lane = int(M[i])
+            state = program.state_names[int(st.full[lane]) // ncodes]
+            outcomes[lane] = LaneOutcome(
+                lane, None, MachineError(
+                    f"head {int(mv[i]) + 1} fell off the left end in "
+                    f"state {state!r}"
+                ),
+            )
+            done[lane] = True
+        keep = ~off
+        M = M[keep]
+        if M.size == 0:
+            return
+        c = c[keep]
+        mv = mv[keep]
+        dl = dl[keep]
+    # -- writes (per tape; a cell writes at most one byte per tape) ---------
+    for t in range(sp.tape_count):
+        wm = sp.wmask[t][c]
+        if not wm.any():
+            continue
+        rows = M[wm]
+        pt = st.pos[t][rows]
+        need = int(pt.max()) + 1
+        if need > st.bufs[t].shape[1]:
+            st.grow(t, need)
+        st.bufs[t][rows, pt] = sp.wval[t][c[wm]]
+        wl = st.wlen[t][rows]
+        grown = pt >= wl
+        if grown.any():
+            g = rows[grown]
+            st.wlen[t][g] = pt[grown] + 1
+            st.space[t][g] = _np.maximum(st.space[t][g], pt[grown] + 1)
+    # -- moves --------------------------------------------------------------
+    fullM = c.copy()
+    for t in range(sp.tape_count):
+        sel = mv == t
+        if not sel.any():
+            continue
+        rows = M[sel]
+        d = dl[sel]
+        newp = st.pos[t][rows] + d
+        right = d > 0
+        if right.any():
+            rr = rows[right]
+            turned = st.dirs[t][rr] == -1
+            st.revs[t][rr[turned]] += 1
+            st.dirs[t][rr] = 1
+            st.space[t][rr] = _np.maximum(st.space[t][rr], newp[right] + 1)
+        left = ~right
+        if left.any():
+            ll = rows[left]
+            turned = st.dirs[t][ll] == 1
+            st.revs[t][ll[turned]] += 1
+            st.dirs[t][ll] = -1
+        st.pos[t][rows] = newp
+        b = _gather(st.bufs[t], rows, newp).astype(_np.int64)
+        cs = c[sel]
+        fullM[sel] = cs + sp.jmp[cs] + b * sp.ms[cs]
+    still = mv < 0
+    if still.any():
+        cs = c[still]
+        fullM[still] = cs + sp.jmp[cs]
+    st.full[M] = fullM
+    st.steps[M] += 1
+    # -- retirement ---------------------------------------------------------
+    nfm = sp.nf[c]
+    if nfm.any():
+        _retire_rows(sp, st, M[nfm], outcomes, done)
+
+
+def _execute_simd(sp, words, step_limit, instruments):
+    """The cohort round loop; returns (outcomes, dispatches, steps)."""
+    program = sp.program
+    nlanes = len(words)
+    outcomes: List[Optional[LaneOutcome]] = [None] * nlanes
+    done = _np.zeros(nlanes, dtype=bool)
+
+    enc_words, enc_blob = _encode_all(sp, words, outcomes, done)
+
+    st = _LaneState(sp, nlanes, enc_words, enc_blob)
+    if program.initial_final:
+        pending = _np.nonzero(~done)[0].astype(_np.int64)
+        if pending.size:
+            _retire_rows(sp, st, pending, outcomes, done)
+        return outcomes, 0, 0
+
+    # deterministic mode has no choice sequences, so the fused step guard
+    # is the step budget itself, identical for every lane
+    guard = step_limit
+    live = _np.nonzero(~done)[0].astype(_np.int64)
+    total_dispatches = 0
+    while live.size:
+        total_dispatches += int(live.size)
+        c = st.full[live]
+        bad = (~sp.valid[c]) | (st.steps[live] >= guard)
+        if bad.any():
+            # cold path: reconstruct (state, reads) per lane and raise
+            # the stuck/step-limit diagnosis through the shared guard
+            for lane in live[bad]:
+                lane = int(lane)
+                full_c = int(st.full[lane])
+                try:
+                    _violation(
+                        program, full_c, None, int(st.steps[lane]),
+                        step_limit, program.det_cells[full_c],
+                    )
+                except ReproError as exc:
+                    outcomes[lane] = LaneOutcome(lane, None, exc)
+                done[lane] = True
+            live = live[~bad]
+            if live.size == 0:
+                break
+            c = st.full[live]
+        mslot = sp.macro_slot[c]
+        has_macro = mslot >= 0
+        micro_parts = [live[~has_macro]]
+        if has_macro.any():
+            mac_lanes = live[has_macro]
+            codes = c[has_macro]
+            for code in _np.unique(codes):
+                cohort = mac_lanes[codes == code]
+                mac = sp.macros[int(sp.macro_slot[code])]
+                instruments.cohort(int(cohort.size))
+                if mac.kind == 2:
+                    k = _sweep2(sp, st, mac, cohort, guard)
+                else:
+                    k = _sweep1(sp, st, mac, cohort, int(code), guard)
+                idle = k == 0
+                if idle.any():
+                    micro_parts.append(cohort[idle])
+        micro = _np.concatenate(micro_parts)
+        if micro.size:
+            instruments.cohort(int(micro.size))
+            _micro_step(sp, st, micro, outcomes, done, step_limit)
+        live = live[~done[live]]
+    return outcomes, total_dispatches, int(st.steps.sum())
+
+
+# -- tracker lanes ----------------------------------------------------------
+
+
+def _tracked_lanes(machine, words, step_limit, trackers):
+    """Budget-enforced lanes run on the compiled tier itself, per lane.
+
+    Keeping Python-level ``charge_batch`` calls out of the vector path
+    means the exact compiled-tier charge order — and therefore every
+    denial point and tracker state — is preserved by construction, with
+    the batch tiers' contained-error surface.
+    """
+    outcomes = []
+    for lane, word in enumerate(words):
+        try:
+            run = compiled_engine.run_deterministic(
+                machine, word, step_limit=step_limit, tracker=trackers[lane]
+            )
+            outcomes.append(LaneOutcome(lane, run, None))
+        except ReproError as exc:
+            outcomes.append(LaneOutcome(lane, None, exc))
+    return outcomes
+
+
+# -- entry points -----------------------------------------------------------
+
+
+def run_deterministic_batch(
+    machine: TuringMachine,
+    words: Sequence[str],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    trackers: Optional[Sequence] = None,
+    registry=None,
+    tracer=None,
+) -> List[LaneOutcome]:
+    """Execute a deterministic machine on a whole batch, vectorized.
+
+    Same lane contract as the batch tier: one :class:`LaneOutcome` per
+    input in input order, each bit-identical — result, contained error,
+    tracker state — to a serial compiled run of that word.  Falls back
+    to the batch tier byte-identically when NumPy is absent or the
+    machine cannot be lowered.
+    """
+    words = list(words)
+    if _np is None:
+        return batch_engine.run_deterministic_batch(
+            machine, words, step_limit=step_limit, trackers=trackers,
+            registry=registry, tracer=tracer,
+        )
+    if not machine.is_deterministic:
+        raise MachineError(f"{machine.name} is not deterministic")
+    sp = try_compile_simd(machine)
+    if sp is None:
+        return batch_engine.run_deterministic_batch(
+            machine, words, step_limit=step_limit, trackers=trackers,
+            registry=registry, tracer=tracer,
+        )
+    trackers = _check_trackers(trackers, len(words))
+    instruments = _BatchInstruments(registry, tracer, machine, kind="simd")
+    instruments.open(len(words))
+    if trackers is not None:
+        outcomes = _tracked_lanes(machine, words, step_limit, trackers)
+        instruments.close(outcomes, 0, 0)
+        return outcomes
+    outcomes, dispatches, steps = _execute_simd(
+        sp, words, step_limit, instruments
+    )
+    instruments.close(outcomes, dispatches, steps)
+    return outcomes
+
+
+def run_with_choices_batch(
+    machine: TuringMachine,
+    words: Sequence[str],
+    choices_list: Sequence[Sequence[int]],
+    *,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    trackers: Optional[Sequence] = None,
+    registry=None,
+    tracer=None,
+) -> List[LaneOutcome]:
+    """ρ_T(w, c) lanes delegate to the batch tier.
+
+    Choice sequences may be lazy (drawn from an RNG on access), so every
+    tier must consume exactly one ``choices[step]`` per lane step, in
+    order — an inherently serial contract the vector path cannot honor.
+    The batch tier's per-lane dispatch already does, bit-identically.
+    """
+    return batch_engine.run_with_choices_batch(
+        machine, words, choices_list, step_limit=step_limit,
+        trackers=trackers, registry=registry, tracer=tracer,
+    )

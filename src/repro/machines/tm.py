@@ -104,6 +104,7 @@ class TuringMachine:
         "_compiled_steps",
         "_compiled_program",
         "_batch_program",
+        "_simd_program",
         "_machine_fingerprint",
     )
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..extmem import ResourceBudget, ResourceReport, ResourceTracker
 from .profile import RunProfile
@@ -506,7 +506,7 @@ def _resolve_checks(
     spec_cells: Dict[str, Sequence[Tuple[int, int]]],
     *,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
+    chunk_size: Union[int, str, None] = None,
     registry=None,
     tracer=None,
     cache=None,
@@ -581,7 +581,7 @@ def run_contract_audit(
     contracts: Optional[Sequence[ContractSpec]] = None,
     sweep: Optional[Sequence[Tuple[int, int]]] = None,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
+    chunk_size: Union[int, str, None] = None,
     registry=None,
     tracer=None,
     cache=None,
@@ -776,7 +776,7 @@ def run_audit_shard(
     shards: int,
     shard_index: int,
     jobs: int = 1,
-    chunk_size: Optional[int] = None,
+    chunk_size: Union[int, str, None] = None,
     registry=None,
     tracer=None,
     cache=None,

@@ -34,6 +34,7 @@ from .adapters import (
     JOBS_ENV_VAR,
     ParallelExecutor,
     SerialExecutor,
+    auto_chunk_size,
     default_jobs,
     run_batch,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "load_resume_state",
     "resolve_resume",
     "run_batch",
+    "auto_chunk_size",
     "derive_task_rng",
     "derive_lane_rng",
     "normalize_seed",

@@ -21,7 +21,8 @@ Determinism contract (what the differential tests pin):
   :func:`~repro.parallel.batch.derive_task_rng` — a function of the batch
   seed and the task *index*, never of the worker or completion order;
 * outcomes are ordered by task index regardless of completion order;
-* chunking (``chunk_size``) affects dispatch overhead only, never results.
+* chunking (``chunk_size``, including the adaptive ``"auto"``) affects
+  dispatch overhead only, never results.
 
 Because adapters consume *pre-indexed* pairs, a subset of a batch can be
 dispatched under its original indices — the property both the resume
@@ -79,7 +80,7 @@ import os
 import time
 from concurrent.futures import BrokenExecutor, FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
 from .batch import (
@@ -98,6 +99,7 @@ __all__ = [
     "ExecutorAdapter",
     "SerialExecutor",
     "ParallelExecutor",
+    "auto_chunk_size",
     "run_batch",
     "default_jobs",
     "JOBS_ENV_VAR",
@@ -158,6 +160,40 @@ def default_jobs() -> int:
         if counted:
             return counted
     return os.cpu_count() or 1
+
+
+#: Chunks-per-worker target of :func:`auto_chunk_size` — large enough
+#: chunks to amortize IPC, enough of them to balance uneven task costs.
+AUTO_CHUNKS_PER_WORKER = 4
+
+
+def auto_chunk_size(count: int, workers: int) -> int:
+    """The chunk size ``chunk_size="auto"`` resolves to, deterministically.
+
+    A pure function of the task count and the worker count — never of
+    load, timing or completion order — targeting about
+    :data:`AUTO_CHUNKS_PER_WORKER` chunks per worker:
+    ``ceil(count / (workers * 4))``, floored at 1.  Callers outside the
+    adapters (the census fan-out, say) use the same function so every
+    ``"auto"`` surface derives the same partition for a given
+    ``(count, workers)``.
+    """
+    if workers < 1:
+        raise ReproError(f"workers must be >= 1, got {workers}")
+    return max(1, -(-count // (workers * AUTO_CHUNKS_PER_WORKER)))
+
+
+def _resolve_chunk_size(chunk_size, count: int, workers: int) -> int:
+    """Normalize the ``chunk_size`` keyword: ``None``/``"auto"`` →
+    :func:`auto_chunk_size`, positive ints pass through, everything else
+    is rejected."""
+    if chunk_size is None or chunk_size == "auto":
+        return auto_chunk_size(count, workers)
+    if not isinstance(chunk_size, int) or chunk_size < 1:
+        raise ReproError(
+            f"chunk_size must be >= 1 or 'auto', got {chunk_size!r}"
+        )
+    return chunk_size
 
 
 def _chunked(
@@ -323,7 +359,7 @@ class ExecutorAdapter(abc.ABC):
         indexed: Sequence[Tuple[int, BatchTask]],
         *,
         seed: Any = 0,
-        chunk_size: Optional[int] = None,
+        chunk_size: Union[int, str, None] = None,
         warmup: Optional[Callable[[], Any]] = None,
         instruments: Optional[_Instruments] = None,
     ) -> Any:
@@ -352,7 +388,7 @@ class ExecutorAdapter(abc.ABC):
         tasks: Sequence[BatchTask],
         *,
         seed: Any = 0,
-        chunk_size: Optional[int] = None,
+        chunk_size: Union[int, str, None] = None,
         label: str = "batch",
         registry=None,
         tracer=None,
@@ -441,7 +477,7 @@ class SerialExecutor(ExecutorAdapter):
         indexed: Sequence[Tuple[int, BatchTask]],
         *,
         seed: Any = 0,
-        chunk_size: Optional[int] = None,  # accepted for API parity; unused
+        chunk_size: Union[int, str, None] = None,  # accepted for API parity; unused
         warmup: Optional[Callable[[], Any]] = None,
         instruments: Optional[_Instruments] = None,
     ) -> Any:
@@ -561,16 +597,12 @@ class ParallelExecutor(ExecutorAdapter):
     def _partition(
         self,
         indexed: Sequence[Tuple[int, BatchTask]],
-        chunk_size: Optional[int],
+        chunk_size: Union[int, str, None],
         workers: int,
     ) -> List[List[Tuple[int, BatchTask]]]:
-        if chunk_size is None:
-            # a few chunks per worker: large enough to amortize IPC,
-            # small enough to balance uneven cells
-            chunk_size = max(1, -(-len(indexed) // (workers * 4)))
-        elif chunk_size < 1:
-            raise ReproError(f"chunk_size must be >= 1, got {chunk_size}")
-        return _chunked(indexed, chunk_size)
+        return _chunked(
+            indexed, _resolve_chunk_size(chunk_size, len(indexed), workers)
+        )
 
     # -- the protocol ------------------------------------------------------
 
@@ -579,7 +611,7 @@ class ParallelExecutor(ExecutorAdapter):
         indexed: Sequence[Tuple[int, BatchTask]],
         *,
         seed: Any = 0,
-        chunk_size: Optional[int] = None,
+        chunk_size: Union[int, str, None] = None,
         warmup: Optional[Callable[[], Any]] = None,
         instruments: Optional[_Instruments] = None,
     ) -> Any:
@@ -717,7 +749,7 @@ def run_batch(
     *,
     jobs: int = 1,
     seed: Any = 0,
-    chunk_size: Optional[int] = None,
+    chunk_size: Union[int, str, None] = None,
     max_retries: int = 2,
     label: str = "batch",
     registry=None,
@@ -735,6 +767,10 @@ def run_batch(
     ``jobs=default_jobs()`` for one worker per available core) and
     forwards the shared keyword surface.  Results are bit-identical
     across any ``jobs`` for tasks that follow the determinism contract.
+
+    ``chunk_size`` may be a positive int, or ``"auto"``/``None`` for the
+    adaptive partition (:func:`auto_chunk_size`: ~4 chunks per worker,
+    a deterministic function of the task and worker counts alone).
 
     ``executor`` overrides the jobs-based choice with any
     :class:`ExecutorAdapter` (a

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .._util import normalize_seed
 from .._version import __version__
@@ -306,10 +306,13 @@ class ShardExecutor(ParallelExecutor):
     def _partition(
         self,
         indexed: Sequence[Tuple[int, BatchTask]],
-        chunk_size: Optional[int],
+        chunk_size: Union[int, str, None],
         workers: int,
     ) -> List[List[Tuple[int, BatchTask]]]:
-        if chunk_size is not None:
+        if chunk_size is not None and chunk_size != "auto":
+            # "auto" means "no explicit chunking request" and is allowed
+            # through so generic call sites can pass it uniformly; the
+            # shard boundaries themselves stay the only partition
             raise ReproError(
                 "ShardExecutor chunks along shard boundaries; chunk_size "
                 "does not apply"

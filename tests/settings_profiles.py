@@ -6,7 +6,11 @@ Tiers (each instance is usable directly as a decorator under ``@given``):
   tests, where every counterexample is a correctness bug in one engine;
 - ``STANDARD_SETTINGS``: 50 examples — regular property tests;
 - ``QUICK_SETTINGS``: 20 examples — expensive-per-example tests (machine
-  generation, exact-probability DPs).
+  generation, exact-probability DPs);
+- ``SIMD_SETTINGS``: 60 examples — SIMD cohort-regrouping invariance
+  properties, where every example runs whole batches on two tiers and a
+  counterexample means the vectorized kernels drifted from the serial
+  semantics.
 
 All tiers disable the deadline and the too-slow health check: tape-level
 simulation cost is dominated by the generated machine, not by a bug, and
@@ -20,3 +24,4 @@ _BASE = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
 DIFFERENTIAL_SETTINGS = settings(max_examples=100, **_BASE)
 STANDARD_SETTINGS = settings(max_examples=50, **_BASE)
 QUICK_SETTINGS = settings(max_examples=20, **_BASE)
+SIMD_SETTINGS = settings(max_examples=60, **_BASE)

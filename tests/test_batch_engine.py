@@ -8,7 +8,7 @@ retirement and live-mask bookkeeping, empty and size-1 batches, column
 growth/repacking, the fallback path for uncompilable machines, the
 front-door ``engine=`` surface, program caching, and the metrics
 counters.  The wide randomized sweep lives in
-``tests/test_cross_engine.py`` (``TestFourWayDifferential``).
+``tests/test_cross_engine.py`` (``TestFiveWayDifferential``).
 """
 
 import pytest
@@ -254,7 +254,7 @@ class TestChoiceBatches:
 class TestFrontDoor:
     def test_batch_engines_tuple(self):
         assert BATCH_ENGINES == (
-            "auto", "batch", "reference", "streaming", "compiled"
+            "auto", "batch", "simd", "reference", "streaming", "compiled"
         )
 
     def test_unknown_engine_rejected(self):

@@ -325,7 +325,7 @@ class TestThreeWayDifferential:
 
 
 # ---------------------------------------------------------------------------
-# Four-way differential: the batch tier vs. every serial tier, per lane
+# Five-way differential: the batch and SIMD tiers vs. every serial tier
 # ---------------------------------------------------------------------------
 
 from repro.machines import run_deterministic_batch, run_with_choices_batch
@@ -346,12 +346,14 @@ def _assert_batches_identical(batch_lanes, twin_lanes):
         assert _lane_signature(got) == _lane_signature(exp)
 
 
-class TestFourWayDifferential:
-    """The batch tier is the fourth engine: every lane of a lock-step
-    batch run must be bit-identical — result, contained-error control
-    flow, and tracker state — to a serial run of the same word on each
-    of the three serial tiers (which the three-way differential above
-    already pins to each other)."""
+class TestFiveWayDifferential:
+    """The batch and SIMD tiers are the fourth and fifth engines: every
+    lane of a lock-step batch run must be bit-identical — result,
+    contained-error control flow, and tracker state — to a serial run of
+    the same word on each of the three serial tiers (which the three-way
+    differential above already pins to each other).  Pinning
+    ``engine="simd"`` exercises the vectorized path even below the
+    ``auto`` crossover lane count."""
 
     @pytest.mark.parametrize(
         "factory", DETERMINISTIC_LIBRARY, ids=lambda f: f.__name__
@@ -363,7 +365,7 @@ class TestFourWayDifferential:
         if factory is not equality_machine:
             batch = [w.replace("#", "0") for w in batch]
         lanes = run_deterministic_batch(machine, batch)
-        for engine in ("reference", "streaming", "compiled"):
+        for engine in ("simd", "reference", "streaming", "compiled"):
             twin = run_deterministic_batch(machine, batch, engine=engine)
             _assert_batches_identical(lanes, twin)
 
@@ -383,7 +385,7 @@ class TestFourWayDifferential:
         tiers raise for that word."""
         machine = random_terminating_tm(seed, external_tapes=tapes, length=6)
         lanes = run_deterministic_batch(machine, batch, step_limit=step_limit)
-        for engine in ("reference", "streaming", "compiled"):
+        for engine in ("simd", "reference", "streaming", "compiled"):
             twin = run_deterministic_batch(
                 machine, batch, step_limit=step_limit, engine=engine
             )
@@ -408,7 +410,7 @@ class TestFourWayDifferential:
         for factory in RANDOMIZED_LIBRARY:
             machine = factory()
             lanes = run_with_choices_batch(machine, words, choices)
-            for engine in ("reference", "streaming", "compiled"):
+            for engine in ("simd", "reference", "streaming", "compiled"):
                 twin = run_with_choices_batch(
                     machine, words, choices, engine=engine
                 )
@@ -434,7 +436,7 @@ class TestFourWayDifferential:
         out)."""
         machine = factory()
         results = []
-        for engine in ("batch", "streaming", "compiled"):
+        for engine in ("batch", "simd", "streaming", "compiled"):
             trackers = [
                 ResourceTracker(ResourceBudget(max_scans=cap)) for _ in batch
             ]
@@ -447,4 +449,4 @@ class TestFourWayDifferential:
                     for o, t in zip(lanes, trackers)
                 ]
             )
-        assert results[0] == results[1] == results[2]
+        assert results[0] == results[1] == results[2] == results[3]

@@ -16,6 +16,7 @@ from hypothesis import given, strategies as st
 
 from tests.settings_profiles import QUICK_SETTINGS
 from repro.errors import MachineError, ReproError
+from repro.machines import is_simd_available
 from repro.machines.library import coin_flip_machine, equality_machine
 from repro.machines.random_machines import random_terminating_tm
 from repro.parallel import (
@@ -24,6 +25,7 @@ from repro.parallel import (
     BatchTask,
     ParallelExecutor,
     SerialExecutor,
+    auto_chunk_size,
     derive_task_rng,
     run_batch,
 )
@@ -87,6 +89,38 @@ class TestOracleRelation:
             assert par.outcomes == baseline.outcomes
         # the streams really are per-task: task 0 and task 1 differ
         assert baseline.outcomes[0].value != baseline.outcomes[1].value
+
+    def test_auto_chunk_size_is_deterministic(self):
+        # a pure function of (tasks, workers): repeated evaluation and a
+        # fresh executor's partition must produce the same chunking
+        for count, workers in ((0, 1), (1, 1), (9, 2), (100, 4), (7, 16)):
+            first = auto_chunk_size(count, workers)
+            assert first == auto_chunk_size(count, workers)
+            assert first >= 1
+            # ~4 chunks per worker: ceil division, floored at one task
+            assert first == max(1, -(-count // (workers * 4)))
+        indexed = [(i, BatchTask.call(square, i)) for i in range(10)]
+        parts = [
+            ParallelExecutor(2)._partition(indexed, "auto", 2)
+            for _ in range(2)
+        ]
+        assert parts[0] == parts[1]
+        assert parts[0] == ParallelExecutor(2)._partition(indexed, None, 2)
+        assert [len(chunk) for chunk in parts[0]] == [2, 2, 2, 2, 2]
+
+    def test_auto_chunking_matches_serial_oracle(self):
+        tasks = [BatchTask.call(draw, 5, seeded=True) for _ in range(9)]
+        baseline = SerialExecutor().run_batch(tasks, seed=42)
+        par = ParallelExecutor(2).run_batch(
+            tasks, seed=42, chunk_size="auto"
+        )
+        assert par.outcomes == baseline.outcomes
+
+    def test_bad_chunk_size_rejected(self):
+        tasks = [BatchTask.call(square, 1)]
+        for bad in (0, -3, "adaptive", 2.5):
+            with pytest.raises(ReproError, match="chunk_size"):
+                ParallelExecutor(2).run_batch(tasks, chunk_size=bad)
 
     def test_seed_changes_streams(self):
         tasks = [BatchTask.call(draw, 5, seeded=True)]
@@ -219,16 +253,22 @@ class TestMachinePickling:
         from repro.cache import machine_fingerprint
         from repro.machines.batch_engine import try_compile_batch
         from repro.machines.compiled_engine import try_compile
+        from repro.machines.simd_engine import try_compile_simd
 
         machine = equality_machine()
         _accepts(machine, "01#01")
         try_compile(machine)
         try_compile_batch(machine)
+        try_compile_simd(machine)
         machine_fingerprint(machine)
         warmed = {k for k in machine.__dict__ if k.startswith("_")}
         # every documented cache attr is actually warmable — the doc
         # tuple cannot drift ahead of (or behind) reality silently
-        assert warmed == set(type(machine)._CACHE_ATTRS)
+        expected = set(type(machine)._CACHE_ATTRS)
+        if not is_simd_available():
+            # without NumPy the SIMD tier declines before the memo
+            expected.discard("_simd_program")
+        assert warmed == expected
         clone = pickle.loads(pickle.dumps(machine))
         leaked = [k for k in clone.__dict__ if k.startswith("_")]
         assert leaked == []

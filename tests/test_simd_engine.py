@@ -1,0 +1,379 @@
+"""The SIMD engine: NumPy state-cohort kernels over structure-of-arrays lanes.
+
+Lane identity is pinned against the compiled tier, same contract as the
+batch engine: for every lane, result, contained error and tracker state
+must equal a serial ``compiled_engine`` run of the same word.  The tests
+here cover the SIMD-specific machinery — cohort-regrouping invariance
+(a lane's outcome must not depend on which other lanes share its batch,
+their order, or how ``np.unique`` happens to split the rounds into
+state cohorts), the byte-identical batch-tier fallback when NumPy is
+absent or the machine cannot be lowered, the ``engine="auto"`` crossover
+in :func:`repro.machines.resolve_batch_engine`, program caching and its
+pickle strip, and the ``kind="simd"`` observability surface.  The wide
+randomized sweep lives in ``tests/test_cross_engine.py``
+(``TestFiveWayDifferential``).
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError, ReproError
+from repro.extmem import ResourceBudget, ResourceTracker
+from repro.machines import (
+    SIMD_CROSSOVER,
+    MachineBuilder,
+    R,
+    TuringMachine,
+    is_simd_available,
+    resolve_batch_engine,
+    run_deterministic_batch,
+)
+from repro.machines import batch_engine, compiled_engine, simd_engine
+from repro.machines.simd_engine import try_compile_simd
+from repro.machines.library import (
+    coin_flip_machine,
+    copy_machine,
+    copy_reverse_machine,
+    equality_machine,
+    majority_machine,
+    parity_machine,
+)
+
+from tests.settings_profiles import SIMD_SETTINGS
+
+DETERMINISTIC_LIBRARY = (
+    copy_machine,
+    parity_machine,
+    copy_reverse_machine,
+    majority_machine,
+    equality_machine,
+)
+
+# Lanes drawn from this alphabet exercise every retirement path: "01" runs
+# to completion, "#" is valid only for the equality machine, and "2" is a
+# bad input symbol everywhere — a contained per-lane encode error.
+LANE_ALPHABET = "01#2"
+
+
+def _uncompilable_machine():
+    """Multi-character symbols cannot be lowered to byte tables."""
+    b = MachineBuilder("wide").start("q").accept("a")
+    b.on("q", ("0",), "q", ("xx",), (R,))
+    b.on("q", ("xx",), "a", ("xx",), (R,))
+    return b.build()
+
+
+def _compiled_twin(machine, word, step_limit=None, tracker=None):
+    """The serial oracle for one lane: result or (type, message)."""
+    kwargs = {}
+    if step_limit is not None:
+        kwargs["step_limit"] = step_limit
+    if tracker is not None:
+        kwargs["tracker"] = tracker
+    try:
+        return compiled_engine.run_deterministic(machine, word, **kwargs)
+    except ReproError as exc:
+        return (type(exc), str(exc))
+
+
+def _assert_lane_matches(outcome, twin):
+    if isinstance(twin, tuple):
+        assert not outcome.ok
+        assert (type(outcome.error), str(outcome.error)) == twin
+    else:
+        assert outcome.ok
+        assert outcome.result.final == twin.final
+        assert outcome.result.statistics == twin.statistics
+
+
+def _sig(outcome):
+    """A lane outcome's batch-position-independent signature."""
+    if outcome.ok:
+        return ("ok", outcome.result.final, outcome.result.statistics)
+    return ("err", type(outcome.error), str(outcome.error))
+
+
+class TestAvailability:
+    def test_available_with_numpy_present(self):
+        # the container ships NumPy; the SIMD tier must see it
+        assert is_simd_available()
+
+    def test_unavailable_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(simd_engine, "_np", None)
+        assert not is_simd_available()
+
+    def test_compile_declines_before_cache_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(simd_engine, "_np", None)
+        machine = copy_machine()
+        assert try_compile_simd(machine) is None
+        # the availability test runs *before* the cache, so a NumPy-less
+        # process never poisons the memo with a spurious "uncompilable"
+        assert "_simd_program" not in machine.__dict__
+
+
+class TestFrontDoorResolution:
+    def test_auto_crosses_over_at_simd_crossover(self):
+        machine = copy_machine()
+        assert resolve_batch_engine(machine, SIMD_CROSSOVER) == "simd"
+        assert resolve_batch_engine(machine, SIMD_CROSSOVER - 1) == "batch"
+
+    def test_pinned_tiers_resolve_to_themselves(self):
+        machine = copy_machine()
+        # a pinned "simd" vectorizes even below the crossover (its own
+        # fallbacks stay byte-identical); a pinned "batch" never promotes
+        assert resolve_batch_engine(machine, 1, engine="simd") == "simd"
+        assert resolve_batch_engine(machine, 4096, engine="batch") == "batch"
+
+    def test_trackers_keep_auto_on_batch(self):
+        machine = copy_machine()
+        trackers = [ResourceTracker(ResourceBudget())] * SIMD_CROSSOVER
+        assert resolve_batch_engine(
+            machine, SIMD_CROSSOVER, trackers=trackers
+        ) == "batch"
+
+    def test_uncompilable_machine_keeps_auto_on_batch(self):
+        assert resolve_batch_engine(
+            _uncompilable_machine(), SIMD_CROSSOVER
+        ) == "batch"
+
+    def test_numpy_absent_keeps_auto_on_batch(self, monkeypatch):
+        monkeypatch.setattr(simd_engine, "_np", None)
+        assert resolve_batch_engine(copy_machine(), SIMD_CROSSOVER) == "batch"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_batch_engine(copy_machine(), 4, engine="vector")
+
+    def test_auto_batch_runs_vectorized_above_crossover(self):
+        machine = majority_machine()
+        words = ["01" * (i % 5) for i in range(SIMD_CROSSOVER)]
+        outcomes = run_deterministic_batch(machine, words)
+        for word, outcome in zip(words, outcomes):
+            _assert_lane_matches(outcome, _compiled_twin(machine, word))
+
+
+class TestFallbacks:
+    def test_numpy_absent_entry_point_matches_batch(self, monkeypatch):
+        machine = equality_machine()
+        words = ["0110#0110", "0110#0111", "#", "2", "01#0", ""]
+        want = [
+            _sig(o)
+            for o in batch_engine.run_deterministic_batch(machine, words)
+        ]
+        monkeypatch.setattr(simd_engine, "_np", None)
+        got = [
+            _sig(o)
+            for o in simd_engine.run_deterministic_batch(machine, words)
+        ]
+        assert got == want
+
+    def test_uncompilable_machine_falls_back_and_caches_verdict(self):
+        machine = _uncompilable_machine()
+        outcomes = simd_engine.run_deterministic_batch(machine, ["0", "00"])
+        for word, outcome in zip(["0", "00"], outcomes):
+            _assert_lane_matches(outcome, _compiled_twin(machine, word))
+        assert try_compile_simd(machine) is None
+        assert (
+            machine.__dict__["_simd_program"] is simd_engine._UNCOMPILABLE
+        )
+        # the memoized verdict short-circuits the second compile attempt
+        assert try_compile_simd(machine) is None
+
+    def test_nondeterministic_machine_rejected(self):
+        with pytest.raises(MachineError, match="is not deterministic"):
+            simd_engine.run_deterministic_batch(coin_flip_machine(), ["0"])
+
+    def test_choice_batches_delegate_to_batch_tier(self):
+        machine = coin_flip_machine()
+        outcomes = simd_engine.run_with_choices_batch(
+            machine, ["0", "1"], [[0, 0, 0, 0], [1, 1, 1, 1]]
+        )
+        twins = batch_engine.run_with_choices_batch(
+            machine, ["0", "1"], [[0, 0, 0, 0], [1, 1, 1, 1]]
+        )
+        assert [_sig(o) for o in outcomes] == [_sig(t) for t in twins]
+
+    def test_empty_batch(self):
+        assert simd_engine.run_deterministic_batch(copy_machine(), []) == []
+
+
+class TestProgramCache:
+    def test_simd_program_listed_in_cache_attrs(self):
+        assert "_simd_program" in TuringMachine._CACHE_ATTRS
+
+    def test_pickle_strips_simd_program(self):
+        machine = copy_machine()
+        assert try_compile_simd(machine) is not None
+        assert "_simd_program" in machine.__dict__
+        clone = pickle.loads(pickle.dumps(machine))
+        assert "_simd_program" not in clone.__dict__
+        # the unpickled twin rebuilds its own program and still runs
+        (outcome,) = simd_engine.run_deterministic_batch(clone, ["0110"])
+        _assert_lane_matches(outcome, _compiled_twin(machine, "0110"))
+
+
+class TestTrackedLanes:
+    def test_budget_lanes_match_compiled_including_tracker_state(self):
+        machine = copy_machine()
+        words = ["01" * 8, "1" * 30, "", "0"]
+        for cap in (0, 1, 2, 5, 100):
+            trackers = [
+                ResourceTracker(ResourceBudget(max_scans=cap)) for _ in words
+            ]
+            outcomes = simd_engine.run_deterministic_batch(
+                machine, words, trackers=trackers
+            )
+            for word, outcome, tracker in zip(words, outcomes, trackers):
+                twin_tracker = ResourceTracker(ResourceBudget(max_scans=cap))
+                twin = _compiled_twin(machine, word, tracker=twin_tracker)
+                _assert_lane_matches(outcome, twin)
+                assert tracker.report() == twin_tracker.report()
+
+
+class TestCohortRegrouping:
+    """A lane's outcome is invariant under regrouping of its batch.
+
+    The SIMD tier partitions live lanes into state cohorts with
+    ``np.unique`` every round, so batch composition decides which lanes
+    share a kernel dispatch, how large each cohort is (including empty
+    and size-1 cohorts), and when mid-round retirement shrinks the live
+    set.  None of that may leak into any lane's result.
+    """
+
+    @given(
+        factory=st.sampled_from(DETERMINISTIC_LIBRARY),
+        words=st.lists(
+            st.text(alphabet=LANE_ALPHABET, max_size=10),
+            min_size=1,
+            max_size=24,
+        ),
+        step_limit=st.sampled_from((1, 3, 7, 10_000)),
+        seed=st.integers(0, 2**16),
+    )
+    @SIMD_SETTINGS
+    def test_lane_permutation_invariance(
+        self, factory, words, step_limit, seed
+    ):
+        machine = factory()
+        perm = list(range(len(words)))
+        random.Random(seed).shuffle(perm)
+        base = run_deterministic_batch(
+            machine, words, step_limit=step_limit, engine="simd"
+        )
+        shuffled = run_deterministic_batch(
+            machine,
+            [words[i] for i in perm],
+            step_limit=step_limit,
+            engine="simd",
+        )
+        for pos, src in enumerate(perm):
+            assert _sig(shuffled[pos]) == _sig(base[src])
+
+    @given(
+        factory=st.sampled_from(DETERMINISTIC_LIBRARY),
+        words=st.lists(
+            st.text(alphabet=LANE_ALPHABET, max_size=12),
+            min_size=1,
+            max_size=24,
+        ),
+        step_limit=st.sampled_from((1, 4, 9, 10_000)),
+    )
+    @SIMD_SETTINGS
+    def test_mixed_lanes_match_compiled(self, factory, words, step_limit):
+        # mixed lengths and bad-symbol lanes retire at different rounds,
+        # so every example exercises mid-round live-set shrinkage
+        machine = factory()
+        outcomes = run_deterministic_batch(
+            machine, words, step_limit=step_limit, engine="simd"
+        )
+        assert [o.index for o in outcomes] == list(range(len(words)))
+        for word, outcome in zip(words, outcomes):
+            _assert_lane_matches(
+                outcome, _compiled_twin(machine, word, step_limit)
+            )
+
+    @given(
+        words=st.lists(
+            st.text(alphabet="01", max_size=8), min_size=1, max_size=12
+        ),
+        step_limit=st.sampled_from((2, 6, 10_000)),
+    )
+    @SIMD_SETTINGS
+    def test_singleton_batches_agree_with_full_batch(self, words, step_limit):
+        # size-1 cohorts are the degenerate regrouping: each lane alone
+        # must reproduce its outcome from the shared batch exactly
+        machine = majority_machine()
+        full = run_deterministic_batch(
+            machine, words, step_limit=step_limit, engine="simd"
+        )
+        for word, outcome in zip(words, full):
+            (solo,) = run_deterministic_batch(
+                machine, [word], step_limit=step_limit, engine="simd"
+            )
+            assert _sig(solo) == _sig(outcome)
+
+    @given(
+        words=st.lists(
+            st.text(alphabet=LANE_ALPHABET, max_size=8),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @SIMD_SETTINGS
+    def test_duplicated_lanes_stay_identical(self, words):
+        # doubling the batch doubles every cohort; the twin lanes must
+        # retire with byte-identical outcomes
+        machine = equality_machine()
+        outcomes = run_deterministic_batch(
+            machine, words + words, engine="simd"
+        )
+        n = len(words)
+        for i in range(n):
+            assert _sig(outcomes[i]) == _sig(outcomes[n + i])
+
+
+class TestObservability:
+    def test_simd_counters_histograms_and_span(self):
+        from repro.observability.metrics import MetricsRegistry
+        from repro.observability.trace import Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        machine = copy_machine()
+        name = machine.name
+        words = ["0110", "1", "", "01" * 10]
+        outcomes = simd_engine.run_deterministic_batch(
+            machine, words, registry=registry, tracer=tracer
+        )
+        assert all(o.ok for o in outcomes)
+        assert registry.counter("batch_lanes_dispatched").value(
+            machine=name
+        ) == 4
+        assert registry.counter("batch_lanes_retired").value(
+            machine=name
+        ) == 4
+        # at least one state cohort per round actually dispatched
+        cohorts = registry.counter("batch_cohorts").value(machine=name)
+        assert cohorts > 0
+        hist = registry.histogram("batch_lanes_per_dispatch")
+        assert hist.count(machine=name) == cohorts
+        (span,) = [
+            s for s in tracer.spans() if s.name == f"simd-run:{name}"
+        ]
+        assert span.category == "engine"
+        assert span.args["lanes"] == 4
+
+    def test_fallback_path_still_instruments(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        machine = _uncompilable_machine()
+        simd_engine.run_deterministic_batch(
+            machine, ["0", "00"], registry=registry
+        )
+        assert registry.counter("batch_lanes_dispatched").value(
+            machine=machine.name
+        ) == 2
